@@ -1,0 +1,47 @@
+// Ablation (DESIGN.md Sec. 5): BiCord's continuity rule vs a naive
+// amplitude-only detector, and the effect of the N-within-T parameter.
+// The paper argues (Sec. V) that amplitude alone confuses strong noise
+// impulses with ZigBee signal; the continuity of the fluctuation is what
+// keeps the false-positive rate down.
+
+#include "bench_common.hpp"
+#include "coex/signaling_experiment.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+
+int main(int argc, char** argv) {
+  const int trials = arg_or(argc, argv, 300);
+  const std::uint64_t seed = 1616;
+  print_header("bench_ablation_detector",
+               "ablation — amplitude-only vs continuity rule (Sec. V)", seed);
+
+  AsciiTable table;
+  table.set_header({"detector", "precision", "recall", "false positives"});
+
+  auto run = [&](const char* name, bool amplitude_only, int n_required) {
+    coex::SignalingExperimentConfig cfg;
+    cfg.seed = seed;
+    cfg.location = coex::ZigbeeLocation::A;
+    cfg.power_dbm = 0.0;
+    cfg.control_packets = 4;
+    cfg.trials = trials;
+    cfg.amplitude_only = amplitude_only;
+    cfg.detector.n_required = n_required;
+    const auto r = coex::run_signaling_experiment(cfg);
+    table.add_row({name, AsciiTable::cell(r.precision(), 4),
+                   AsciiTable::cell(r.recall(), 4),
+                   AsciiTable::cell(static_cast<std::int64_t>(r.false_positives))});
+  };
+
+  run("amplitude only (naive)", true, 1);
+  run("continuity N=2 (paper)", false, 2);
+  run("continuity N=3", false, 3);
+  run("continuity N=4", false, 4);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: amplitude-only fires on every isolated noise impulse\n"
+              "(low precision); the continuity rule trades a little recall for\n"
+              "far fewer false positives, with diminishing returns beyond N=2.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation (DESIGN.md Sec. 5): the conservative estimation margin.
+// BiCord subtracts 2*T_c per learning round (T_est = (T_w - 2 T_c) * N) to
+// avoid over-provisioning. This bench sweeps the subtracted margin {0, T_c,
+// 2 T_c} and reports the converged white space, its over-provision against
+// the true requirement, and the supplemental-round rate.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 1717 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_ablation_estimator",
+               "ablation — conservative estimation margin (Sec. VI, Eq. 1)", seed);
+
+  AsciiTable table;
+  table.set_header({"margin", "converged ws (ms)", "over-provision", "grants",
+                    "supplement rate", "zb mean delay (ms)"});
+
+  // The allocator's credit is W0 - 2*control_duration; sweeping
+  // control_duration over {0, 2.5, 5} ms realises margins {0, Tc, 2Tc} for
+  // this substrate's Tc ~ 5 ms.
+  const std::pair<const char*, Duration> margins[] = {
+      {"0 (aggressive)", 0_ms},
+      {"T_c", Duration::from_us(2500)},
+      {"2 T_c (paper)", Duration::from_ms(5)},
+  };
+
+  const double need_ms = 4.0 + 5.7 * 5;  // 5-packet burst requirement
+  for (const auto& [name, half_margin] : margins) {
+    coex::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.coordination = coex::Coordination::BiCord;
+    cfg.location = coex::ZigbeeLocation::A;
+    cfg.burst.packets_per_burst = 5;
+    cfg.burst.payload_bytes = 50;
+    cfg.burst.mean_interval = 200_ms;
+    cfg.burst.poisson = false;
+    cfg.allocator.control_duration = half_margin;
+    coex::Scenario scenario(cfg);
+    scenario.run_for(15_sec);
+
+    const auto* wifi = scenario.bicord_wifi();
+    const auto& history = wifi->grant_history();
+    std::uint64_t supplements = 0;
+    for (auto g : history) {
+      if (g == cfg.allocator.initial_whitespace &&
+          wifi->allocator().phase() == core::AllocatorPhase::Adjusted) {
+        ++supplements;
+      }
+    }
+    const double ws = wifi->allocator().estimate().ms();
+    const auto& delays = scenario.zigbee_stats().delay_ms;
+    table.add_row({name, AsciiTable::cell(ws, 1),
+                   AsciiTable::percent(ws / need_ms - 1.0),
+                   AsciiTable::cell(static_cast<std::int64_t>(history.size())),
+                   AsciiTable::percent(history.empty()
+                                           ? 0.0
+                                           : static_cast<double>(supplements) /
+                                                 static_cast<double>(history.size())),
+                   AsciiTable::cell(delays.empty() ? 0.0 : delays.mean(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: no margin -> over-provisioned white spaces (wasted air);\n"
+              "the paper's 2*T_c margin converges from below, trading a few\n"
+              "supplemental rounds for a tight steady-state reservation.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+//
+// Every bench accepts an optional first argument scaling the workload
+// (trials / packets / repetitions) so `for b in build/bench/*; do $b; done`
+// finishes quickly while full paper-scale runs remain one flag away.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "coex/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace bicord::bench {
+
+/// Parses argv[1] as a positive integer scale knob, else `fallback`.
+inline int arg_or(int argc, char** argv, int fallback) {
+  if (argc > 1) {
+    const int v = std::atoi(argv[1]);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline void print_header(const char* id, const char* paper_ref, std::uint64_t seed) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("==============================================================\n");
+}
+
+/// Runs a scenario with warm-up and measurement windows; returns after
+/// `measure` of measured time.
+inline void warm_and_measure(coex::Scenario& scenario, Duration warmup,
+                             Duration measure) {
+  scenario.run_for(warmup);
+  scenario.start_measurement();
+  scenario.run_for(measure);
+}
+
+}  // namespace bicord::bench

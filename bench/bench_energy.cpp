@@ -1,0 +1,94 @@
+// Sec. VII-B: energy cost of BiCord on ZigBee nodes.
+//
+// A ZigBee node sends bursts of ten 120-byte packets. We compare the radio
+// energy (TX + RX; a duty-cycled mote sleeps otherwise) per *delivered*
+// packet in three regimes:
+//   1. clear channel, plain CSMA           — the baseline;
+//   2. BiCord under strong Wi-Fi traffic   — adds CTI sampling + control
+//      packets; paper anchor: +10..21 % over the clear channel;
+//   3. plain CSMA under the same Wi-Fi     — retransmissions and losses;
+//      paper anchor: costlier than BiCord once >2 retransmissions happen.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+struct EnergyRow {
+  double active_mj = 0.0;   ///< TX + RX energy over the window
+  double total_mj = 0.0;    ///< including idle-listen / sleep
+  std::uint64_t delivered = 0;
+  std::uint64_t generated = 0;
+
+  [[nodiscard]] double mj_per_delivered() const {
+    return delivered ? active_mj / static_cast<double>(delivered) : 0.0;
+  }
+};
+
+EnergyRow run_one(std::uint64_t seed, coex::Coordination scheme, bool wifi_active,
+                  bool duty_cycle = false) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = scheme;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 10;
+  cfg.burst.payload_bytes = 120;
+  cfg.burst.mean_interval = 300_ms;
+  cfg.zigbee_duty_cycle = duty_cycle;
+  if (!wifi_active) {
+    // Idle Wi-Fi: one tiny frame every 2 s keeps the link nominally alive.
+    cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
+    cfg.wifi_cbr_interval = 2_sec;
+  }
+  coex::Scenario scenario(cfg);
+  scenario.run_for(1_sec);
+  scenario.energy_meter().reset();
+  const auto delivered_before = scenario.zigbee_stats().delivered;
+  const auto generated_before = scenario.zigbee_stats().generated;
+  scenario.run_for(20_sec);
+  EnergyRow row;
+  row.active_mj = scenario.energy_meter().tx_mj() + scenario.energy_meter().rx_mj();
+  row.total_mj = scenario.energy_meter().total_mj();
+  row.delivered = scenario.zigbee_stats().delivered - delivered_before;
+  row.generated = scenario.zigbee_stats().generated - generated_before;
+  return row;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 1515 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_energy", "Sec. VII-B (energy cost of BiCord)", seed);
+
+  const EnergyRow clear = run_one(seed, coex::Coordination::Csma, false);
+  const EnergyRow bicord = run_one(seed + 1, coex::Coordination::BiCord, true);
+  const EnergyRow csma = run_one(seed + 2, coex::Coordination::Csma, true);
+  const EnergyRow bicord_dc = run_one(seed + 1, coex::Coordination::BiCord, true, true);
+
+  AsciiTable table;
+  table.set_header({"regime", "active mJ (tx+rx)", "total mJ", "delivered", "generated",
+                    "mJ / delivered pkt", "vs clear"});
+  auto add = [&](const char* name, const EnergyRow& r) {
+    const double ratio = clear.mj_per_delivered() > 0.0 && r.delivered > 0
+                             ? r.mj_per_delivered() / clear.mj_per_delivered() - 1.0
+                             : 0.0;
+    table.add_row({name, AsciiTable::cell(r.active_mj, 2),
+                   AsciiTable::cell(r.total_mj, 2),
+                   AsciiTable::cell(static_cast<std::int64_t>(r.delivered)),
+                   AsciiTable::cell(static_cast<std::int64_t>(r.generated)),
+                   AsciiTable::cell(r.mj_per_delivered(), 4),
+                   r.delivered ? AsciiTable::percent(ratio) : std::string("n/a")});
+  };
+  add("clear channel (CSMA)", clear);
+  add("BiCord under Wi-Fi", bicord);
+  add("BiCord + duty cycling", bicord_dc);
+  add("CSMA under Wi-Fi", csma);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper anchors: BiCord costs +10..21%% over the clear channel for\n"
+              "10 x 120 B bursts; uncoordinated CSMA under interference wastes far\n"
+              "more energy per delivered packet (retransmissions, losses) while an\n"
+              "always-listening radio burns idle current BiCord's duty-cycled node\n"
+              "avoids (compare the total-mJ column).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Extension experiment (paper Sec. VI): multiple coexisting ZigBee nodes
+// with *different* traffic patterns share one Wi-Fi device's white spaces.
+// The Wi-Fi side cannot tell requesters apart (the request is one bit), so
+// its estimate must track the mixture; nodes contend inside each white
+// space with plain CSMA. We report per-link delivery/delay, total channel
+// utilization, and Jain's fairness index over per-link goodput.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+double jain_index(const std::vector<double>& x) {
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum2 += v * v;
+  }
+  if (sum2 <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum2);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 2020 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_ext_multinode",
+               "extension — multiple ZigBee nodes with mixed patterns (Sec. VI)",
+               seed);
+
+  AsciiTable table;
+  table.set_header({"links", "total util", "per-link delivery", "per-link delay (ms)",
+                    "goodput fairness"});
+
+  for (int links = 1; links <= 3; ++links) {
+    coex::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.coordination = coex::Coordination::BiCord;
+    cfg.location = coex::ZigbeeLocation::A;
+    cfg.burst.packets_per_burst = 5;
+    cfg.burst.payload_bytes = 50;
+    cfg.burst.mean_interval = 250_ms;
+    if (links >= 2) {
+      coex::ExtraZigbeeSpec spec;  // a chattier node mid-room
+      spec.location = coex::ZigbeeLocation::C;
+      spec.burst.packets_per_burst = 3;
+      spec.burst.payload_bytes = 30;
+      spec.burst.mean_interval = 150_ms;
+      cfg.extra_zigbee.push_back(spec);
+    }
+    if (links >= 3) {
+      coex::ExtraZigbeeSpec spec;  // a slow long-burst node near F
+      spec.location = coex::ZigbeeLocation::B;
+      spec.offset = {-0.5, 0.6};
+      spec.burst.packets_per_burst = 8;
+      spec.burst.payload_bytes = 60;
+      spec.burst.mean_interval = 600_ms;
+      cfg.extra_zigbee.push_back(spec);
+    }
+
+    coex::Scenario scenario(cfg);
+    warm_and_measure(scenario, 1_sec, 15_sec);
+
+    std::string delivery;
+    std::string delay;
+    std::vector<double> goodputs;
+    for (std::size_t i = 0; i < scenario.zigbee_link_count(); ++i) {
+      const auto& s = scenario.zigbee_stats_at(i);
+      if (i > 0) {
+        delivery += " / ";
+        delay += " / ";
+      }
+      delivery += AsciiTable::percent(s.delivery_ratio(), 0);
+      delay += AsciiTable::cell(s.delay_ms.empty() ? 0.0 : s.delay_ms.mean(), 0);
+      goodputs.push_back(static_cast<double>(s.payload_bytes_delivered) /
+                         std::max<double>(1.0, static_cast<double>(s.generated) * 50.0));
+    }
+    table.add_row({AsciiTable::cell(std::int64_t{links}),
+                   AsciiTable::percent(scenario.utilization().total), delivery, delay,
+                   AsciiTable::cell(jain_index(goodputs), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: delivery stays high for every link; delay grows moderately\n"
+              "with contention inside shared white spaces; utilization stays high\n"
+              "because the allocator tracks the *mixture* of patterns.\n");
+  return 0;
+}

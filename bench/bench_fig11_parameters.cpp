@@ -1,0 +1,78 @@
+// Fig. 11 (paper Sec. VIII-E): impact of BiCord's parameters on channel
+// utilization and per-packet delay — (a) packet length, (b) packets per
+// burst, (c) ZigBee sender location, (d) delay vs burst size and location.
+// Paper anchors: ZigBee's share grows with burst duration while total
+// utilization stays around 80 %; utilization tracks signaling quality across
+// locations; delay < 80 ms, ~30 ms for small bursts.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+struct Row {
+  coex::UtilizationReport util;
+  double delay_ms = 0.0;
+};
+
+Row run_one(std::uint64_t seed, coex::ZigbeeLocation loc, int packets,
+            std::uint32_t payload) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = coex::Coordination::BiCord;
+  cfg.location = loc;
+  cfg.burst.packets_per_burst = packets;
+  cfg.burst.payload_bytes = payload;
+  cfg.burst.mean_interval = 200_ms;
+  coex::Scenario scenario(cfg);
+  warm_and_measure(scenario, 1_sec, 12_sec);
+  Row r;
+  r.util = scenario.utilization();
+  const auto& stats = scenario.zigbee_stats();
+  r.delay_ms = stats.delay_ms.empty() ? 0.0 : stats.delay_ms.mean();
+  return r;
+}
+
+void add(AsciiTable& t, const std::string& label, const Row& r) {
+  t.add_row({label, AsciiTable::percent(r.util.total), AsciiTable::percent(r.util.wifi),
+             AsciiTable::percent(r.util.zigbee), AsciiTable::cell(r.delay_ms, 1)});
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 1111 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_fig11_parameters", "Fig. 11(a-d) — parameter impact", seed);
+
+  const std::vector<std::string> header{"setting", "total util", "wifi util",
+                                        "zigbee util", "mean delay (ms)"};
+
+  AsciiTable a("Fig. 11(a): packet length (bursts of 5, location A)");
+  a.set_header(header);
+  for (std::uint32_t payload : {25u, 50u, 75u, 100u}) {
+    add(a, std::to_string(payload) + "B", run_one(seed, coex::ZigbeeLocation::A, 5, payload));
+  }
+  std::printf("%s\n", a.render().c_str());
+
+  AsciiTable b("Fig. 11(b)+(d): packets per burst (50 B, location A)");
+  b.set_header(header);
+  for (int packets : {3, 5, 8, 12}) {
+    add(b, std::to_string(packets) + " pkts",
+        run_one(seed + 13, coex::ZigbeeLocation::A, packets, 50));
+  }
+  std::printf("%s\n", b.render().c_str());
+
+  AsciiTable c("Fig. 11(c)+(d): ZigBee sender location (5 x 50 B)");
+  c.set_header(header);
+  for (auto loc : {coex::ZigbeeLocation::A, coex::ZigbeeLocation::B,
+                   coex::ZigbeeLocation::C, coex::ZigbeeLocation::D}) {
+    add(c, coex::to_string(loc), run_one(seed + 29, loc, 5, 50));
+  }
+  std::printf("%s\n", c.render().c_str());
+
+  std::printf("paper anchors: ZigBee share grows with burst duration, total ~80%%;\n"
+              "ZigBee allocation highest at locations with best signaling (A, C);\n"
+              "delay grows with burst size, < 80 ms overall.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 12 (paper Sec. VIII-F): BiCord in mobile scenarios — a person walking
+// near the Wi-Fi receiver (CSI disturbance -> false positives) and a moving
+// ZigBee sender (extra corruption -> retransmissions). Paper anchors:
+// utilization at most ~9 % below static; person mobility slightly lowers
+// ZigBee delay (white spaces may pre-date transmissions), device mobility
+// raises it slightly (~3 ms).
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+struct Row {
+  coex::UtilizationReport util;
+  double delay_ms = 0.0;
+  double delivery = 0.0;
+};
+
+Row run_one(std::uint64_t seed, bool person, bool device, Duration interval) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = coex::Coordination::BiCord;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = interval;
+  cfg.person_mobility = person;
+  cfg.device_mobility = device;
+  coex::Scenario scenario(cfg);
+  warm_and_measure(scenario, 1_sec, 15_sec);
+  Row r;
+  r.util = scenario.utilization();
+  const auto& stats = scenario.zigbee_stats();
+  r.delay_ms = stats.delay_ms.empty() ? 0.0 : stats.delay_ms.mean();
+  r.delivery = stats.delivery_ratio();
+  return r;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 1212 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_fig12_mobility", "Fig. 12 — mobile scenarios", seed);
+
+  AsciiTable table;
+  table.set_header({"scenario", "burst interval", "total util", "zb delay (ms)",
+                    "zb delivery"});
+  const std::pair<const char*, Duration> intervals[] = {{"200ms", 200_ms}, {"1s", 1_sec}};
+  for (const auto& [iname, interval] : intervals) {
+    const Row stat = run_one(seed, false, false, interval);
+    const Row person = run_one(seed + 3, true, false, interval);
+    const Row device = run_one(seed + 5, false, true, interval);
+    table.add_row({"static", iname, AsciiTable::percent(stat.util.total),
+                   AsciiTable::cell(stat.delay_ms, 1), AsciiTable::percent(stat.delivery)});
+    table.add_row({"person mobility", iname, AsciiTable::percent(person.util.total),
+                   AsciiTable::cell(person.delay_ms, 1),
+                   AsciiTable::percent(person.delivery)});
+    table.add_row({"device mobility", iname, AsciiTable::percent(device.util.total),
+                   AsciiTable::cell(device.delay_ms, 1),
+                   AsciiTable::percent(device.delivery)});
+    if (iname != std::string("1s")) table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper anchors: utilization <= ~9%% below static; person mobility can\n"
+              "lower ZigBee delay (pre-emptive white spaces from CSI false positives);\n"
+              "device mobility adds ~3 ms of delay and ~4.6%% utilization loss.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 13 (paper Sec. VIII-G): coexistence with prioritized Wi-Fi traffic.
+// The Wi-Fi device carries a mix of high-priority (video) and low-priority
+// (file transfer) traffic; while high-priority traffic is active it ignores
+// ZigBee requests. The high-priority share sweeps 0.1 .. 0.5. Paper
+// anchors: BiCord's total utilization beats ECC-20 (+3.11 %) and ECC-30
+// (+9.76 %); ZigBee utilization beats them by +46.05 % / +27.97 %;
+// low-priority Wi-Fi delay is ~6 % lower under BiCord; high-priority Wi-Fi
+// sees near-zero added delay.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+struct Row {
+  coex::UtilizationReport util;
+  double low_delay_ms = 0.0;
+  double high_delay_ms = 0.0;
+};
+
+Row run_one(std::uint64_t seed, coex::Coordination scheme, Duration ecc_ws,
+            double high_share) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = scheme;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.wifi_traffic = coex::WifiTrafficKind::Priority;
+  cfg.wifi_high_share = high_share;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = 200_ms;
+  cfg.ecc.whitespace = ecc_ws;
+  coex::Scenario scenario(cfg);
+  warm_and_measure(scenario, 1_sec, 10_sec);  // paper: 10 s of traffic
+  Row r;
+  r.util = scenario.utilization();
+  const auto& low = scenario.wifi_delay_ms(0);
+  const auto& high = scenario.wifi_delay_ms(1);
+  r.low_delay_ms = low.empty() ? 0.0 : low.mean();
+  r.high_delay_ms = high.empty() ? 0.0 : high.mean();
+  return r;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = 1313 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  print_header("bench_fig13_priority", "Fig. 13 — prioritized Wi-Fi traffic", seed);
+
+  struct SchemeSpec {
+    const char* name;
+    coex::Coordination coordination;
+    Duration ecc_ws;
+  };
+  const SchemeSpec schemes[] = {{"BiCord", coex::Coordination::BiCord, 0_ms},
+                                {"ECC-20ms", coex::Coordination::Ecc, 20_ms},
+                                {"ECC-30ms", coex::Coordination::Ecc, 30_ms}};
+
+  AsciiTable util("Fig. 13 (left): total [ZigBee] channel utilization");
+  AsciiTable delay("Fig. 13 (right): low-priority Wi-Fi delay, ms [high-priority]");
+  std::vector<std::string> header{"scheme"};
+  for (double share : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    header.push_back("share " + AsciiTable::cell(share, 1));
+  }
+  util.set_header(header);
+  delay.set_header(header);
+
+  for (const auto& scheme : schemes) {
+    std::vector<std::string> urow{scheme.name};
+    std::vector<std::string> drow{scheme.name};
+    int i = 0;
+    for (double share : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const Row r = run_one(seed + static_cast<std::uint64_t>(i++) * 11,
+                            scheme.coordination, scheme.ecc_ws, share);
+      urow.push_back(AsciiTable::percent(r.util.total) + " [" +
+                     AsciiTable::percent(r.util.zigbee) + "]");
+      drow.push_back(AsciiTable::cell(r.low_delay_ms, 1) + " [" +
+                     AsciiTable::cell(r.high_delay_ms, 1) + "]");
+    }
+    util.add_row(urow);
+    delay.add_row(drow);
+  }
+  std::printf("%s\n%s\n", util.render().c_str(), delay.render().c_str());
+  std::printf("paper anchors: BiCord total util > ECC-20 (+3.11%%) and ECC-30\n"
+              "(+9.76%%); ZigBee util +46%% / +28%% over ECC-20/30; low-priority\n"
+              "Wi-Fi delay ~6%% lower under BiCord; high-priority delay ~unaffected.\n");
+  return 0;
+}

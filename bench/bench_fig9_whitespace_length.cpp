@@ -1,0 +1,66 @@
+// Fig. 9 (paper Sec. VIII-C): white space generated after the adjustment
+// phase, for bursts of 5/10/15 packets and steps of 30/40 ms, with the
+// over-provisioning relative to the actual requirement. Paper anchors: the
+// white space grows with burst duration; a longer step over-provisions
+// more; over-provision was 27.1 % / 12.5 % / 20.4 % for 5/10/15 packets.
+
+#include "bench_common.hpp"
+
+using namespace bicord;
+using namespace bicord::bench;
+using namespace bicord::time_literals;
+
+namespace {
+Duration converged_whitespace(std::uint64_t seed, int packets, Duration step) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = coex::Coordination::BiCord;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = packets;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = 250_ms;
+  cfg.burst.poisson = false;
+  cfg.allocator.initial_whitespace = step;
+
+  coex::Scenario scenario(cfg);
+  for (int i = 0; i < 60; ++i) {
+    scenario.run_for(250_ms);
+    if (scenario.bicord_wifi()->allocator().converged()) break;
+  }
+  return scenario.bicord_wifi()->allocator().estimate();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = arg_or(argc, argv, 8);
+  const std::uint64_t seed = 99;
+  print_header("bench_fig9_whitespace_length",
+               "Fig. 9 (white space generated after the adjustment phase)", seed);
+
+  AsciiTable table;
+  table.set_header({"packets", "burst need (ms)", "ws @30ms step", "ws @40ms step",
+                    "over-prov @30", "over-prov @40"});
+  for (int packets : {5, 10, 15}) {
+    RunningStats ws30;
+    RunningStats ws40;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto rep_seed = seed + static_cast<std::uint64_t>(rep) * 313;
+      ws30.add(converged_whitespace(rep_seed, packets, 30_ms).ms());
+      ws40.add(converged_whitespace(rep_seed + 3, packets, 40_ms).ms());
+    }
+    // Requirement: signaling lead plus the burst itself. This substrate's
+    // measured per-packet cycle (CSMA + 50 B data + ACK + pacing) is
+    // ~5.7 ms; the paper's hardware ran at 6.27 ms per packet.
+    const double need_ms = 4.0 + 5.7 * packets;
+    table.add_row({AsciiTable::cell(std::int64_t{packets}),
+                   AsciiTable::cell(need_ms, 1), AsciiTable::cell(ws30.mean(), 1),
+                   AsciiTable::cell(ws40.mean(), 1),
+                   AsciiTable::percent(ws30.mean() / need_ms - 1.0),
+                   AsciiTable::percent(ws40.mean() / need_ms - 1.0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper anchors: white space grows with burst size; 40 ms steps\n"
+              "over-provision more than 30 ms steps; over-provision 27.1%%,\n"
+              "12.5%%, 20.4%% for 5, 10, 15 packets (30 ms step).\n");
+  return 0;
+}

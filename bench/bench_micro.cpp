@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) of the simulation kernel and the
+// protocol hot paths: event queue throughput, RNG, CSI detection, feature
+// extraction, classifier inference, medium energy queries, and end-to-end
+// simulated-seconds-per-wallclock-second of the full scenario.
+
+#include <benchmark/benchmark.h>
+
+#include "coex/scenario.hpp"
+#include "csi/csi_detector.hpp"
+#include "detect/decision_tree.hpp"
+#include "detect/features.hpp"
+#include "detect/kmeans.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace bicord;
+using namespace bicord::time_literals;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(TimePoint::from_us(t + rng.uniform_int(0, 1000)), [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto fired = queue.pop();
+      t = fired.time.us();
+      benchmark::DoNotOptimize(fired.id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 1000) sim.after(10_us, chain);
+    };
+    sim.after(10_us, chain);
+    sim.run_all();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_CsiDetectorAddSample(benchmark::State& state) {
+  csi::CsiDetector detector;
+  Rng rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    csi::CsiSample s;
+    t += 500;
+    s.time = TimePoint::from_us(t);
+    s.amplitude = rng.uniform() < 0.02 ? 1.0 : 0.1;
+    detector.add_sample(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsiDetectorAddSample);
+
+void BM_TechFeatureExtraction(benchmark::State& state) {
+  detect::RssiSegment seg;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    seg.dbm.push_back(rng.uniform() < 0.3 ? -55.0 + rng.normal() : -97.0);
+  }
+  const detect::FeatureParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::extract_tech_features(seg, params));
+  }
+}
+BENCHMARK(BM_TechFeatureExtraction);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  detect::DecisionTree tree;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()});
+    y.push_back(x.back()[0] + x.back()[2] > 1.0 ? 1 : 0);
+  }
+  tree.fit(x, y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(x[i++ % x.size()]));
+  }
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_KmeansCluster(benchmark::State& state) {
+  std::vector<std::vector<double>> rows;
+  Rng data_rng(11);
+  for (int i = 0; i < 120; ++i) {
+    const double base = (i % 3) * 10.0;
+    rows.push_back({base + data_rng.normal(), base + data_rng.normal()});
+  }
+  for (auto _ : state) {
+    Rng rng(13);
+    detect::KmeansParams p;
+    p.k = 3;
+    benchmark::DoNotOptimize(detect::kmeans_manhattan(rows, p, rng));
+  }
+}
+BENCHMARK(BM_KmeansCluster);
+
+void BM_MediumEnergyQuery(benchmark::State& state) {
+  sim::Simulator sim(1);
+  phy::Medium medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1});
+  const auto rx = medium.add_node("rx", {0.0, 0.0});
+  for (int i = 0; i < 8; ++i) {
+    const auto tx = medium.add_node("tx", {1.0 + i, 0.5});
+    phy::Frame f;
+    f.tech = phy::Technology::WiFi;
+    f.src = tx;
+    medium.begin_tx(f, phy::wifi_channel(11), 20.0, 1_sec);
+  }
+  const auto band = phy::zigbee_channel(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medium.energy_dbm(rx, band));
+  }
+}
+BENCHMARK(BM_MediumEnergyQuery);
+
+void BM_FullScenarioSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    coex::ScenarioConfig cfg;
+    cfg.seed = 5;
+    cfg.coordination = coex::Coordination::BiCord;
+    cfg.burst.packets_per_burst = 5;
+    cfg.burst.payload_bytes = 50;
+    cfg.burst.mean_interval = 200_ms;
+    coex::Scenario scenario(cfg);
+    scenario.run_for(1_sec);
+    benchmark::DoNotOptimize(scenario.zigbee_stats().delivered);
+  }
+}
+BENCHMARK(BM_FullScenarioSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Industrial monitoring: safety-critical ZigBee telemetry under heavy Wi-Fi.
+//
+// A vibration sensor on a machine emits 8-packet bursts that must reach the
+// controller with bounded latency. The factory Wi-Fi is saturated. The
+// example contrasts all three schemes and prints delay percentiles — the
+// paper's core argument is that only bidirectional coordination bounds the
+// tail ("unbounded delays ... unacceptable for safety-critical ZigBee
+// applications", Sec. III-A).
+
+#include <cstdio>
+
+#include "coex/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace bicord;
+using namespace bicord::time_literals;
+
+namespace {
+struct Result {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double delivery = 0.0;
+  double util = 0.0;
+};
+
+Result run(coex::Coordination scheme, Duration ecc_whitespace) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = 2026;
+  cfg.coordination = scheme;
+  cfg.location = coex::ZigbeeLocation::C;  // sensor sits mid-factory
+  cfg.burst.packets_per_burst = 8;
+  cfg.burst.payload_bytes = 60;
+  cfg.burst.mean_interval = 250_ms;
+  cfg.ecc.whitespace = ecc_whitespace;
+  coex::Scenario sc(cfg);
+  sc.run_for(1_sec);
+  sc.start_measurement();
+  sc.run_for(25_sec);
+
+  Result r;
+  const auto& stats = sc.zigbee_stats();
+  if (!stats.delay_ms.empty()) {
+    r.p50 = stats.delay_ms.quantile(0.5);
+    r.p95 = stats.delay_ms.quantile(0.95);
+    r.p99 = stats.delay_ms.quantile(0.99);
+    r.max = stats.delay_ms.max();
+  }
+  r.delivery = stats.delivery_ratio();
+  r.util = sc.utilization().total;
+  return r;
+}
+}  // namespace
+
+int main() {
+  std::printf("Industrial monitoring — delay tails of safety-critical telemetry\n");
+  std::printf("(8 x 60 B vibration bursts every ~250 ms under saturated Wi-Fi)\n\n");
+
+  AsciiTable table;
+  table.set_header({"scheme", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)",
+                    "delivery", "channel util"});
+  struct Spec {
+    const char* name;
+    coex::Coordination c;
+    Duration ws;
+  };
+  for (const auto& spec : {Spec{"BiCord", coex::Coordination::BiCord, 0_ms},
+                           Spec{"ECC-30ms", coex::Coordination::Ecc, 30_ms},
+                           Spec{"CSMA", coex::Coordination::Csma, 0_ms}}) {
+    const Result r = run(spec.c, spec.ws);
+    table.add_row({spec.name, AsciiTable::cell(r.p50, 1), AsciiTable::cell(r.p95, 1),
+                   AsciiTable::cell(r.p99, 1), AsciiTable::cell(r.max, 1),
+                   AsciiTable::percent(r.delivery), AsciiTable::percent(r.util)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("BiCord's on-demand white spaces bound the tail; ECC's blind periodic\n"
+              "reservations stretch it; uncoordinated CSMA barely delivers at all.\n");
+  return 0;
+}

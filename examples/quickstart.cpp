@@ -1,0 +1,90 @@
+// Quickstart: one BiCord-coordinated ZigBee/Wi-Fi pair in the paper's office
+// testbed. Runs ten simulated seconds of saturated Wi-Fi traffic with
+// periodic ZigBee bursts, then prints the coordination outcome next to an
+// ECC and a plain-CSMA run of the same workload.
+
+#include <cstdio>
+
+#include "coex/scenario.hpp"
+#include "phy/tracer.hpp"
+#include "util/table.hpp"
+
+using namespace bicord;
+using namespace bicord::time_literals;
+
+namespace {
+struct RunResult {
+  coex::UtilizationReport util;
+  double delay_ms = 0.0;
+  double delivery = 0.0;
+  double goodput_kbps = 0.0;
+};
+
+RunResult run(coex::Coordination scheme) {
+  coex::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.coordination = scheme;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = Duration::from_ms(200);
+
+  coex::Scenario scenario(cfg);
+  scenario.run_for(1_sec);  // warm-up
+  scenario.start_measurement();
+  scenario.run_for(10_sec);
+
+  RunResult r;
+  r.util = scenario.utilization();
+  const auto& stats = scenario.zigbee_stats();
+  r.delay_ms = stats.delay_ms.empty() ? 0.0 : stats.delay_ms.mean();
+  r.delivery = stats.delivery_ratio();
+  r.goodput_kbps = scenario.zigbee_goodput_kbps();
+  return r;
+}
+}  // namespace
+
+int main() {
+  std::printf("BiCord quickstart — 10 s of coexistence at location A\n");
+  std::printf("(ZigBee: bursts of 5 x 50 B every ~200 ms; Wi-Fi: saturated)\n\n");
+
+  AsciiTable table;
+  table.set_header({"scheme", "total util", "wifi util", "zigbee util",
+                    "zb delay (ms)", "zb delivery", "zb goodput (kbps)"});
+  for (auto scheme : {coex::Coordination::BiCord, coex::Coordination::Ecc,
+                      coex::Coordination::Csma}) {
+    const RunResult r = run(scheme);
+    table.add_row({coex::to_string(scheme), AsciiTable::percent(r.util.total),
+                   AsciiTable::percent(r.util.wifi), AsciiTable::percent(r.util.zigbee),
+                   AsciiTable::cell(r.delay_ms, 1), AsciiTable::percent(r.delivery),
+                   AsciiTable::cell(r.goodput_kbps, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("BiCord should show high total utilization with low ZigBee delay;\n"
+              "ECC trades utilization for blind reservations; CSMA loses most\n"
+              "ZigBee packets to cross-technology interference.\n\n");
+
+  // Show one coordination round on the air: control packets (s), the CTS
+  // (C) opening the white space, the protected ZigBee burst (Z).
+  {
+    coex::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.coordination = coex::Coordination::BiCord;
+    cfg.burst.packets_per_burst = 5;
+    cfg.burst.payload_bytes = 50;
+    cfg.burst.mean_interval = Duration::from_ms(200);
+    coex::Scenario scenario(cfg);
+    phy::MediumTracer tracer(scenario.medium());
+    scenario.run_for(2_sec);
+    // Centre the view on the last CTS (the white-space reservation).
+    TimePoint cts = scenario.simulator().now() - Duration::from_ms(150);
+    for (const auto& r : tracer.records()) {
+      if (r.kind == phy::FrameKind::Cts) cts = r.start;
+    }
+    std::printf("%s", tracer
+                          .render_timeline(cts - Duration::from_ms(30),
+                                           cts + Duration::from_ms(90))
+                          .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Cross-technology signaling, frame by frame.
+//
+// Reproduces the paper's Fig. 3 intuition in text form: the CSI jitter
+// stream at the Wi-Fi receiver under (a) noise only, and (b) a ZigBee node
+// transmitting 1, 2, and 3 control packets — then shows the detector's
+// continuity rule (N=2 within 5 ms) firing on the packets but not on the
+// isolated noise impulses.
+
+#include <cstdio>
+
+#include "coex/scenario.hpp"
+#include "csi/csi_detector.hpp"
+#include "csi/csi_model.hpp"
+#include "wifi/traffic.hpp"
+
+using namespace bicord;
+using namespace bicord::time_literals;
+
+namespace {
+void render_samples(const std::vector<csi::CsiSample>& samples, double threshold,
+                    TimePoint start) {
+  // One character per CSI sample: '.' slight jitter, '#' high fluctuation.
+  std::printf("  CSI  ");
+  for (const auto& s : samples) std::printf("%c", s.amplitude > threshold ? '#' : '.');
+  std::printf("\n  time %.0f..%.0f ms, %zu samples\n",
+              (samples.front().time - start).ms() + 0.0,
+              (samples.back().time - start).ms(), samples.size());
+}
+}  // namespace
+
+int main() {
+  std::printf("Cross-technology signaling demo (paper Fig. 3 + Sec. V)\n");
+  std::printf("=======================================================\n\n");
+
+  sim::Simulator sim(99);
+  phy::Medium medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1});
+  const auto e = medium.add_node("wifi-E", {0.0, 0.0});
+  const auto f = medium.add_node("wifi-F", {3.0, 0.0});
+  const auto z = medium.add_node("zigbee", coex::location_position(coex::ZigbeeLocation::A));
+
+  wifi::WifiMac::Config wc;
+  wc.channel = 11;
+  // Calibrated office ED behaviour (see coex::Scenario): without the
+  // narrowband desensitisation the sender would defer during every ZigBee
+  // control packet and there would be no CSI stream to disturb.
+  wc.ed_threshold_dbm = -51.0;
+  wc.cca_noise_sigma_db = 2.0;
+  wifi::WifiMac sender(medium, e, wc);
+  wifi::WifiMac receiver(medium, f, wc);
+  zigbee::ZigbeeMac::Config zc;
+  zc.channel = 24;
+  zigbee::ZigbeeMac zigbee_node(medium, z, zc);
+
+  wifi::CbrSource cbr(sender, f, 100, 1_ms);
+  cbr.start();
+
+  csi::CsiModelParams csi_params;
+  csi_params.impulse_prob = 0.02;  // exaggerate noise for the demo
+  csi::CsiStream stream(sim, csi_params);
+  csi::CsiDetector detector;
+  receiver.set_rx_hook([&](const phy::RxResult& rx) { stream.on_frame(rx); });
+
+  std::vector<csi::CsiSample> window;
+  stream.set_sample_callback([&](const csi::CsiSample& s) { window.push_back(s); });
+  std::vector<TimePoint> detections;
+  detector.set_detection_callback([&](TimePoint t) { detections.push_back(t); });
+  stream.set_sample_callback([&](const csi::CsiSample& s) {
+    window.push_back(s);
+    detector.add_sample(s);
+  });
+
+  const double threshold = detector.params().threshold;
+
+  // (a) noise only
+  sim.run_for(20_ms);
+  window.clear();
+  const TimePoint a_start = sim.now();
+  sim.run_for(60_ms);
+  std::printf("(a) noise only — isolated impulses, no detection expected\n");
+  render_samples(window, threshold, a_start);
+  std::printf("  detections: %zu\n\n", detections.size());
+
+  // (b) 1, 2, 3 control packets
+  for (int packets = 1; packets <= 3; ++packets) {
+    window.clear();
+    detections.clear();
+    const TimePoint b_start = sim.now();
+    for (int i = 0; i < packets; ++i) {
+      sim.after(Duration::from_ms(10 + i * 5), [&] {
+        zigbee::ZigbeeMac::SendRequest control;
+        control.dst = phy::kBroadcastNode;
+        control.payload_bytes = 120;
+        control.kind = phy::FrameKind::Control;
+        zigbee_node.send_raw(control);
+      });
+    }
+    sim.run_for(60_ms);
+    std::printf("(b) %d control packet%s of 120 B\n", packets, packets > 1 ? "s" : "");
+    render_samples(window, threshold, b_start);
+    std::printf("  detections: %zu%s\n\n", detections.size(),
+                detections.empty() ? " (channel fade can hide a single packet)" : "");
+  }
+
+  std::printf("The detector needs N=2 high-fluctuation samples within T=5 ms —\n"
+              "continuity separates ZigBee signal from impulsive noise (Sec. V).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "ble/ble_zigbee_agent.hpp"
+
+namespace bicord::ble {
+
+BleAwareZigbeeAgent::BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
+                                         Config config)
+    : ZigbeeAgentBase(mac, receiver), config_(config) {
+  max_attempts_ = 30;
+}
+
+void BleAwareZigbeeAgent::kick() {
+  if (queue_empty() || signaling_ || pumping()) return;
+  pump_head(config_.data_power_dbm);
+}
+
+void BleAwareZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+  const bool failed = !outcome.delivered;
+  // Claim the signaling state *before* the base accounting runs its kick():
+  // otherwise the kick would launch the next data attempt and the control
+  // train would race the MAC for the radio.
+  if (failed && !signaling_) signaling_ = true;
+  ZigbeeAgentBase::on_head_outcome(outcome);
+  if (failed && signaling_) {
+    if (queue_empty()) {
+      signaling_ = false;
+      return;
+    }
+    // Delivery failure under hopping interference: request protection.
+    ++rounds_;
+    signal_train(config_.control_packets);
+  }
+}
+
+void BleAwareZigbeeAgent::signal_train(int remaining) {
+  if (remaining == 0 || queue_empty()) {
+    signaling_ = false;
+    kick();
+    return;
+  }
+  if (mac_.radio().transmitting()) {
+    // A stray transmission (late MAC retry) still holds the radio; retry
+    // the train shortly.
+    sim_.after(Duration::from_ms(1), [this, remaining] { signal_train(remaining); });
+    return;
+  }
+  ++controls_;
+  mac_.radio().wake();
+  zigbee::ZigbeeMac::SendRequest control;
+  control.dst = phy::kBroadcastNode;
+  control.payload_bytes = config_.signaling.control_payload_bytes;
+  control.kind = phy::FrameKind::Control;
+  control.power_dbm_override = config_.signaling_power_dbm;
+  mac_.send_raw(control, [this, remaining] {
+    sim_.after(config_.signaling.control_gap, [this, remaining] {
+      signal_train(remaining - 1);
+    });
+  });
+}
+
+}  // namespace bicord::ble

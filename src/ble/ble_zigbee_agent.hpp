@@ -1,0 +1,46 @@
+#pragma once
+// ZigBee-side agent for the BLE coexistence extension.
+//
+// Against BLE the channel is only *intermittently* occupied (frequency
+// hopping touches the ZigBee band a few percent of the time), so CCA-based
+// acquisition never triggers — the signal to coordinate is *delivery
+// failure*. On a failed transmission the agent emits a short train of
+// control packets (which the BLE master's cross-decoding receiver
+// understands as a channel request) and retries.
+
+#include <cstdint>
+
+#include "core/protocol_params.hpp"
+#include "core/zigbee_agent.hpp"
+
+namespace bicord::ble {
+
+class BleAwareZigbeeAgent final : public core::ZigbeeAgentBase {
+ public:
+  struct Config {
+    core::SignalingParams signaling;
+    double data_power_dbm = 0.0;
+    double signaling_power_dbm = 0.0;
+    /// Control packets per request train.
+    int control_packets = 2;
+  };
+
+  BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
+
+  [[nodiscard]] std::uint64_t control_packets_sent() const { return controls_; }
+  [[nodiscard]] std::uint64_t signaling_rounds() const { return rounds_; }
+
+ protected:
+  void kick() override;
+  void on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) override;
+
+ private:
+  void signal_train(int remaining);
+
+  Config config_;
+  bool signaling_ = false;
+  std::uint64_t controls_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace bicord::ble

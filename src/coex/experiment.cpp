@@ -1,0 +1,76 @@
+#include "coex/experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bicord::coex {
+
+std::string MetricSummary::to_string(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", precision, stats.mean(), precision,
+                ci95());
+  return buf;
+}
+
+ExperimentRunner::ExperimentRunner(ScenarioConfig base, Duration warmup,
+                                   Duration measure)
+    : base_(std::move(base)), warmup_(warmup), measure_(measure) {
+  if (measure_ <= Duration::zero()) {
+    throw std::invalid_argument("ExperimentRunner: measure window must be positive");
+  }
+}
+
+void ExperimentRunner::add_metric(std::string name, Metric metric) {
+  if (!metric) throw std::invalid_argument("ExperimentRunner: null metric");
+  metrics_.emplace_back(std::move(name), std::move(metric));
+}
+
+std::vector<MetricSummary> ExperimentRunner::run(int repetitions) {
+  if (repetitions < 1) throw std::invalid_argument("ExperimentRunner: repetitions < 1");
+  if (metrics_.empty()) throw std::logic_error("ExperimentRunner: no metrics registered");
+
+  std::vector<MetricSummary> summaries;
+  summaries.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    summaries.push_back(MetricSummary{name, {}});
+  }
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ScenarioConfig cfg = base_;
+    cfg.seed = base_.seed + static_cast<std::uint64_t>(rep) * 7919;
+    Scenario scenario(cfg);
+    scenario.run_for(warmup_);
+    scenario.start_measurement();
+    scenario.run_for(measure_);
+    for (std::size_t m = 0; m < metrics_.size(); ++m) {
+      summaries[m].stats.add(metrics_[m].second(scenario));
+    }
+  }
+  return summaries;
+}
+
+Metric metric_total_utilization() {
+  return [](Scenario& s) { return s.utilization().total; };
+}
+
+Metric metric_zigbee_utilization() {
+  return [](Scenario& s) { return s.utilization().zigbee; };
+}
+
+Metric metric_zigbee_mean_delay_ms() {
+  return [](Scenario& s) {
+    const auto& d = s.zigbee_stats().delay_ms;
+    return d.empty() ? 0.0 : d.mean();
+  };
+}
+
+Metric metric_zigbee_delivery() {
+  return [](Scenario& s) { return s.zigbee_stats().delivery_ratio(); };
+}
+
+Metric metric_zigbee_goodput_kbps() {
+  return [](Scenario& s) { return s.zigbee_goodput_kbps(); };
+}
+
+}  // namespace bicord::coex

@@ -1,0 +1,57 @@
+#pragma once
+// Multi-seed experiment runner: repeat a scenario over independent seeds and
+// aggregate any scalar metric with a confidence interval. Benches use this
+// to report mean +/- CI instead of single-run numbers.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coex/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace bicord::coex {
+
+/// A scalar extracted from a finished scenario run.
+using Metric = std::function<double(Scenario&)>;
+
+struct MetricSummary {
+  std::string name;
+  RunningStats stats;
+
+  /// Half-width of the ~95 % confidence interval (normal approximation).
+  [[nodiscard]] double ci95() const {
+    if (stats.count() < 2) return 0.0;
+    return 1.96 * stats.stddev() /
+           std::sqrt(static_cast<double>(stats.count()));
+  }
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+};
+
+class ExperimentRunner {
+ public:
+  /// `base` is copied per repetition with the seed replaced.
+  ExperimentRunner(ScenarioConfig base, Duration warmup, Duration measure);
+
+  void add_metric(std::string name, Metric metric);
+
+  /// Runs `repetitions` independent scenarios (seeds base.seed + k) and
+  /// aggregates every registered metric.
+  [[nodiscard]] std::vector<MetricSummary> run(int repetitions);
+
+ private:
+  ScenarioConfig base_;
+  Duration warmup_;
+  Duration measure_;
+  std::vector<std::pair<std::string, Metric>> metrics_;
+};
+
+// Ready-made metrics for the paper's quantities.
+[[nodiscard]] Metric metric_total_utilization();
+[[nodiscard]] Metric metric_zigbee_utilization();
+[[nodiscard]] Metric metric_zigbee_mean_delay_ms();
+[[nodiscard]] Metric metric_zigbee_delivery();
+[[nodiscard]] Metric metric_zigbee_goodput_kbps();
+
+}  // namespace bicord::coex

@@ -1,0 +1,21 @@
+#include "coex/metrics.hpp"
+
+namespace bicord::coex {
+
+void AirtimeProbe::start(TimePoint now) {
+  started_ = now;
+  wifi_at_start_ = medium_.airtime(phy::Technology::WiFi);
+  zigbee_at_start_ = medium_.airtime(phy::Technology::ZigBee);
+}
+
+UtilizationReport AirtimeProbe::report(TimePoint now) const {
+  UtilizationReport r;
+  const double elapsed = (now - started_).sec();
+  if (elapsed <= 0.0) return r;
+  r.wifi = (medium_.airtime(phy::Technology::WiFi) - wifi_at_start_).sec() / elapsed;
+  r.zigbee = (medium_.airtime(phy::Technology::ZigBee) - zigbee_at_start_).sec() / elapsed;
+  r.total = r.wifi + r.zigbee;
+  return r;
+}
+
+}  // namespace bicord::coex

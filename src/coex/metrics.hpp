@@ -1,0 +1,36 @@
+#pragma once
+// Evaluation metrics matching the paper's definitions (Sec. VIII-D):
+// channel utilization is the summed transmission time of Wi-Fi and ZigBee
+// devices divided by elapsed time; ZigBee delay is burst-arrival to ACK per
+// packet; throughput is delivered ZigBee payload per second.
+
+#include "phy/medium.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace bicord::coex {
+
+struct UtilizationReport {
+  double total = 0.0;   ///< (Wi-Fi + ZigBee airtime) / elapsed
+  double wifi = 0.0;
+  double zigbee = 0.0;
+};
+
+/// Snapshots the medium's airtime counters; diff two snapshots to measure a
+/// window.
+class AirtimeProbe {
+ public:
+  explicit AirtimeProbe(const phy::Medium& medium) : medium_(medium) {}
+
+  /// Marks the start of the measurement window.
+  void start(TimePoint now);
+  [[nodiscard]] UtilizationReport report(TimePoint now) const;
+
+ private:
+  const phy::Medium& medium_;
+  TimePoint started_;
+  Duration wifi_at_start_;
+  Duration zigbee_at_start_;
+};
+
+}  // namespace bicord::coex

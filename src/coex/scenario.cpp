@@ -1,0 +1,354 @@
+#include "coex/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bicord::coex {
+
+namespace {
+constexpr phy::Position kWifiSenderPos{0.0, 0.0};    // E in Fig. 6
+constexpr phy::Position kWifiReceiverPos{3.0, 0.0};  // F in Fig. 6
+
+/// ZigBee-receiver distance per location (paper: receivers laid 1-5 m from
+/// the sender; location B is the far-receiver case).
+double receiver_distance_m(ZigbeeLocation loc) {
+  switch (loc) {
+    case ZigbeeLocation::A: return 1.5;
+    case ZigbeeLocation::B: return 4.2;
+    case ZigbeeLocation::C: return 2.0;
+    case ZigbeeLocation::D: return 2.0;
+  }
+  return 2.0;
+}
+}  // namespace
+
+const char* to_string(Coordination c) {
+  switch (c) {
+    case Coordination::BiCord: return "BiCord";
+    case Coordination::Ecc: return "ECC";
+    case Coordination::Csma: return "CSMA";
+  }
+  return "?";
+}
+
+const char* to_string(ZigbeeLocation l) {
+  switch (l) {
+    case ZigbeeLocation::A: return "A";
+    case ZigbeeLocation::B: return "B";
+    case ZigbeeLocation::C: return "C";
+    case ZigbeeLocation::D: return "D";
+  }
+  return "?";
+}
+
+double default_signaling_power_dbm(ZigbeeLocation loc) {
+  // Paper footnote 3: 0, 0, -1, -3 dBm at locations A-D.
+  switch (loc) {
+    case ZigbeeLocation::A: return 0.0;
+    case ZigbeeLocation::B: return 0.0;
+    case ZigbeeLocation::C: return -1.0;
+    case ZigbeeLocation::D: return -3.0;
+  }
+  return 0.0;
+}
+
+phy::Position location_position(ZigbeeLocation loc) {
+  switch (loc) {
+    case ZigbeeLocation::A: return {3.4, 1.2};  // near the Wi-Fi receiver F
+    case ZigbeeLocation::B: return {4.0, 1.2};  // behind F, far from E and
+                                                // from its own receiver
+    case ZigbeeLocation::C: return {1.6, 1.4};  // mid-room, closer to E
+    case ZigbeeLocation::D: return {1.7, 1.0};  // near the Wi-Fi sender E
+  }
+  return {3.4, 1.2};
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      sim_(std::make_unique<sim::Simulator>(config_.seed)),
+      medium_(std::make_unique<phy::Medium>(*sim_, config_.path_loss)),
+      probe_(*medium_) {
+  build_topology();
+  build_wifi_traffic();
+  build_coordination();
+  build_extra_zigbee();
+  build_mobility();
+  probe_.start(sim_->now());
+  measure_start_ = sim_->now();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_topology() {
+  wifi_sender_node_ = medium_->add_node("wifi-E", kWifiSenderPos);
+  wifi_receiver_node_ = medium_->add_node("wifi-F", kWifiReceiverPos);
+
+  zigbee_base_pos_ = location_position(config_.location);
+  zigbee_sender_node_ = medium_->add_node("zigbee-tx", zigbee_base_pos_);
+
+  // Receiver sits `receiver_distance_m` away from the sender, pushed away
+  // from the Wi-Fi sender so it is shielded a little from interference.
+  const double d = config_.zigbee_link_distance_m.value_or(
+      receiver_distance_m(config_.location));
+  const double dx = zigbee_base_pos_.x - kWifiSenderPos.x;
+  const double dy = zigbee_base_pos_.y - kWifiSenderPos.y;
+  const double norm = std::max(0.1, std::hypot(dx, dy));
+  const phy::Position rx_pos{zigbee_base_pos_.x + d * dx / norm,
+                             zigbee_base_pos_.y + d * dy / norm};
+  zigbee_receiver_node_ = medium_->add_node("zigbee-rx", rx_pos);
+
+  wifi::WifiMac::Config wifi_cfg;
+  wifi_cfg.channel = 11;
+  wifi_cfg.tx_power_dbm = 20.0;
+  wifi_cfg.timings.data_rate_mbps = 54.0;
+  wifi_cfg.timings.basic_rate_mbps = 24.0;
+  // Calibrated office ED behaviour for narrowband (ZigBee-width) energy:
+  // ~10 dB less sensitive than the -62 dBm wideband figure, with a soft
+  // measurement edge. This is what couples signaling power to Wi-Fi
+  // deferral at locations C and D (Sec. VIII-B).
+  wifi_cfg.ed_threshold_dbm = -51.0;
+  wifi_cfg.cca_noise_sigma_db = 2.0;
+  wifi_sender_mac_ = std::make_unique<wifi::WifiMac>(*medium_, wifi_sender_node_, wifi_cfg);
+  wifi_receiver_mac_ =
+      std::make_unique<wifi::WifiMac>(*medium_, wifi_receiver_node_, wifi_cfg);
+
+  zigbee::ZigbeeMac::Config zb_cfg;
+  zb_cfg.channel = 24;  // overlaps Wi-Fi channel 11
+  zb_cfg.tx_power_dbm = config_.zigbee_data_power_dbm;
+  // Fast failure at white-space edges: long CSMA/retry chains would blur
+  // the Wi-Fi device's 20 ms end-of-burst silence window. BiCord firmware
+  // reacts to corruption by re-signaling instead of blind retries.
+  zb_cfg.retry_limit = 1;
+  zb_cfg.timings.max_csma_backoffs = 2;
+  zigbee_sender_mac_ =
+      std::make_unique<zigbee::ZigbeeMac>(*medium_, zigbee_sender_node_, zb_cfg);
+  zigbee_receiver_mac_ =
+      std::make_unique<zigbee::ZigbeeMac>(*medium_, zigbee_receiver_node_, zb_cfg);
+
+  energy_meter_ = std::make_unique<zigbee::EnergyMeter>(*sim_);
+  energy_meter_->attach(zigbee_sender_mac_->radio());
+  energy_meter_->set_tx_power_dbm(config_.zigbee_data_power_dbm);
+}
+
+void Scenario::build_wifi_traffic() {
+  auto collect = [this](const wifi::WifiMac::SendOutcome& outcome) {
+    if (outcome.frame.kind != phy::FrameKind::Data) return;
+    ++wifi_generated_;
+    if (outcome.delivered) {
+      ++wifi_delivered_;
+      const double ms = (outcome.completed - outcome.enqueued).ms();
+      (outcome.frame.tag > 0 ? wifi_delay_high_ : wifi_delay_low_).add(ms);
+    }
+  };
+
+  switch (config_.wifi_traffic) {
+    case WifiTrafficKind::Cbr:
+      wifi_sender_mac_->set_sent_callback(collect);
+      cbr_source_ = std::make_unique<wifi::CbrSource>(
+          *wifi_sender_mac_, wifi_receiver_node_, config_.wifi_cbr_payload_bytes,
+          config_.wifi_cbr_interval);
+      cbr_source_->start();
+      break;
+    case WifiTrafficKind::Saturated:
+      saturated_source_ = std::make_unique<wifi::SaturatedSource>(
+          *wifi_sender_mac_, wifi_receiver_node_, config_.wifi_payload_bytes);
+      saturated_source_->set_sent_callback(collect);
+      saturated_source_->start();
+      break;
+    case WifiTrafficKind::Priority:
+      priority_source_ = std::make_unique<wifi::PriorityScheduleSource>(
+          *wifi_sender_mac_, wifi_receiver_node_, config_.wifi_payload_bytes,
+          config_.wifi_high_share, config_.wifi_priority_cycle);
+      priority_source_->set_sent_callback(collect);
+      priority_source_->start();
+      break;
+  }
+}
+
+std::unique_ptr<core::ZigbeeAgentBase> Scenario::make_zigbee_agent(
+    zigbee::ZigbeeMac& mac, phy::NodeId receiver, double data_power_dbm,
+    double signaling_power_dbm, zigbee::EnergyMeter* meter) {
+  switch (config_.coordination) {
+    case Coordination::BiCord: {
+      core::BiCordZigbeeAgent::Config za;
+      za.signaling = config_.signaling;
+      za.data_power_dbm = data_power_dbm;
+      za.default_signaling_power_dbm = signaling_power_dbm;
+      auto agent = std::make_unique<core::BiCordZigbeeAgent>(mac, receiver, za);
+      agent->set_energy_meter(meter);
+      return agent;
+    }
+    case Coordination::Ecc: {
+      core::EccZigbeeAgent::Config za;
+      za.data_power_dbm = data_power_dbm;
+      return std::make_unique<core::EccZigbeeAgent>(mac, receiver, za);
+    }
+    case Coordination::Csma:
+      break;
+  }
+  return std::make_unique<core::CsmaZigbeeAgent>(mac, receiver, data_power_dbm);
+}
+
+void Scenario::build_coordination() {
+  const double sig_power = config_.signaling_power_dbm.value_or(
+      default_signaling_power_dbm(config_.location));
+
+  switch (config_.coordination) {
+    case Coordination::BiCord: {
+      core::BiCordWifiAgent::Config wa;
+      wa.allocator = config_.allocator;
+      wa.csi = config_.csi;
+      wa.detector = config_.detector;
+      bicord_wifi_ = std::make_unique<core::BiCordWifiAgent>(*wifi_receiver_mac_, wa);
+      if (!config_.wifi_grants_requests) {
+        bicord_wifi_->set_policy([] { return false; });
+      } else if (config_.wifi_traffic == WifiTrafficKind::Priority) {
+        // Sec. VIII-G: ignore ZigBee requests while video (high priority)
+        // traffic is active.
+        auto* src = priority_source_.get();
+        bicord_wifi_->set_policy([src] { return !src->high_priority_active(); });
+      }
+      break;
+    }
+    case Coordination::Ecc: {
+      auto ecc_cfg = config_.ecc;
+      ecc_cfg.zigbee_channel = 24;
+      ecc_wifi_ = std::make_unique<core::EccWifiAgent>(*wifi_sender_mac_, ecc_cfg);
+      ecc_wifi_->start();
+      break;
+    }
+    case Coordination::Csma:
+      break;
+  }
+
+  zigbee_agent_ =
+      make_zigbee_agent(*zigbee_sender_mac_, zigbee_receiver_node_,
+                        config_.zigbee_data_power_dbm, sig_power, energy_meter_.get());
+
+  if (config_.zigbee_duty_cycle) {
+    duty_cycler_ = std::make_unique<zigbee::DutyCycler>(*zigbee_sender_mac_);
+    // Stay awake while the agent still holds undelivered packets: the MAC
+    // looks idle between agent-paced packets and during signaling gaps.
+    duty_cycler_->set_busy_hook(
+        [this] { return zigbee_agent_->backlog() > 0; });
+  }
+  burst_source_ = std::make_unique<zigbee::BurstSource>(*sim_, config_.burst);
+  burst_source_->set_burst_callback([this](int n, std::uint32_t payload) {
+    if (duty_cycler_ != nullptr) duty_cycler_->wake();
+    zigbee_agent_->submit_burst(n, payload);
+  });
+  burst_source_->start();
+}
+
+void Scenario::build_extra_zigbee() {
+  for (const auto& spec : config_.extra_zigbee) {
+    const phy::Position base = location_position(spec.location);
+    const phy::Position pos{base.x + spec.offset.x, base.y + spec.offset.y};
+    const phy::NodeId tx = medium_->add_node("zigbee-tx-extra", pos);
+
+    const double d = receiver_distance_m(spec.location);
+    const double norm = std::max(0.1, std::hypot(pos.x, pos.y));
+    const phy::NodeId rx = medium_->add_node(
+        "zigbee-rx-extra",
+        phy::Position{pos.x + d * pos.x / norm, pos.y + d * pos.y / norm});
+
+    zigbee::ZigbeeMac::Config zc;
+    zc.channel = 24;
+    zc.tx_power_dbm = spec.data_power_dbm;
+    zc.retry_limit = 1;
+    zc.timings.max_csma_backoffs = 2;
+
+    ZigbeeEndpoint ep;
+    ep.sender = std::make_unique<zigbee::ZigbeeMac>(*medium_, tx, zc);
+    ep.receiver = std::make_unique<zigbee::ZigbeeMac>(*medium_, rx, zc);
+    ep.agent = make_zigbee_agent(
+        *ep.sender, rx, spec.data_power_dbm,
+        spec.signaling_power_dbm.value_or(default_signaling_power_dbm(spec.location)),
+        nullptr);
+    ep.source = std::make_unique<zigbee::BurstSource>(*sim_, spec.burst);
+    auto* agent = ep.agent.get();
+    ep.source->set_burst_callback([agent](int n, std::uint32_t payload) {
+      agent->submit_burst(n, payload);
+    });
+    ep.source->start();
+    extras_.push_back(std::move(ep));
+  }
+}
+
+void Scenario::build_mobility() {
+  if (config_.person_mobility && bicord_wifi_ != nullptr) {
+    bicord_wifi_->csi_stream().set_mobility(config_.person_event_rate_hz);
+  }
+  if (config_.device_mobility) {
+    device_mover_ = std::make_unique<sim::PeriodicTask>(
+        *sim_, config_.device_move_period, [this] {
+          // Random walk within ~1 m of the base position (Sec. VIII-F).
+          auto& rng = sim_->rng();
+          const double r = rng.uniform(0.0, 0.5);
+          const double theta = rng.uniform(0.0, 6.283185307179586);
+          medium_->set_position(zigbee_sender_node_,
+                                phy::Position{zigbee_base_pos_.x + r * std::cos(theta),
+                                              zigbee_base_pos_.y + r * std::sin(theta)});
+        });
+    device_mover_->start();
+  }
+}
+
+void Scenario::run_for(Duration d) { sim_->run_for(d); }
+
+void Scenario::start_measurement() {
+  probe_.start(sim_->now());
+  measure_start_ = sim_->now();
+}
+
+UtilizationReport Scenario::utilization() const { return probe_.report(sim_->now()); }
+
+const core::ZigbeeLinkStats& Scenario::zigbee_stats() const {
+  return zigbee_agent_->stats();
+}
+
+double Scenario::zigbee_goodput_kbps() const {
+  const double elapsed = (sim_->now() - measure_start_).sec();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(zigbee_agent_->stats().payload_bytes_delivered) * 8.0 /
+         1000.0 / elapsed;
+}
+
+const Samples& Scenario::wifi_delay_ms(int priority) const {
+  return priority > 0 ? wifi_delay_high_ : wifi_delay_low_;
+}
+
+double Scenario::wifi_delivery_ratio() const {
+  return wifi_generated_ ? static_cast<double>(wifi_delivered_) /
+                               static_cast<double>(wifi_generated_)
+                         : 0.0;
+}
+
+core::BiCordZigbeeAgent* Scenario::bicord_zigbee() {
+  return dynamic_cast<core::BiCordZigbeeAgent*>(zigbee_agent_.get());
+}
+
+core::ZigbeeAgentBase& Scenario::zigbee_agent_at(std::size_t i) {
+  if (i == 0) return *zigbee_agent_;
+  return *extras_.at(i - 1).agent;
+}
+
+const core::ZigbeeLinkStats& Scenario::zigbee_stats_at(std::size_t i) const {
+  if (i == 0) return zigbee_agent_->stats();
+  return extras_.at(i - 1).agent->stats();
+}
+
+core::ZigbeeLinkStats Scenario::aggregate_zigbee_stats() const {
+  core::ZigbeeLinkStats total;
+  for (std::size_t i = 0; i < zigbee_link_count(); ++i) {
+    const auto& s = zigbee_stats_at(i);
+    total.generated += s.generated;
+    total.delivered += s.delivered;
+    total.dropped += s.dropped;
+    total.payload_bytes_delivered += s.payload_bytes_delivered;
+    for (double v : s.delay_ms.values()) total.delay_ms.add(v);
+  }
+  return total;
+}
+
+}  // namespace bicord::coex

@@ -1,0 +1,155 @@
+#include "coex/signaling_experiment.hpp"
+
+#include <algorithm>
+
+#include "wifi/traffic.hpp"
+
+namespace bicord::coex {
+
+namespace {
+using namespace bicord::time_literals;
+
+struct TrialWindow {
+  TimePoint start;
+  TimePoint end;  ///< includes the guard
+};
+
+struct World {
+  explicit World(const SignalingExperimentConfig& cfg)
+      : sim(cfg.seed),
+        medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    const phy::NodeId e = medium.add_node("wifi-E", {0.0, 0.0});
+    const phy::NodeId f = medium.add_node("wifi-F", {3.0, 0.0});
+    const phy::NodeId z = medium.add_node("zigbee", location_position(cfg.location));
+
+    wifi::WifiMac::Config wc;
+    wc.channel = 11;
+    wc.tx_power_dbm = 20.0;
+    wc.timings.data_rate_mbps = 54.0;
+    wc.timings.basic_rate_mbps = 24.0;
+    wc.ed_threshold_dbm = -51.0;
+    wc.cca_noise_sigma_db = 2.0;
+    sender = std::make_unique<wifi::WifiMac>(medium, e, wc);
+    receiver = std::make_unique<wifi::WifiMac>(medium, f, wc);
+
+    zigbee::ZigbeeMac::Config zc;
+    zc.channel = 24;
+    zc.tx_power_dbm = cfg.power_dbm;
+    zigbee = std::make_unique<zigbee::ZigbeeMac>(medium, z, zc);
+
+    cbr = std::make_unique<wifi::CbrSource>(*sender, f, 100, 1_ms);
+    cbr->start();
+  }
+
+  sim::Simulator sim;
+  phy::Medium medium;
+  std::unique_ptr<wifi::WifiMac> sender;
+  std::unique_ptr<wifi::WifiMac> receiver;
+  std::unique_ptr<zigbee::ZigbeeMac> zigbee;
+  std::unique_ptr<wifi::CbrSource> cbr;
+
+  /// Link-layer packet reception ratio at F (per transmission, before MAC
+  /// retries) — the paper's PRR metric.
+  [[nodiscard]] double wifi_prr() const {
+    const auto ok = receiver->radio().frames_received();
+    const auto bad = receiver->radio().frames_corrupted();
+    return ok + bad ? static_cast<double>(ok) / static_cast<double>(ok + bad) : 0.0;
+  }
+};
+}  // namespace
+
+SignalingResult run_signaling_experiment(const SignalingExperimentConfig& config) {
+  SignalingResult result;
+  result.trials = config.trials;
+
+  // --- baseline Wi-Fi PRR without any ZigBee signaling ----------------------
+  {
+    World world(config);
+    world.sim.run_for(2_sec);
+    result.wifi_prr_baseline = world.wifi_prr();
+  }
+
+  World world(config);
+  csi::CsiStream stream(world.sim, config.csi);
+  csi::CsiDetector detector(config.detector);
+  detector.set_amplitude_only(config.amplitude_only);
+  world.receiver->set_rx_hook(
+      [&stream](const phy::RxResult& rx) { stream.on_frame(rx); });
+  stream.set_sample_callback(
+      [&detector](const csi::CsiSample& s) { detector.add_sample(s); });
+
+  std::vector<TimePoint> detections;
+  detector.set_detection_callback(
+      [&detections](TimePoint t) { detections.push_back(t); });
+
+  std::vector<TrialWindow> windows;
+  windows.reserve(static_cast<std::size_t>(config.trials));
+
+  // Trial chain: k raw control packets spaced by `control_gap`, then the
+  // quiet inter-trial gap. Scheduling is fully event-driven.
+  const Duration guard = 2_ms;
+  int trials_left = config.trials;
+  int packets_left = 0;
+  TimePoint trial_start;
+
+  std::function<void()> next_step = [&] {
+    if (packets_left == 0) {
+      // Close the previous trial window, maybe start a new trial.
+      if (!windows.empty() || trials_left < config.trials) {
+        windows.back().end = world.sim.now() + guard;
+      }
+      if (trials_left == 0) return;
+      --trials_left;
+      packets_left = config.control_packets;
+      trial_start = world.sim.now() + config.trial_gap;
+      world.sim.after(config.trial_gap, [&] {
+        windows.push_back(TrialWindow{world.sim.now(), world.sim.now()});
+        next_step();
+      });
+      return;
+    }
+    --packets_left;
+    zigbee::ZigbeeMac::SendRequest control;
+    control.dst = phy::kBroadcastNode;
+    control.payload_bytes = config.control_payload_bytes;
+    control.kind = phy::FrameKind::Control;
+    control.power_dbm_override = config.power_dbm;
+    world.zigbee->send_raw(control, [&] {
+      world.sim.after(config.control_gap, [&] { next_step(); });
+    });
+  };
+
+  // Warm the Wi-Fi link, then run the trial chain to completion.
+  world.sim.run_for(50_ms);
+  next_step();
+  const Duration per_trial =
+      config.trial_gap +
+      (world.zigbee->config().timings.data_airtime(config.control_payload_bytes) +
+       config.control_gap) *
+          config.control_packets;
+  world.sim.run_for(per_trial * (config.trials + 2) + 1_sec);
+  result.wifi_prr = world.wifi_prr();
+
+  // --- score ------------------------------------------------------------------
+  std::size_t next_detection = 0;
+  for (const auto& w : windows) {
+    bool hit = false;
+    while (next_detection < detections.size() && detections[next_detection] < w.start) {
+      ++result.false_positives;  // detection in a quiet gap
+      ++next_detection;
+    }
+    while (next_detection < detections.size() && detections[next_detection] <= w.end) {
+      // Any detection inside the trial window is a correct positive; only
+      // the first counts (one white-space request per trial).
+      hit = true;
+      ++next_detection;
+    }
+    if (hit) ++result.detected_trials;
+  }
+  result.false_positives +=
+      static_cast<int>(detections.size() - next_detection);  // tail gap
+  result.true_positives = result.detected_trials;
+  return result;
+}
+
+}  // namespace bicord::coex

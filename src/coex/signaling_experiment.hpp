@@ -1,0 +1,58 @@
+#pragma once
+// The cross-technology signaling experiment (paper Sec. VIII-B, Tables I
+// and II).
+//
+// A ZigBee node at one of the testbed locations transmits trials of k
+// control packets while the Wi-Fi link E -> F carries the paper's CBR
+// workload (100 B every 1 ms). The Wi-Fi receiver runs the CSI detector; a
+// detection inside a trial's window (plus a small guard) is a true
+// positive, everything else — detections in the quiet gaps between trials
+// or duplicates within one trial — is a false positive. Precision and
+// recall follow the paper's definitions.
+
+#include <cstdint>
+#include <vector>
+
+#include "coex/scenario.hpp"
+#include "csi/csi_detector.hpp"
+#include "csi/csi_model.hpp"
+
+namespace bicord::coex {
+
+struct SignalingExperimentConfig {
+  std::uint64_t seed = 1;
+  ZigbeeLocation location = ZigbeeLocation::A;
+  double power_dbm = 0.0;
+  int control_packets = 4;     ///< packets per signaling trial (3/4/5)
+  int trials = 600;            ///< paper: 600
+  Duration trial_gap = Duration::from_ms(16);  ///< quiet time between trials
+  Duration control_gap = Duration::from_us(250);
+  std::uint32_t control_payload_bytes = 120;
+  csi::CsiModelParams csi;
+  csi::DetectorParams detector;
+  /// Use the continuity rule (default) or the naive amplitude-only detector
+  /// (ablation).
+  bool amplitude_only = false;
+};
+
+struct SignalingResult {
+  int trials = 0;
+  int detected_trials = 0;   ///< trials with >= 1 in-window detection
+  int true_positives = 0;    ///< == detected_trials (1 TP max per trial)
+  int false_positives = 0;   ///< gap detections + in-trial duplicates
+  double wifi_prr = 0.0;     ///< Wi-Fi link delivery ratio during the run
+  double wifi_prr_baseline = 0.0;  ///< same link without any signaling
+
+  [[nodiscard]] double recall() const {
+    return trials ? static_cast<double>(detected_trials) / trials : 0.0;
+  }
+  [[nodiscard]] double precision() const {
+    const int positives = true_positives + false_positives;
+    return positives ? static_cast<double>(true_positives) / positives : 0.0;
+  }
+};
+
+[[nodiscard]] SignalingResult run_signaling_experiment(
+    const SignalingExperimentConfig& config);
+
+}  // namespace bicord::coex

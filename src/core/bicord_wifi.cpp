@@ -1,0 +1,68 @@
+#include "core/bicord_wifi.hpp"
+
+#include "util/logging.hpp"
+
+namespace bicord::core {
+
+BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
+    : mac_(mac),
+      sim_(mac.simulator()),
+      config_(config),
+      allocator_(config.allocator),
+      csi_(mac.simulator(), config.csi),
+      detector_(config.detector) {
+  mac_.set_rx_hook([this](const phy::RxResult& rx) {
+    // Every decodable Wi-Fi frame contributes a CSI reading (the Intel 5300
+    // extractor reports CSI for corrupt frames too, as long as the preamble
+    // locked).
+    csi_.on_frame(rx);
+  });
+  csi_.set_sample_callback([this](const csi::CsiSample& s) { detector_.add_sample(s); });
+  detector_.set_detection_callback([this](TimePoint t) { on_detection(t); });
+  mac_.set_pause_end_callback([this](TimePoint t) { on_pause_end(t); });
+}
+
+void BiCordWifiAgent::on_detection(TimePoint t) {
+  ++requests_;
+  last_detection_ = t;
+  if (grant_outstanding_) {
+    // Already serving this burst (leftover ZigBee data overlapping our
+    // resumed traffic re-triggers the detector; the allocator sees it as the
+    // same round until the white space actually elapses).
+    return;
+  }
+  if (policy_ && !policy_()) {
+    ++ignored_;
+    return;
+  }
+  const Duration grant = allocator_.on_request(t);
+  ++grants_;
+  grant_history_.push_back(grant);
+  if (grant_observer_) grant_observer_(t, grant);
+  BICORD_LOG(Debug, t, "bicord.wifi",
+             "request detected, granting " << grant << " white space");
+
+  grant_outstanding_ = true;
+  wifi::WifiMac::SendRequest cts;
+  cts.dst = phy::kBroadcastNode;
+  cts.kind = phy::FrameKind::Cts;
+  cts.nav = grant + config_.grant_margin;
+  mac_.enqueue_front(cts);
+}
+
+void BiCordWifiAgent::on_pause_end(TimePoint t) {
+  if (!grant_outstanding_) return;
+  grant_outstanding_ = false;
+  // Sustained silence after resuming marks the end of the ZigBee burst.
+  end_of_burst_check(t);
+}
+
+void BiCordWifiAgent::end_of_burst_check(TimePoint resume_time) {
+  sim_.after(allocator_.params().end_of_burst_gap, [this, resume_time] {
+    if (grant_outstanding_) return;  // a new round started meanwhile
+    if (last_detection_ > resume_time) return;  // request arrived, handled
+    allocator_.on_burst_end(sim_.now());
+  });
+}
+
+}  // namespace bicord::core

@@ -1,0 +1,81 @@
+#pragma once
+// BiCord's Wi-Fi-side agent (paper Sec. V, VI).
+//
+// Runs on the Wi-Fi device that *receives* the ongoing traffic (the CSI
+// observer). Every decoded frame yields a CSI jitter sample; the detector's
+// threshold + continuity rule turns a ZigBee control-packet overlap into a
+// one-bit channel request. On a request the agent consults its policy (a
+// device may ignore requests while carrying high-priority traffic), asks the
+// adaptive allocator for a white-space length, and broadcasts a CTS whose
+// NAV silences every Wi-Fi transmitter in range — the MAC self-pauses for
+// the same period. After resuming, 20 ms without a further detection marks
+// the end of the ZigBee burst and feeds the allocator's estimator.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/whitespace.hpp"
+#include "csi/csi_detector.hpp"
+#include "csi/csi_model.hpp"
+#include "wifi/wifi_mac.hpp"
+
+namespace bicord::core {
+
+class BiCordWifiAgent {
+ public:
+  struct Config {
+    AllocatorParams allocator;
+    csi::CsiModelParams csi;
+    csi::DetectorParams detector;
+    /// Extra reservation to cover the CTS airtime + turnaround.
+    Duration grant_margin = Duration::from_us(500);
+  };
+
+  /// Returns true when the device is willing to grant a white space now.
+  using Policy = std::function<bool()>;
+  /// Observer for every grant (start, length) — drives Fig. 7.
+  using GrantObserver = std::function<void(TimePoint, Duration)>;
+
+  BiCordWifiAgent(wifi::WifiMac& mac, Config config);
+
+  BiCordWifiAgent(const BiCordWifiAgent&) = delete;
+  BiCordWifiAgent& operator=(const BiCordWifiAgent&) = delete;
+
+  void set_policy(Policy policy) { policy_ = std::move(policy); }
+  void set_grant_observer(GrantObserver obs) { grant_observer_ = std::move(obs); }
+
+  [[nodiscard]] const WhitespaceAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] csi::CsiStream& csi_stream() { return csi_; }
+  [[nodiscard]] csi::CsiDetector& detector() { return detector_; }
+
+  [[nodiscard]] std::uint64_t requests_detected() const { return requests_; }
+  [[nodiscard]] std::uint64_t whitespaces_granted() const { return grants_; }
+  [[nodiscard]] std::uint64_t requests_ignored() const { return ignored_; }
+  /// Every grant issued, in order (length only; timing via the observer).
+  [[nodiscard]] const std::vector<Duration>& grant_history() const { return grant_history_; }
+
+ private:
+  void on_detection(TimePoint t);
+  void on_pause_end(TimePoint t);
+  void end_of_burst_check(TimePoint resume_time);
+
+  wifi::WifiMac& mac_;
+  sim::Simulator& sim_;
+  Config config_;
+  WhitespaceAllocator allocator_;
+  csi::CsiStream csi_;
+  csi::CsiDetector detector_;
+  Policy policy_;
+  GrantObserver grant_observer_;
+
+  bool grant_outstanding_ = false;  ///< CTS queued or white space running
+  TimePoint last_detection_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t ignored_ = 0;
+  std::vector<Duration> grant_history_;
+};
+
+}  // namespace bicord::core

@@ -1,0 +1,181 @@
+#include "core/bicord_zigbee.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace bicord::core {
+
+BiCordZigbeeAgent::BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
+                                     Config config)
+    : ZigbeeAgentBase(mac, receiver),
+      config_(config),
+      sampler_(mac.medium(), mac.node(), mac.radio().band()) {
+  max_attempts_ = 50;  // reliability first: BiCord keeps requesting channel
+}
+
+void BiCordZigbeeAgent::kick() {
+  if (queue_empty()) {
+    if (state_ == State::Draining || state_ == State::Idle) state_ = State::Idle;
+    return;
+  }
+  // Asynchronous phases complete on their own; Backoff has a pending event,
+  // and an in-flight data probe reports back through on_head_outcome.
+  if (state_ == State::Sampling || state_ == State::Signaling ||
+      state_ == State::Backoff || pumping()) {
+    return;
+  }
+  if (have_channel_) {
+    state_ = State::Draining;
+    pump_head(config_.data_power_dbm);
+  } else {
+    acquire();
+  }
+}
+
+void BiCordZigbeeAgent::acquire() {
+  // Cached Wi-Fi verdict: skip straight to signaling.
+  if (cached_wifi_power_ && sim_.now() < cache_valid_until_) {
+    start_signaling(*cached_wifi_power_);
+    return;
+  }
+  if (!config_.use_cti_detection || classifier_ == nullptr || !classifier_->trained()) {
+    // Detection disabled: optimistically try the channel once; failures fall
+    // back to signaling via on_head_outcome.
+    if (!mac_.channel_busy()) {
+      state_ = State::Draining;
+      pump_head(config_.data_power_dbm);
+    } else {
+      start_signaling(config_.default_signaling_power_dbm);
+    }
+    return;
+  }
+  state_ = State::Sampling;
+  ++cti_samples_;
+  if (meter_ != nullptr) {
+    meter_->add_listen(Duration::from_us(25) * 200);
+  }
+  sampler_.capture([this](detect::RssiSegment segment) { on_segment(std::move(segment)); });
+}
+
+void BiCordZigbeeAgent::on_segment(detect::RssiSegment segment) {
+  const auto verdict = classifier_->classify(segment);
+  if (!verdict.has_value()) {
+    // No activity: the channel is free (or we are inside a white space).
+    state_ = State::Draining;
+    have_channel_ = true;
+    pump_head(config_.data_power_dbm);
+    return;
+  }
+  if (*verdict != phy::Technology::WiFi) {
+    // Bluetooth / microwave / foreign ZigBee: cross-technology signaling
+    // cannot help; retry after a short backoff (paper: return to sleep).
+    ++non_wifi_;
+    enter_backoff(config_.non_wifi_backoff);
+    return;
+  }
+  double power = config_.default_signaling_power_dbm;
+  if (identifier_ != nullptr && identifier_->built()) {
+    power = power_map_.power_for(identifier_->identify(segment));
+  }
+  cached_wifi_power_ = power;
+  cache_valid_until_ = sim_.now() + config_.cti_cache;
+  start_signaling(power);
+}
+
+void BiCordZigbeeAgent::start_signaling(double power_dbm) {
+  state_ = State::Signaling;
+  signaling_power_dbm_ = power_dbm;
+  controls_this_round_ = 0;
+  ++signaling_rounds_;
+  signal_step();
+}
+
+void BiCordZigbeeAgent::signal_step() {
+  if (queue_empty()) {
+    state_ = State::Idle;
+    return;
+  }
+  if (pumping()) return;  // a data probe is in flight; its outcome resumes us
+  if (controls_this_round_ >= config_.signaling.max_control_packets) {
+    // The Wi-Fi device is ignoring us (e.g. high-priority traffic): back
+    // off exponentially so repeated refusals do not fill the air with
+    // control packets.
+    ++ignored_requests_;
+    consecutive_ignored_ = std::min(consecutive_ignored_ + 1, 4);
+    have_channel_ = false;
+    enter_backoff(config_.signaling.ignored_backoff * (1 << consecutive_ignored_));
+    return;
+  }
+  ++controls_this_round_;
+  ++control_packets_;
+  mac_.radio().wake();  // duty-cycled radios sleep between bursts
+  if (meter_ != nullptr) meter_->set_tx_power_dbm(signaling_power_dbm_);
+
+  zigbee::ZigbeeMac::SendRequest control;
+  control.dst = phy::kBroadcastNode;
+  control.payload_bytes = config_.signaling.control_payload_bytes;
+  control.kind = phy::FrameKind::Control;
+  control.power_dbm_override = signaling_power_dbm_;
+  mac_.send_raw(control, [this] {
+    if (meter_ != nullptr) meter_->set_tx_power_dbm(config_.data_power_dbm);
+    gap_poll(0, 0, 0);
+  });
+}
+
+void BiCordZigbeeAgent::gap_poll(int polls, int idle_streak, int busy_streak) {
+  if (state_ != State::Signaling || pumping()) return;
+  if (mac_.channel_busy()) {
+    idle_streak = 0;
+    ++busy_streak;
+  } else {
+    ++idle_streak;
+    busy_streak = 0;
+  }
+  // Two consecutive idle reads spanning more than a Wi-Fi inter-frame gap:
+  // the white space started — probe with the actual data packet; its ACK
+  // confirms the grant (paper Sec. V).
+  if (idle_streak >= 2) {
+    pump_head(config_.data_power_dbm);
+    return;
+  }
+  // Sustained busy reads: Wi-Fi is clearly still up, send the next control
+  // packet. The streak is three because a granted CTS needs ~1 ms to win
+  // the channel after our control packet ends — giving up after two reads
+  // would waste a whole control packet exactly when the grant is arriving.
+  if (busy_streak >= 3 || polls >= 6) {
+    signal_step();
+    return;
+  }
+  sim_.after(Duration::from_us(300), [this, polls, idle_streak, busy_streak] {
+    gap_poll(polls + 1, idle_streak, busy_streak);
+  });
+}
+
+void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+  const bool was_signaling = state_ == State::Signaling;
+  if (outcome.delivered) {
+    consecutive_ignored_ = 0;
+    have_channel_ = true;
+    state_ = State::Draining;
+  } else {
+    have_channel_ = false;
+    if (!was_signaling) state_ = State::Idle;
+  }
+  ZigbeeAgentBase::on_head_outcome(outcome);  // accounting + kick()
+  if (was_signaling && !outcome.delivered && state_ == State::Signaling) {
+    signal_step();
+  }
+}
+
+void BiCordZigbeeAgent::enter_backoff(Duration d) {
+  state_ = State::Backoff;
+  if (backoff_event_ != sim::kInvalidEventId) sim_.cancel(backoff_event_);
+  backoff_event_ = sim_.after(d, [this] {
+    backoff_event_ = sim::kInvalidEventId;
+    if (state_ == State::Backoff) state_ = State::Idle;
+    kick();
+  });
+}
+
+}  // namespace bicord::core

@@ -1,0 +1,110 @@
+#pragma once
+// BiCord's ZigBee-side agent (paper Sec. IV, V, VII-A).
+//
+// When a burst arrives under cross-technology interference the agent walks
+// the paper's pipeline:
+//   1. CTI detection — capture a 5 ms / 40 kHz RSSI segment, classify the
+//      interferer (decision tree over ZiSense features). Non-Wi-Fi
+//      interference (Bluetooth, microwave) is not coordinatable: back off.
+//   2. Device identification — Smoggy-Link fingerprint -> k-means cluster ->
+//      PowerMap lookup of the signaling transmit power for that Wi-Fi
+//      device.
+//   3. Cross-technology signaling — raw (no-CCA) 120-byte control packets
+//      deliberately overlapping Wi-Fi frames, interleaved with data
+//      attempts: the data packet's ACK is the confirmation that a white
+//      space was granted. Gives up after `max_control_packets` and retries
+//      after a backoff (the Wi-Fi device may be prioritising its own
+//      traffic).
+//   4. Draining — pump the burst; any delivery failure (white space ended)
+//      falls back to step 3 (classification results are cached).
+
+#include <cstdint>
+#include <optional>
+
+#include "core/protocol_params.hpp"
+#include "core/zigbee_agent.hpp"
+#include "detect/classifier.hpp"
+#include "detect/rssi_sampler.hpp"
+#include "zigbee/energy.hpp"
+
+namespace bicord::core {
+
+class BiCordZigbeeAgent final : public ZigbeeAgentBase {
+ public:
+  struct Config {
+    SignalingParams signaling;
+    /// PA setting for data packets.
+    double data_power_dbm = 0.0;
+    /// Fallback signaling power when no PowerMap entry applies.
+    double default_signaling_power_dbm = 0.0;
+    /// Run the CTI-detection pipeline before signaling. Takes effect only
+    /// once a trained classifier is attached; without one any busy channel
+    /// is assumed to be Wi-Fi.
+    bool use_cti_detection = true;
+    /// Reuse the last classification for this long before re-sampling.
+    Duration cti_cache = Duration::from_sec(2);
+    /// Retry delay when the interferer is not Wi-Fi.
+    Duration non_wifi_backoff = Duration::from_ms(20);
+    detect::FeatureParams features;
+  };
+
+  enum class State : std::uint8_t { Idle, Sampling, Signaling, Draining, Backoff };
+
+  BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
+
+  /// Optional trained CTI pipeline (scenario-owned; may outlive runs).
+  void set_classifier(const detect::InterferenceClassifier* classifier) {
+    classifier_ = classifier;
+  }
+  void set_device_identifier(const detect::DeviceIdentifier* identifier) {
+    identifier_ = identifier;
+  }
+  void set_power_map(detect::PowerMap map) { power_map_ = std::move(map); }
+  void set_energy_meter(zigbee::EnergyMeter* meter) { meter_ = meter; }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint64_t control_packets_sent() const { return control_packets_; }
+  [[nodiscard]] std::uint64_t signaling_rounds() const { return signaling_rounds_; }
+  [[nodiscard]] std::uint64_t ignored_requests() const { return ignored_requests_; }
+  [[nodiscard]] std::uint64_t non_wifi_detections() const { return non_wifi_; }
+  [[nodiscard]] std::uint64_t cti_samples_taken() const { return cti_samples_; }
+
+ protected:
+  void kick() override;
+  void on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) override;
+
+ private:
+  void acquire();
+  void on_segment(detect::RssiSegment segment);
+  void start_signaling(double power_dbm);
+  void signal_step();
+  /// Polls the channel during the inter-control gap; probes data on
+  /// sustained silence, sends the next control on sustained activity.
+  void gap_poll(int polls, int idle_streak, int busy_streak);
+  void enter_backoff(Duration d);
+
+  Config config_;
+  State state_ = State::Idle;
+  bool have_channel_ = false;
+
+  const detect::InterferenceClassifier* classifier_ = nullptr;
+  const detect::DeviceIdentifier* identifier_ = nullptr;
+  detect::PowerMap power_map_;
+  detect::RssiSampler sampler_;
+  zigbee::EnergyMeter* meter_ = nullptr;
+
+  double signaling_power_dbm_ = 0.0;
+  int controls_this_round_ = 0;
+  int consecutive_ignored_ = 0;
+  sim::EventId backoff_event_ = sim::kInvalidEventId;
+  std::optional<double> cached_wifi_power_;
+  TimePoint cache_valid_until_;
+
+  std::uint64_t control_packets_ = 0;
+  std::uint64_t signaling_rounds_ = 0;
+  std::uint64_t ignored_requests_ = 0;
+  std::uint64_t non_wifi_ = 0;
+  std::uint64_t cti_samples_ = 0;
+};
+
+}  // namespace bicord::core

@@ -1,0 +1,80 @@
+#include "core/ecc.hpp"
+
+#include "phy/spectrum.hpp"
+
+namespace bicord::core {
+
+EccWifiAgent::EccWifiAgent(wifi::WifiMac& mac, Config config)
+    : mac_(mac),
+      sim_(mac.simulator()),
+      config_(config),
+      task_(mac.simulator(), config.period, [this] { tick(); }) {}
+
+void EccWifiAgent::start() { task_.start(); }
+
+void EccWifiAgent::stop() { task_.stop(); }
+
+void EccWifiAgent::tick() {
+  if (mac_.paused()) return;  // previous reservation still running
+
+  // Reserve the medium for the notification plus the blind white space.
+  const Duration lead = Duration::from_us(1500);
+  wifi::WifiMac::SendRequest cts;
+  cts.dst = phy::kBroadcastNode;
+  cts.kind = phy::FrameKind::Cts;
+  cts.nav = lead + config_.emulation_airtime + config_.whitespace;
+  mac_.enqueue_front(cts);
+  ++notifications_;
+
+  // Emit the emulated ZigBee notification once the CTS has (very likely)
+  // gone out. WEBee drives the Wi-Fi radio to synthesise a 802.15.4-
+  // compatible waveform, so the frame appears as genuine ZigBee technology
+  // on the ZigBee channel.
+  sim_.after(lead, [this] {
+    phy::Frame notify;
+    notify.tech = phy::Technology::ZigBee;
+    notify.kind = phy::FrameKind::Notify;
+    notify.src = mac_.node();
+    notify.dst = phy::kBroadcastNode;
+    notify.bytes = 30;
+    notify.nav = config_.whitespace;
+    mac_.medium().begin_tx(notify, phy::zigbee_channel(config_.zigbee_channel),
+                           config_.emulation_power_dbm, config_.emulation_airtime);
+  });
+}
+
+EccZigbeeAgent::EccZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
+                               Config config)
+    : ZigbeeAgentBase(mac, receiver),
+      config_(config),
+      rng_(mac.simulator().rng().split()) {
+  mac_.set_rx_hook([this](const phy::RxResult& rx) {
+    if (!rx.success || rx.frame.kind != phy::FrameKind::Notify) return;
+    if (!rng_.bernoulli(config_.ctc_fidelity)) return;  // emulation glitch
+    ++heard_;
+    const TimePoint until = sim_.now() + rx.frame.nav;
+    if (until > window_until_) window_until_ = until;
+    kick();
+  });
+}
+
+void EccZigbeeAgent::kick() {
+  if (queue_empty() || pumping()) return;
+  // Only transmit when the rest of the advertised white space still fits
+  // one packet exchange; otherwise wait for the next notification.
+  const Duration budget = mac_.config().timings.data_airtime(head()->payload_bytes) +
+                          mac_.config().timings.turnaround +
+                          mac_.config().timings.ack_airtime() +
+                          config_.packet_budget_slack;
+  if (sim_.now() + budget <= window_until_) {
+    pump_head(config_.data_power_dbm);
+  }
+}
+
+CsmaZigbeeAgent::CsmaZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
+                                 double data_power_dbm)
+    : ZigbeeAgentBase(mac, receiver), data_power_dbm_(data_power_dbm) {}
+
+void CsmaZigbeeAgent::kick() { pump_head(data_power_dbm_); }
+
+}  // namespace bicord::core

@@ -1,0 +1,93 @@
+#pragma once
+// ECC baseline (Yin et al., MobiSys'18): explicit channel coordination via
+// *unidirectional* CTC.
+//
+// The Wi-Fi device periodically (every 100 ms) reserves the medium with a
+// CTS and broadcasts a physical-layer-emulated ZigBee notification (WEBee-
+// style) advertising a white space of fixed, blindly chosen length. ZigBee
+// nodes can only wait for a notification and squeeze as many packets as fit
+// into the advertised window; they have no way to ask for more or to decline
+// unneeded reservations — exactly the inefficiency BiCord removes.
+
+#include <cstdint>
+
+#include "core/zigbee_agent.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "wifi/wifi_mac.hpp"
+#include "zigbee/zigbee_phy.hpp"
+
+namespace bicord::core {
+
+class EccWifiAgent {
+ public:
+  struct Config {
+    Duration period = Duration::from_ms(100);
+    Duration whitespace = Duration::from_ms(20);
+    /// 802.15.4 channel the emulated notification is sent on.
+    int zigbee_channel = 24;
+    /// Effective radiated power of the WEBee-style emulation (distortion
+    /// makes it weaker than a native frame).
+    double emulation_power_dbm = 12.0;
+    /// Airtime of the emulated notification frame.
+    Duration emulation_airtime = Duration::from_us(1200);
+  };
+
+  EccWifiAgent(wifi::WifiMac& mac, Config config);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t notifications_sent() const { return notifications_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void tick();
+
+  wifi::WifiMac& mac_;
+  sim::Simulator& sim_;
+  Config config_;
+  sim::PeriodicTask task_;
+  std::uint64_t notifications_ = 0;
+};
+
+class EccZigbeeAgent final : public ZigbeeAgentBase {
+ public:
+  struct Config {
+    double data_power_dbm = 0.0;
+    /// Decode probability of the emulated CTC notification (WEBee frames are
+    /// imperfect reconstructions).
+    double ctc_fidelity = 0.9;
+    /// Per-packet time budget used to decide whether another packet still
+    /// fits in the advertised window.
+    Duration packet_budget_slack = Duration::from_ms(2);
+  };
+
+  EccZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
+
+  [[nodiscard]] std::uint64_t notifications_heard() const { return heard_; }
+  [[nodiscard]] TimePoint window_until() const { return window_until_; }
+
+ protected:
+  void kick() override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  TimePoint window_until_;
+  std::uint64_t heard_ = 0;
+};
+
+/// No coordination at all: plain 802.15.4 CSMA/CA with MAC retries. The
+/// "gauging channel availability is not enough" baseline.
+class CsmaZigbeeAgent final : public ZigbeeAgentBase {
+ public:
+  CsmaZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, double data_power_dbm);
+
+ protected:
+  void kick() override;
+
+ private:
+  double data_power_dbm_;
+};
+
+}  // namespace bicord::core

@@ -1,0 +1,44 @@
+#pragma once
+// Protocol constants from the paper, collected in one place.
+//
+// Sec. V:    control packets of 120 bytes; detector N = 2 within T = 5 ms.
+// Sec. VI:   initial white space 30/40 ms; control duration T_c = 8 ms in the
+//            estimator; end-of-burst gap 20 ms; re-estimation timer 10 s.
+// Sec. VIII: Wi-Fi CBR 100 B / 1 ms; ZigBee bursts of 5 x 50 B.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace bicord::core {
+
+struct SignalingParams {
+  /// Control packet payload — long enough to span two back-to-back Wi-Fi
+  /// frames so at least one overlap is guaranteed.
+  std::uint32_t control_payload_bytes = 120;
+  /// Give up after this many unanswered control packets (the Wi-Fi device
+  /// is ignoring the request or out of range).
+  int max_control_packets = 8;
+  /// Spacing between consecutive control packets.
+  Duration control_gap = Duration::from_us(250);
+  /// Back off this long after an ignored request before trying again.
+  Duration ignored_backoff = Duration::from_ms(50);
+};
+
+struct AllocatorParams {
+  /// Initial white space during the learning phase (the paper's "step",
+  /// 30 or 40 ms).
+  Duration initial_whitespace = Duration::from_ms(30);
+  /// T_c: nominal duration of one signaling exchange, used in the
+  /// conservative estimate T_est = (T_w - 2 T_c) * N_round.
+  Duration control_duration = Duration::from_ms(8);
+  /// Silence after Wi-Fi resumes that marks the end of a ZigBee burst.
+  Duration end_of_burst_gap = Duration::from_ms(20);
+  /// Expiry timer forcing periodic re-estimation (shrinking bursts would
+  /// otherwise leave the white space permanently over-provisioned).
+  Duration reestimate_period = Duration::from_sec(10);
+  /// Safety cap on any single white space.
+  Duration max_whitespace = Duration::from_ms(250);
+};
+
+}  // namespace bicord::core

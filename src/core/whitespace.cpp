@@ -1,0 +1,85 @@
+#include "core/whitespace.hpp"
+
+#include <algorithm>
+
+namespace bicord::core {
+
+WhitespaceAllocator::WhitespaceAllocator(AllocatorParams params) : params_(params) {}
+
+void WhitespaceAllocator::maybe_expire(TimePoint now) {
+  if (in_burst_) return;  // never re-estimate mid-burst
+  if (now - last_reset_ >= params_.reestimate_period) reset(now);
+}
+
+Duration WhitespaceAllocator::on_request(TimePoint now) {
+  maybe_expire(now);
+  in_burst_ = true;
+  ++rounds_this_burst_;
+  if (!converged_) ++iterations_since_reset_;
+
+  Duration grant;
+  if (phase_ == AllocatorPhase::Learning) {
+    grant = params_.initial_whitespace;
+  } else if (rounds_this_burst_ == 1) {
+    grant = estimate_;
+  } else {
+    // The adjusted estimate fell short: serve the remainder with a
+    // supplemental short white space. Whether the estimate itself grows is
+    // decided at burst end (a single long burst can be a transient — e.g.
+    // two Poisson bursts landing together — and must not ratchet the
+    // steady-state reservation; see on_burst_end).
+    grant = params_.initial_whitespace;
+  }
+  return std::min(grant, params_.max_whitespace);
+}
+
+void WhitespaceAllocator::on_burst_end(TimePoint /*now*/) {
+  if (!in_burst_) return;
+  int shortfall = rounds_this_burst_ - 1;
+  if (phase_ == AllocatorPhase::Learning) {
+    // Conservative estimate: subtract 2 T_c of signaling overhead per round.
+    estimate_ = per_round_credit() * rounds_this_burst_;
+    phase_ = AllocatorPhase::Adjusted;
+    shortfall = 0;  // learning rounds are expected, not a shortfall signal
+  } else if (shortfall == 0) {
+    if (!converged_) {
+      converged_ = true;
+      iterations_to_converge_ = iterations_since_reset_;
+    }
+  }
+  if (shortfall > 0) {
+    ++shortfall_streak_;
+    min_streak_shortfall_ = shortfall_streak_ == 1
+                                ? shortfall
+                                : std::min(min_streak_shortfall_, shortfall);
+    // Only a *persistent* shortfall is a pattern change: isolated long
+    // bursts (two Poisson bursts landing together) are served with
+    // supplemental white spaces but must not ratchet the steady-state
+    // reservation upward.
+    if (shortfall_streak_ >= 3) {
+      estimate_ = estimate_ + per_round_credit() * min_streak_shortfall_;
+      if (estimate_ > params_.max_whitespace) estimate_ = params_.max_whitespace;
+      converged_ = false;
+      shortfall_streak_ = 0;
+    }
+  } else {
+    shortfall_streak_ = 0;
+  }
+  in_burst_ = false;
+  rounds_this_burst_ = 0;
+}
+
+void WhitespaceAllocator::reset(TimePoint now) {
+  phase_ = AllocatorPhase::Learning;
+  estimate_ = Duration::zero();
+  rounds_this_burst_ = 0;
+  shortfall_streak_ = 0;
+  min_streak_shortfall_ = 0;
+  iterations_since_reset_ = 0;
+  iterations_to_converge_ = 0;
+  converged_ = false;
+  in_burst_ = false;
+  last_reset_ = now;
+}
+
+}  // namespace bicord::core

@@ -1,0 +1,78 @@
+#pragma once
+// Adaptive white-space allocation (paper Sec. VI) as a pure state machine.
+//
+// The allocator never touches the simulator: the Wi-Fi agent reports two
+// kinds of events — a channel request (cross-technology detection) and the
+// end of a ZigBee burst (sustained silence after resuming) — and the
+// allocator answers "how long a white space to grant". This keeps the
+// paper's core algorithm directly unit-testable.
+//
+// Operation:
+//  * Learning phase: every request is granted the initial (short) white
+//    space W0. When the burst ends after N_round rounds, the burst length is
+//    estimated conservatively as T_est = (W0 - 2 T_c) * N_round.
+//  * Adjustment phase: the first request of a burst gets T_est. If that was
+//    not enough (the ZigBee node requests again within the same burst), a
+//    supplemental W0 is granted and the estimate grows by (W0 - 2 T_c),
+//    converging monotonically from below.
+//  * Re-estimation: an expiry timer (and any caller-detected pattern change)
+//    resets the allocator to the learning phase so shrinking bursts do not
+//    leave the white space over-provisioned forever.
+
+#include <cstdint>
+
+#include "core/protocol_params.hpp"
+#include "util/time.hpp"
+
+namespace bicord::core {
+
+enum class AllocatorPhase : std::uint8_t { Learning, Adjusted };
+
+class WhitespaceAllocator {
+ public:
+  explicit WhitespaceAllocator(AllocatorParams params = AllocatorParams{});
+
+  /// A cross-technology channel request arrived; returns the white space to
+  /// grant. `now` drives the expiry timer.
+  [[nodiscard]] Duration on_request(TimePoint now);
+
+  /// The Wi-Fi device observed `end_of_burst_gap` of silence after resuming:
+  /// the current ZigBee burst is complete.
+  void on_burst_end(TimePoint now);
+
+  /// Forces re-estimation (pattern change detected by the caller).
+  void reset(TimePoint now);
+
+  [[nodiscard]] AllocatorPhase phase() const { return phase_; }
+  /// Current burst-length estimate (zero while unknown).
+  [[nodiscard]] Duration estimate() const { return estimate_; }
+  /// White-space grants issued within the burst in progress.
+  [[nodiscard]] int rounds_this_burst() const { return rounds_this_burst_; }
+  /// Total grants issued since the last reset until the estimate last
+  /// stabilised (the paper's "number of iterations", Fig. 8).
+  [[nodiscard]] int iterations_to_converge() const { return iterations_to_converge_; }
+  [[nodiscard]] bool converged() const { return converged_; }
+  [[nodiscard]] const AllocatorParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] Duration per_round_credit() const {
+    Duration c = params_.initial_whitespace - 2 * params_.control_duration;
+    return c > Duration::zero() ? c : Duration::from_ms(1);
+  }
+  void maybe_expire(TimePoint now);
+
+  AllocatorParams params_;
+  AllocatorPhase phase_ = AllocatorPhase::Learning;
+  Duration estimate_;
+  int rounds_this_burst_ = 0;
+  int shortfall_streak_ = 0;      ///< consecutive bursts that needed supplements
+  int min_streak_shortfall_ = 0;  ///< smallest shortfall within the streak
+  int iterations_since_reset_ = 0;
+  int iterations_to_converge_ = 0;
+  bool converged_ = false;
+  bool in_burst_ = false;
+  TimePoint last_reset_;
+  bool expiry_armed_ = false;
+};
+
+}  // namespace bicord::core

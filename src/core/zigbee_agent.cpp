@@ -1,0 +1,56 @@
+#include "core/zigbee_agent.hpp"
+
+namespace bicord::core {
+
+ZigbeeAgentBase::ZigbeeAgentBase(zigbee::ZigbeeMac& mac, phy::NodeId receiver)
+    : mac_(mac), sim_(mac.simulator()), receiver_(receiver) {
+  mac_.set_sent_callback([this](const zigbee::ZigbeeMac::SendOutcome& outcome) {
+    if (outcome.frame.kind != phy::FrameKind::Data) return;
+    pumping_ = false;
+    on_head_outcome(outcome);
+  });
+}
+
+void ZigbeeAgentBase::submit_burst(int count, std::uint32_t payload_bytes) {
+  const TimePoint now = sim_.now();
+  for (int i = 0; i < count; ++i) {
+    queue_.push_back(Pending{payload_bytes, now, 0});
+    ++stats_.generated;
+  }
+  kick();
+}
+
+void ZigbeeAgentBase::pump_head(double power_dbm_override) {
+  if (pumping_ || queue_.empty()) return;
+  mac_.radio().wake();  // no-op unless a duty cycler put the radio to sleep
+  pumping_ = true;
+  zigbee::ZigbeeMac::SendRequest req;
+  req.dst = receiver_;
+  req.payload_bytes = queue_.front().payload_bytes;
+  req.kind = phy::FrameKind::Data;
+  req.power_dbm_override = power_dbm_override;
+  mac_.enqueue(req);
+}
+
+void ZigbeeAgentBase::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+  if (queue_.empty()) return;  // defensive: stray outcome
+  Pending& head = queue_.front();
+  if (outcome.delivered) {
+    stats_.delay_ms.add((outcome.completed - head.arrival).ms());
+    ++stats_.delivered;
+    stats_.payload_bytes_delivered += head.payload_bytes;
+    queue_.pop_front();
+    if (inter_packet_gap_ > Duration::zero()) {
+      sim_.after(inter_packet_gap_, [this] { kick(); });
+      return;
+    }
+  } else {
+    if (++head.attempts >= max_attempts_) {
+      ++stats_.dropped;
+      queue_.pop_front();
+    }
+  }
+  kick();
+}
+
+}  // namespace bicord::core

@@ -1,0 +1,51 @@
+#include "csi/csi_detector.hpp"
+
+#include <stdexcept>
+
+namespace bicord::csi {
+
+CsiDetector::CsiDetector(DetectorParams params) : params_(params) {
+  if (params_.n_required < 1) {
+    throw std::invalid_argument("CsiDetector: n_required must be >= 1");
+  }
+  if (params_.window <= Duration::zero()) {
+    throw std::invalid_argument("CsiDetector: window must be positive");
+  }
+}
+
+void CsiDetector::add_sample(const CsiSample& sample) {
+  ++seen_;
+  if (sample.amplitude <= params_.threshold) return;
+  ++high_;
+
+  if (sample.time < quiet_until_) return;
+
+  if (amplitude_only_) {
+    fire(sample.time);
+    return;
+  }
+
+  recent_high_.push_back(sample.time);
+  const TimePoint cutoff = sample.time - params_.window;
+  while (!recent_high_.empty() && recent_high_.front() < cutoff) {
+    recent_high_.pop_front();
+  }
+  if (static_cast<int>(recent_high_.size()) >= params_.n_required) {
+    fire(sample.time);
+    recent_high_.clear();
+  }
+}
+
+void CsiDetector::fire(TimePoint t) {
+  ++detections_;
+  quiet_until_ = t + params_.refractory;
+  if (callback_) callback_(t);
+}
+
+void CsiDetector::reset() {
+  recent_high_.clear();
+  quiet_until_ = TimePoint::origin();
+  seen_ = high_ = detections_ = 0;
+}
+
+}  // namespace bicord::csi

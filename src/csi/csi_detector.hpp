@@ -1,0 +1,68 @@
+#pragma once
+// BiCord's cross-technology signal detector (paper Sec. V).
+//
+// The Wi-Fi device classifies each CSI jitter sample as "slight jitter" or
+// "high fluctuation" by amplitude threshold, then declares a ZigBee
+// transmission when it finds N high-fluctuation samples within a sliding
+// window of T — the *continuity* of the disturbance is what separates a
+// ZigBee signal from isolated strong-noise impulses. No synchronisation
+// with the ZigBee sender is needed; detection is the one-bit channel
+// request.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "csi/csi_model.hpp"
+#include "util/time.hpp"
+
+namespace bicord::csi {
+
+struct DetectorParams {
+  /// Amplitude above which a sample counts as "high fluctuation".
+  double threshold = 0.45;
+  /// N: high-fluctuation samples required ... (paper: N = 2)
+  int n_required = 2;
+  /// T: ... within this window (paper: T = 5 ms).
+  Duration window = Duration::from_ms(5);
+  /// Suppress further detections for this long after firing, so one control
+  /// burst yields one channel request.
+  Duration refractory = Duration::from_ms(8);
+};
+
+class CsiDetector {
+ public:
+  using DetectionCallback = std::function<void(TimePoint)>;
+
+  explicit CsiDetector(DetectorParams params = DetectorParams{});
+
+  void set_detection_callback(DetectionCallback cb) { callback_ = std::move(cb); }
+  [[nodiscard]] const DetectorParams& params() const { return params_; }
+
+  /// Feed CSI samples in time order; fires the callback on detection.
+  void add_sample(const CsiSample& sample);
+
+  /// Naive amplitude-only variant (ablation baseline): every high sample is
+  /// a detection. Enabled instead of the continuity rule when set.
+  void set_amplitude_only(bool enabled) { amplitude_only_ = enabled; }
+
+  [[nodiscard]] std::uint64_t samples_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t high_samples() const { return high_; }
+  [[nodiscard]] std::uint64_t detections() const { return detections_; }
+
+  void reset();
+
+ private:
+  void fire(TimePoint t);
+
+  DetectorParams params_;
+  DetectionCallback callback_;
+  std::deque<TimePoint> recent_high_;
+  TimePoint quiet_until_;
+  bool amplitude_only_ = false;
+  std::uint64_t seen_ = 0;
+  std::uint64_t high_ = 0;
+  std::uint64_t detections_ = 0;
+};
+
+}  // namespace bicord::csi

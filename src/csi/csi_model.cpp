@@ -1,0 +1,83 @@
+#include "csi/csi_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bicord::csi {
+
+CsiStream::CsiStream(sim::Simulator& sim, CsiModelParams params)
+    : sim_(sim), params_(params), rng_(sim.rng().split()) {}
+
+void CsiStream::set_mobility(double event_rate_hz) {
+  params_.mobility_event_rate_hz = event_rate_hz;
+  fade_start_ = fade_until_ = sim_.now();
+}
+
+bool CsiStream::mobility_active() {
+  if (params_.mobility_event_rate_hz <= 0.0) return false;
+  const TimePoint now = sim_.now();
+  // Renewal process: always hold the current-or-next fade window
+  // [fade_start_, fade_until_) and advance it lazily past `now`.
+  while (fade_until_ <= now) {
+    const Duration gap =
+        Duration::from_sec_f(rng_.exponential(1.0 / params_.mobility_event_rate_hz));
+    fade_start_ = fade_until_ + gap;
+    fade_until_ = fade_start_ + params_.mobility_event_len;
+  }
+  return fade_start_ <= now;
+}
+
+void CsiStream::on_frame(const phy::RxResult& rx) {
+  // A long reception gap (white space, idle link) lets the channel
+  // estimator settle: stale disturbance does not leak across pauses.
+  if (sim_.now() - last_frame_ > params_.tail_reset_gap) tail_prob_ = 0.0;
+  last_frame_ = sim_.now();
+
+  CsiSample s;
+  s.time = sim_.now();
+  s.amplitude = rng_.rayleigh(params_.base_sigma);
+
+  // Strong noise impulse (Fig. 3a): occasional, isolated.
+  if (rng_.bernoulli(params_.impulse_prob)) {
+    s.amplitude = std::max(s.amplitude,
+                           rng_.uniform(params_.impulse_lo, params_.impulse_hi));
+  }
+
+  // ZigBee overlap (Fig. 3b-d): sustained while control packets are on air.
+  if (rx.zigbee_overlap) {
+    // Visibility is a per-packet channel property: drawn once per ZigBee
+    // transmission, then every overlapped CSI sample of that packet is
+    // disturbed with high probability.
+    if (rx.zigbee_overlap_tx != last_zigbee_tx_) {
+      last_zigbee_tx_ = rx.zigbee_overlap_tx;
+      const double isr_db = rx.zigbee_overlap_dbm - rx.rssi_dbm;
+      const double x = (isr_db - params_.visibility_mid_db) / params_.visibility_slope_db;
+      last_visible_ = rng_.bernoulli(1.0 / (1.0 + std::exp(-x)));
+    }
+    if (last_visible_ && rng_.bernoulli(params_.visible_high_prob)) {
+      s.amplitude = std::max(s.amplitude,
+                             rng_.uniform(params_.fluct_lo, params_.fluct_hi));
+      s.zigbee_ground_truth = true;
+    }
+    tail_prob_ = last_visible_ ? 0.3 : 0.0;
+  } else if (tail_prob_ > 1e-3) {
+    // Channel-estimator memory: the equaliser takes a few frames to settle
+    // after the interferer disappears.
+    if (rng_.bernoulli(tail_prob_)) {
+      s.amplitude = std::max(s.amplitude,
+                             rng_.uniform(params_.fluct_lo, params_.fluct_hi));
+    }
+    tail_prob_ *= params_.tail_decay;
+  }
+
+  // Person walking through the Fresnel zone (Fig. 12 scenario).
+  if (mobility_active() && rng_.bernoulli(params_.mobility_high_prob)) {
+    s.amplitude = std::max(s.amplitude,
+                           rng_.uniform(params_.fluct_lo, params_.fluct_hi));
+  }
+
+  ++samples_;
+  if (callback_) callback_(s);
+}
+
+}  // namespace bicord::csi

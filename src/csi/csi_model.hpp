@@ -1,0 +1,99 @@
+#pragma once
+// Synthetic CSI amplitude-jitter stream.
+//
+// The paper's Wi-Fi receiver (Intel 5300) extracts one CSI reading per
+// received frame and watches the *jitter* of the amplitude sequence. Three
+// regimes matter (Fig. 3):
+//   (a) noise            — small jitter with occasional strong impulses,
+//   (b) ZigBee overlap   — sustained high fluctuation while a ZigBee frame
+//                          overlaps the Wi-Fi reception, strength governed
+//                          by the interference-to-signal ratio (ISR),
+//   (c) person mobility  — slow fading bursts that mimic (b) and cause the
+//                          false positives measured in Fig. 12.
+//
+// CsiStream turns each completed Wi-Fi reception (phy::RxResult) into one
+// CsiSample. Everything is per-receiver, seeded from the simulator RNG.
+
+#include <functional>
+
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bicord::csi {
+
+struct CsiSample {
+  TimePoint time;
+  double amplitude = 0.0;     ///< jitter metric (arbitrary units, ~[0, 1.5])
+  bool zigbee_ground_truth = false;  ///< for evaluation only, never used by detectors
+};
+
+struct CsiModelParams {
+  /// Rayleigh scale of the quiescent jitter.
+  double base_sigma = 0.06;
+  /// Probability that a sample carries a strong noise impulse.
+  double impulse_prob = 0.006;
+  /// Impulse amplitude range (uniform).
+  double impulse_lo = 0.55;
+  double impulse_hi = 1.2;
+  /// Per-ZigBee-transmission *visibility*: whether a given ZigBee packet
+  /// disturbs the CSI at all is a property of the momentary channel and is
+  /// drawn once per packet — Bernoulli with probability
+  /// logistic((ISR - mid) / slope), where ISR = zigbee_dbm - rssi_dbm.
+  double visibility_mid_db = -9.0;
+  double visibility_slope_db = 7.0;
+  /// Within a visible packet, each overlapped CSI sample goes high with
+  /// this probability.
+  double visible_high_prob = 0.85;
+  /// Amplitude range of ZigBee-induced fluctuation (uniform).
+  double fluct_lo = 0.6;
+  double fluct_hi = 1.4;
+  /// Channel-estimator memory: after a ZigBee overlap ends, the disturbance
+  /// probability decays by this factor per subsequent frame.
+  double tail_decay = 0.45;
+  /// The estimator fully re-converges during any reception gap longer than
+  /// this (e.g. across a white space) — the tail does not survive pauses.
+  Duration tail_reset_gap = Duration::from_ms(6);
+  /// Person-mobility fading: mean rate of fade events and their length.
+  double mobility_event_rate_hz = 0.0;
+  Duration mobility_event_len = Duration::from_ms(120);
+  double mobility_high_prob = 0.3;
+};
+
+class CsiStream {
+ public:
+  using SampleCallback = std::function<void(const CsiSample&)>;
+
+  CsiStream(sim::Simulator& sim, CsiModelParams params);
+
+  void set_sample_callback(SampleCallback cb) { callback_ = std::move(cb); }
+  [[nodiscard]] const CsiModelParams& params() const { return params_; }
+  void set_params(const CsiModelParams& p) { params_ = p; }
+
+  /// Feed every completed Wi-Fi reception (the MAC rx hook) here; emits one
+  /// CsiSample through the callback.
+  void on_frame(const phy::RxResult& rx);
+
+  /// Enables/disables the person-mobility disturbance process.
+  void set_mobility(double event_rate_hz);
+
+  [[nodiscard]] std::uint64_t samples_emitted() const { return samples_; }
+
+ private:
+  [[nodiscard]] bool mobility_active();
+
+  sim::Simulator& sim_;
+  CsiModelParams params_;
+  Rng rng_;
+  SampleCallback callback_;
+  double tail_prob_ = 0.0;  ///< decaying post-overlap disturbance probability
+  phy::TxId last_zigbee_tx_ = phy::kInvalidTx;
+  bool last_visible_ = false;
+  TimePoint last_frame_;
+  TimePoint fade_start_;  ///< current-or-next mobility fade window
+  TimePoint fade_until_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace bicord::csi

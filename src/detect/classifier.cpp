@@ -1,0 +1,152 @@
+#include "detect/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bicord::detect {
+
+namespace {
+std::vector<double> tech_row(const RssiSegment& seg, const FeatureParams& params) {
+  const auto f = extract_tech_features(seg, params).as_array();
+  return {f.begin(), f.end()};
+}
+
+std::vector<double> fingerprint_row(const RssiSegment& seg, const FeatureParams& params) {
+  const auto f = extract_fingerprint(seg, params).as_array();
+  return {f.begin(), f.end()};
+}
+}  // namespace
+
+InterferenceClassifier::InterferenceClassifier(FeatureParams params) : params_(params) {}
+
+void InterferenceClassifier::add_training_segment(const RssiSegment& seg,
+                                                  phy::Technology label) {
+  features_.push_back(tech_row(seg, params_));
+  labels_.push_back(static_cast<int>(label));
+}
+
+void InterferenceClassifier::train(DecisionTree::Params tree_params) {
+  if (features_.empty()) {
+    throw std::logic_error("InterferenceClassifier::train: no training data");
+  }
+  tree_ = DecisionTree(tree_params);
+  tree_.fit(features_, labels_);
+}
+
+std::optional<phy::Technology> InterferenceClassifier::classify(
+    const RssiSegment& seg) const {
+  if (!tree_.trained()) {
+    throw std::logic_error("InterferenceClassifier::classify before train");
+  }
+  if (!has_activity(seg, params_)) return std::nullopt;
+  return static_cast<phy::Technology>(tree_.predict(tech_row(seg, params_)));
+}
+
+double InterferenceClassifier::training_accuracy() const {
+  return tree_.accuracy(features_, labels_);
+}
+
+DeviceIdentifier::DeviceIdentifier(FeatureParams params) : params_(params) {}
+
+void DeviceIdentifier::add_fingerprint(const RssiSegment& seg) {
+  fingerprints_.push_back(fingerprint_row(seg, params_));
+}
+
+void DeviceIdentifier::build(int k, Rng& rng) {
+  if (fingerprints_.empty()) {
+    throw std::logic_error("DeviceIdentifier::build: no fingerprints");
+  }
+  // Record normalisation so fresh segments map into the same space.
+  const std::size_t dim = fingerprints_.front().size();
+  const auto n = static_cast<double>(fingerprints_.size());
+  mean_.assign(dim, 0.0);
+  sd_.assign(dim, 0.0);
+  weight_.assign(dim, 1.0);
+  for (const auto& r : fingerprints_) {
+    for (std::size_t d = 0; d < dim; ++d) mean_[d] += r[d];
+  }
+  for (auto& m : mean_) m /= n;
+  for (const auto& r : fingerprints_) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      sd_[d] += (r[d] - mean_[d]) * (r[d] - mean_[d]);
+    }
+  }
+  for (auto& s : sd_) s = std::sqrt(s / n);
+
+  // Dimension weighting: a fingerprint dimension only helps if it carries
+  // *cluster structure*. Well-separated device clusters make a dimension
+  // multimodal (negative excess kurtosis); pure measurement noise is
+  // near-Gaussian (excess kurtosis ~ 0) and, once z-scored, would dilute
+  // the distance as much as a real feature. Weight = max(-kurtosis, floor).
+  for (std::size_t d = 0; d < dim; ++d) {
+    if (sd_[d] <= 1e-12) {
+      weight_[d] = 0.0;
+      continue;
+    }
+    double m4 = 0.0;
+    for (const auto& r : fingerprints_) {
+      const double z = (r[d] - mean_[d]) / sd_[d];
+      m4 += z * z * z * z;
+    }
+    const double excess_kurtosis = m4 / n - 3.0;
+    weight_[d] = std::max(0.1, -excess_kurtosis);
+  }
+
+  std::vector<std::vector<double>> normalized;
+  normalized.reserve(fingerprints_.size());
+  for (const auto& r : fingerprints_) normalized.push_back(normalize(r));
+
+  KmeansParams kp;
+  kp.k = k;
+  const KmeansResult result = kmeans_manhattan(normalized, kp, rng);
+  labels_ = result.labels;
+  centroids_ = result.centroids;
+}
+
+std::vector<double> DeviceIdentifier::normalize(const std::vector<double>& row) const {
+  auto out = row;
+  for (std::size_t d = 0; d < out.size() && d < mean_.size(); ++d) {
+    if (sd_[d] > 1e-12) {
+      out[d] = (out[d] - mean_[d]) / sd_[d] * weight_[d];
+    } else {
+      out[d] = 0.0;
+    }
+  }
+  return out;
+}
+
+int DeviceIdentifier::identify(const RssiSegment& seg) const {
+  if (centroids_.empty()) throw std::logic_error("DeviceIdentifier::identify before build");
+  const auto row = normalize(fingerprint_row(seg, params_));
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = manhattan(row, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void PowerMap::set(int device_id, double power_dbm) {
+  for (auto& [id, p] : powers_) {
+    if (id == device_id) {
+      p = power_dbm;
+      return;
+    }
+  }
+  powers_.emplace_back(device_id, power_dbm);
+}
+
+double PowerMap::power_for(int device_id) const {
+  for (const auto& [id, p] : powers_) {
+    if (id == device_id) return p;
+  }
+  return default_power_dbm_;
+}
+
+}  // namespace bicord::detect

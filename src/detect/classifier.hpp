@@ -1,0 +1,92 @@
+#pragma once
+// The CTI-detection pipeline a BiCord ZigBee node runs before signaling
+// (paper Sec. VII-A):
+//   1. InterferenceClassifier — is the ongoing traffic Wi-Fi at all?
+//      (ZiSense features -> decision tree; Bluetooth / microwave / ZigBee
+//      activity must NOT trigger cross-technology signaling.)
+//   2. DeviceIdentifier — *which* Wi-Fi transmitter is it?
+//      (Smoggy-Link fingerprint -> Manhattan k-means clusters.)
+//   3. PowerMap — per-device signaling transmit power negotiated in advance
+//      (after ZigFi), looked up by cluster id.
+
+#include <optional>
+#include <vector>
+
+#include "detect/decision_tree.hpp"
+#include "detect/features.hpp"
+#include "detect/kmeans.hpp"
+#include "phy/frame.hpp"
+
+namespace bicord::detect {
+
+/// Trainable Wi-Fi-vs-everything-else classifier over RSSI segments.
+class InterferenceClassifier {
+ public:
+  explicit InterferenceClassifier(FeatureParams params = FeatureParams{});
+
+  /// Adds a labelled training segment.
+  void add_training_segment(const RssiSegment& seg, phy::Technology label);
+  /// Fits the decision tree; throws if no training data.
+  void train(DecisionTree::Params tree_params = DecisionTree::Params{});
+  [[nodiscard]] bool trained() const { return tree_.trained(); }
+
+  /// Classifies a segment; nullopt when the segment shows no activity.
+  [[nodiscard]] std::optional<phy::Technology> classify(const RssiSegment& seg) const;
+
+  [[nodiscard]] double training_accuracy() const;
+  [[nodiscard]] std::size_t training_size() const { return labels_.size(); }
+  [[nodiscard]] const FeatureParams& feature_params() const { return params_; }
+
+ private:
+  FeatureParams params_;
+  DecisionTree tree_;
+  std::vector<std::vector<double>> features_;
+  std::vector<int> labels_;
+};
+
+/// Clusters Wi-Fi device fingerprints; identify() maps a fresh segment to
+/// the nearest cluster (device id).
+class DeviceIdentifier {
+ public:
+  explicit DeviceIdentifier(FeatureParams params = FeatureParams{});
+
+  void add_fingerprint(const RssiSegment& seg);
+  /// Clusters the collected fingerprints into `k` devices.
+  void build(int k, Rng& rng);
+  [[nodiscard]] bool built() const { return !centroids_.empty(); }
+
+  /// Nearest-cluster id for a fresh segment (Manhattan distance in the
+  /// normalised fingerprint space).
+  [[nodiscard]] int identify(const RssiSegment& seg) const;
+  [[nodiscard]] const std::vector<int>& training_labels() const { return labels_; }
+  [[nodiscard]] int cluster_count() const { return static_cast<int>(centroids_.size()); }
+
+ private:
+  [[nodiscard]] std::vector<double> normalize(const std::vector<double>& row) const;
+
+  FeatureParams params_;
+  std::vector<std::vector<double>> fingerprints_;  ///< raw feature rows
+  std::vector<int> labels_;                        ///< cluster per training row
+  std::vector<std::vector<double>> centroids_;     ///< in normalised space
+  std::vector<double> mean_;
+  std::vector<double> sd_;
+  std::vector<double> weight_;  ///< multimodality weight per dimension
+};
+
+/// Signaling transmit power per identified Wi-Fi device.
+class PowerMap {
+ public:
+  explicit PowerMap(double default_power_dbm = 0.0)
+      : default_power_dbm_(default_power_dbm) {}
+
+  void set(int device_id, double power_dbm);
+  [[nodiscard]] double power_for(int device_id) const;
+  [[nodiscard]] double default_power() const { return default_power_dbm_; }
+  [[nodiscard]] std::size_t size() const { return powers_.size(); }
+
+ private:
+  double default_power_dbm_;
+  std::vector<std::pair<int, double>> powers_;
+};
+
+}  // namespace bicord::detect

@@ -1,0 +1,163 @@
+#include "detect/decision_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace bicord::detect {
+
+namespace {
+int majority_label(const std::vector<int>& y, const std::vector<std::size_t>& idx) {
+  std::map<int, std::size_t> counts;
+  for (auto i : idx) ++counts[y[i]];
+  int best = 0;
+  std::size_t best_n = 0;
+  for (const auto& [label, n] : counts) {
+    if (n > best_n) {
+      best = label;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+double gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const auto& [label, n] : counts) {
+    const double p = static_cast<double>(n) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<int>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("DecisionTree::fit: empty or mismatched input");
+  }
+  const std::size_t width = x.front().size();
+  for (const auto& row : x) {
+    if (row.size() != width) throw std::invalid_argument("DecisionTree::fit: ragged rows");
+  }
+  nodes_.clear();
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(x, y, idx, 0);
+}
+
+std::int32_t DecisionTree::build(const std::vector<std::vector<double>>& x,
+                                 const std::vector<int>& y,
+                                 std::vector<std::size_t>& idx, int depth) {
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].label = majority_label(y, idx);
+
+  // Stop if pure, too deep, or too small.
+  const bool pure = std::all_of(idx.begin(), idx.end(),
+                                [&](std::size_t i) { return y[i] == y[idx.front()]; });
+  if (pure || depth >= params_.max_depth || idx.size() < 2 * params_.min_leaf) {
+    return node_id;
+  }
+
+  // Exhaustive best split over (feature, midpoint-between-adjacent-values).
+  const std::size_t width = x.front().size();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = 1e18;
+
+  std::vector<std::size_t> order = idx;
+  for (std::size_t f = 0; f < width; ++f) {
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return x[a][f] < x[b][f]; });
+
+    std::map<int, std::size_t> left_counts;
+    std::map<int, std::size_t> right_counts;
+    for (auto i : order) ++right_counts[y[i]];
+
+    for (std::size_t split = 1; split < order.size(); ++split) {
+      const std::size_t moved = order[split - 1];
+      ++left_counts[y[moved]];
+      if (--right_counts[y[moved]] == 0) right_counts.erase(y[moved]);
+
+      if (split < params_.min_leaf || order.size() - split < params_.min_leaf) continue;
+      const double lo = x[order[split - 1]][f];
+      const double hi = x[order[split]][f];
+      if (hi <= lo) continue;  // identical values cannot be separated
+
+      const double score =
+          (static_cast<double>(split) * gini(left_counts, split) +
+           static_cast<double>(order.size() - split) *
+               gini(right_counts, order.size() - split)) /
+          static_cast<double>(order.size());
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = (lo + hi) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (auto i : idx) {
+    (x[i][static_cast<std::size_t>(best_feature)] < best_threshold ? left_idx : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  const std::int32_t left = build(x, y, left_idx, depth + 1);
+  const std::int32_t right = build(x, y, right_idx, depth + 1);
+  auto& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict before fit");
+  std::int32_t cur = 0;
+  while (true) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.feature < 0) return n.label;
+    if (static_cast<std::size_t>(n.feature) >= row.size()) {
+      throw std::invalid_argument("DecisionTree::predict: row too narrow");
+    }
+    cur = row[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth via parent-less traversal: recompute by walking.
+  std::vector<int> depth_of(nodes_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.feature >= 0) {
+      depth_of[static_cast<std::size_t>(n.left)] = depth_of[i] + 1;
+      depth_of[static_cast<std::size_t>(n.right)] = depth_of[i] + 1;
+      max_depth = std::max(max_depth, depth_of[i] + 1);
+    }
+  }
+  return max_depth;
+}
+
+double DecisionTree::accuracy(const std::vector<std::vector<double>>& x,
+                              const std::vector<int>& y) const {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("DecisionTree::accuracy: empty or mismatched input");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (predict(x[i]) == y[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(x.size());
+}
+
+}  // namespace bicord::detect

@@ -1,0 +1,55 @@
+#pragma once
+// CART decision tree (Gini impurity) for interferer classification.
+//
+// Trained at runtime on labelled synthetic RSSI segments, mirroring the
+// paper's ZiSense-style decision tree. Kept deliberately small: dense
+// feature vectors, axis-aligned splits, no pruning beyond depth/leaf-size
+// limits — adequate for four features and a handful of classes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bicord::detect {
+
+class DecisionTree {
+ public:
+  struct Params {
+    int max_depth = 8;
+    std::size_t min_leaf = 3;
+  };
+
+  DecisionTree() : DecisionTree(Params{}) {}
+  explicit DecisionTree(Params params) : params_(params) {}
+
+  /// Fits the tree. `x` is row-major, all rows the same width; `y` holds
+  /// non-negative class labels. Throws on empty or ragged input.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y);
+
+  [[nodiscard]] int predict(const std::vector<double>& row) const;
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int depth() const;
+
+  /// Classification accuracy on a labelled set.
+  [[nodiscard]] double accuracy(const std::vector<std::vector<double>>& x,
+                                const std::vector<int>& y) const;
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    int label = 0;          ///< majority class (leaves)
+  };
+
+  std::int32_t build(const std::vector<std::vector<double>>& x,
+                     const std::vector<int>& y, std::vector<std::size_t>& idx,
+                     int depth);
+
+  Params params_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bicord::detect

@@ -1,0 +1,116 @@
+#include "detect/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/units.hpp"
+
+namespace bicord::detect {
+
+namespace {
+struct Runs {
+  std::vector<std::size_t> on_lengths;   ///< busy run lengths in samples
+  std::vector<std::size_t> gap_lengths;  ///< idle gaps *between* busy runs
+};
+
+Runs find_runs(const RssiSegment& seg, double busy_threshold_dbm) {
+  Runs runs;
+  std::size_t run = 0;
+  std::size_t gap = 0;
+  bool seen_busy = false;
+  for (double v : seg.dbm) {
+    if (v >= busy_threshold_dbm) {
+      if (seen_busy && run == 0 && gap > 0) runs.gap_lengths.push_back(gap);
+      gap = 0;
+      ++run;
+      seen_busy = true;
+    } else {
+      if (run > 0) runs.on_lengths.push_back(run);
+      run = 0;
+      if (seen_busy) ++gap;
+    }
+  }
+  if (run > 0) runs.on_lengths.push_back(run);
+  return runs;
+}
+}  // namespace
+
+bool has_activity(const RssiSegment& seg, const FeatureParams& params) {
+  const double busy = params.noise_floor_dbm + params.busy_margin_db;
+  return std::any_of(seg.dbm.begin(), seg.dbm.end(),
+                     [busy](double v) { return v >= busy; });
+}
+
+TechFeatures extract_tech_features(const RssiSegment& seg, const FeatureParams& params) {
+  TechFeatures f;
+  const double busy = params.noise_floor_dbm + params.busy_margin_db;
+  const double period_us = static_cast<double>(seg.sample_period.us());
+  const Runs runs = find_runs(seg, busy);
+
+  if (!runs.on_lengths.empty()) {
+    double total = 0.0;
+    for (auto len : runs.on_lengths) total += static_cast<double>(len);
+    f.avg_on_air_us = total / static_cast<double>(runs.on_lengths.size()) * period_us;
+  }
+  if (!runs.gap_lengths.empty()) {
+    const auto min_gap = *std::min_element(runs.gap_lengths.begin(), runs.gap_lengths.end());
+    f.min_packet_interval_us = static_cast<double>(min_gap) * period_us;
+  } else {
+    // One continuous emission: report the full window as "interval".
+    f.min_packet_interval_us = static_cast<double>(seg.dbm.size()) * period_us;
+  }
+
+  double peak_mw = 0.0;
+  double sum_mw = 0.0;
+  std::size_t busy_count = 0;
+  std::size_t under = 0;
+  for (double v : seg.dbm) {
+    if (v >= busy) {
+      const double mw = phy::dbm_to_mw(v);
+      peak_mw = std::max(peak_mw, mw);
+      sum_mw += mw;
+      ++busy_count;
+    }
+    if (v <= params.noise_floor_dbm + params.floor_margin_db) ++under;
+  }
+  if (busy_count > 0) {
+    const double avg_mw = sum_mw / static_cast<double>(busy_count);
+    f.peak_to_avg_db = 10.0 * std::log10(peak_mw / avg_mw);
+  }
+  f.under_noise_floor =
+      static_cast<double>(under) / static_cast<double>(seg.dbm.size());
+  return f;
+}
+
+DeviceFingerprint extract_fingerprint(const RssiSegment& seg,
+                                      const FeatureParams& params) {
+  DeviceFingerprint fp;
+  const double busy = params.noise_floor_dbm + params.busy_margin_db;
+  double lo = 0.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  std::size_t n = 0;
+  for (double v : seg.dbm) {
+    if (v < busy) continue;
+    if (n == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    sum += v;
+    sum2 += v * v;
+    ++n;
+  }
+  if (n > 0) {
+    const double dn = static_cast<double>(n);
+    fp.energy_span_db = hi - lo;
+    fp.energy_level_dbm = sum / dn;
+    fp.energy_variance = std::max(0.0, sum2 / dn - fp.energy_level_dbm * fp.energy_level_dbm);
+  }
+  fp.occupancy = static_cast<double>(n) / static_cast<double>(seg.dbm.size());
+  return fp;
+}
+
+}  // namespace bicord::detect

@@ -1,0 +1,59 @@
+#pragma once
+// RSSI-shape features for interferer classification and fingerprinting.
+//
+// Technology classification uses the four ZiSense features (Sec. VII-A):
+// average on-air time, minimum packet interval, peak-to-average power ratio,
+// and under-noise-floor. Per-device identification uses the four
+// Smoggy-Link fingerprint features: energy span, energy level, energy
+// variance, occupancy level.
+
+#include <array>
+#include <vector>
+
+#include "detect/rssi_sampler.hpp"
+
+namespace bicord::detect {
+
+/// ZiSense technology-discrimination features.
+struct TechFeatures {
+  double avg_on_air_us = 0.0;      ///< mean length of busy runs
+  double min_packet_interval_us = 0.0;  ///< shortest idle gap between runs
+  double peak_to_avg_db = 0.0;     ///< max - mean power of busy samples (dB)
+  double under_noise_floor = 0.0;  ///< fraction of samples near/below floor
+
+  [[nodiscard]] std::array<double, 4> as_array() const {
+    return {avg_on_air_us, min_packet_interval_us, peak_to_avg_db, under_noise_floor};
+  }
+};
+
+/// Smoggy-Link per-device fingerprint features.
+struct DeviceFingerprint {
+  double energy_span_db = 0.0;   ///< max - min of busy samples
+  double energy_level_dbm = 0.0; ///< mean of busy samples
+  double energy_variance = 0.0;  ///< variance of busy samples (dB^2)
+  double occupancy = 0.0;        ///< fraction of busy samples
+
+  [[nodiscard]] std::array<double, 4> as_array() const {
+    return {energy_span_db, energy_level_dbm, energy_variance, occupancy};
+  }
+};
+
+struct FeatureParams {
+  /// Samples above `noise_floor_dbm + busy_margin_db` count as busy.
+  double noise_floor_dbm = -97.0;
+  double busy_margin_db = 5.0;
+  /// `under_noise_floor` counts samples below floor + this margin.
+  double floor_margin_db = 2.0;
+};
+
+[[nodiscard]] TechFeatures extract_tech_features(const RssiSegment& seg,
+                                                 const FeatureParams& params);
+
+[[nodiscard]] DeviceFingerprint extract_fingerprint(const RssiSegment& seg,
+                                                    const FeatureParams& params);
+
+/// True when the segment contains any busy sample at all (idle channels are
+/// not classified).
+[[nodiscard]] bool has_activity(const RssiSegment& seg, const FeatureParams& params);
+
+}  // namespace bicord::detect

@@ -1,0 +1,169 @@
+#include "detect/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace bicord::detect {
+
+double manhattan(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("manhattan: dim mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+std::vector<std::vector<double>> zscore_normalize(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t dim = rows.front().size();
+  std::vector<double> mean(dim, 0.0);
+  std::vector<double> sd(dim, 0.0);
+  for (const auto& r : rows) {
+    if (r.size() != dim) throw std::invalid_argument("zscore_normalize: ragged rows");
+    for (std::size_t d = 0; d < dim; ++d) mean[d] += r[d];
+  }
+  for (auto& m : mean) m /= static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      sd[d] += (r[d] - mean[d]) * (r[d] - mean[d]);
+    }
+  }
+  for (auto& s : sd) s = std::sqrt(s / static_cast<double>(rows.size()));
+
+  auto out = rows;
+  for (auto& r : out) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (sd[d] > 1e-12) r[d] = (r[d] - mean[d]) / sd[d];
+    }
+  }
+  return out;
+}
+
+namespace {
+struct Attempt {
+  KmeansResult result;
+  double cost = std::numeric_limits<double>::max();
+};
+
+Attempt run_once(const std::vector<std::vector<double>>& rows, int k,
+                 int max_iterations, Rng& rng) {
+  const std::size_t n = rows.size();
+  const std::size_t dim = rows.front().size();
+
+  // k-means++-style seeding under L1.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(rows[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+  while (static_cast<int>(centroids.size()) < k) {
+    std::vector<double> d2(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) best = std::min(best, manhattan(rows[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(rows[chosen]);
+  }
+
+  Attempt attempt;
+  attempt.result.labels.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = manhattan(rows[i], centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (attempt.result.labels[i] != best) {
+        attempt.result.labels[i] = best;
+        changed = true;
+      }
+    }
+
+    // L1 centroid update: per-dimension median of members.
+    for (int c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (attempt.result.labels[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;  // keep previous centroid
+      for (std::size_t d = 0; d < dim; ++d) {
+        std::vector<double> vals;
+        vals.reserve(members.size());
+        for (auto i : members) vals.push_back(rows[i][d]);
+        std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(vals.size() / 2),
+                         vals.end());
+        centroids[static_cast<std::size_t>(c)][d] = vals[vals.size() / 2];
+      }
+    }
+
+    attempt.result.iterations = iter + 1;
+    if (!changed) {
+      attempt.result.converged = true;
+      break;
+    }
+  }
+
+  attempt.result.centroids = centroids;
+  attempt.cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    attempt.cost += manhattan(
+        rows[i], centroids[static_cast<std::size_t>(attempt.result.labels[i])]);
+  }
+  return attempt;
+}
+}  // namespace
+
+KmeansResult kmeans_manhattan(const std::vector<std::vector<double>>& rows,
+                              KmeansParams params, Rng& rng) {
+  if (rows.empty()) throw std::invalid_argument("kmeans_manhattan: no rows");
+  if (params.k < 1) throw std::invalid_argument("kmeans_manhattan: k must be >= 1");
+  if (rows.size() < static_cast<std::size_t>(params.k)) {
+    throw std::invalid_argument("kmeans_manhattan: fewer rows than clusters");
+  }
+
+  Attempt best;
+  for (int r = 0; r < params.restarts; ++r) {
+    Attempt a = run_once(rows, params.k, params.max_iterations, rng);
+    if (a.cost < best.cost) best = std::move(a);
+  }
+  return best.result;
+}
+
+double cluster_purity(const std::vector<int>& cluster_labels,
+                      const std::vector<int>& true_labels) {
+  if (cluster_labels.size() != true_labels.size() || cluster_labels.empty()) {
+    throw std::invalid_argument("cluster_purity: mismatched or empty labels");
+  }
+  std::map<int, std::map<int, std::size_t>> table;
+  for (std::size_t i = 0; i < cluster_labels.size(); ++i) {
+    ++table[cluster_labels[i]][true_labels[i]];
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, counts] : table) {
+    std::size_t best = 0;
+    for (const auto& [label, n] : counts) best = std::max(best, n);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(cluster_labels.size());
+}
+
+}  // namespace bicord::detect

@@ -1,0 +1,47 @@
+#pragma once
+// k-means clustering under Manhattan (L1) distance — the paper's device
+// fingerprint discriminator (Sec. VII-A, after Smoggy-Link).
+//
+// With L1 distance the centroid update that minimises within-cluster cost is
+// the per-dimension *median*, so this is really k-medians; we keep the
+// paper's "k-means with Manhattan distance" name. Features are z-score
+// normalised before clustering so no dimension dominates.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bicord::detect {
+
+struct KmeansResult {
+  std::vector<int> labels;                    ///< cluster per input row
+  std::vector<std::vector<double>> centroids; ///< in normalised space
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct KmeansParams {
+  int k = 3;
+  int max_iterations = 100;
+  /// Number of random restarts; the best total cost wins.
+  int restarts = 12;
+};
+
+[[nodiscard]] double manhattan(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Z-score normalisation: returns rows scaled to zero mean / unit stddev per
+/// dimension (dimensions with zero spread pass through unchanged).
+[[nodiscard]] std::vector<std::vector<double>> zscore_normalize(
+    const std::vector<std::vector<double>>& rows);
+
+[[nodiscard]] KmeansResult kmeans_manhattan(const std::vector<std::vector<double>>& rows,
+                                            KmeansParams params, Rng& rng);
+
+/// Cluster purity against ground-truth labels: for each cluster take its
+/// majority true label; purity = correctly-majority-labelled / total.
+[[nodiscard]] double cluster_purity(const std::vector<int>& cluster_labels,
+                                    const std::vector<int>& true_labels);
+
+}  // namespace bicord::detect

@@ -1,0 +1,51 @@
+#include "detect/rssi_sampler.hpp"
+
+#include <stdexcept>
+
+namespace bicord::detect {
+
+RssiSampler::RssiSampler(phy::Medium& medium, phy::NodeId node, phy::Band band)
+    : medium_(medium),
+      sim_(medium.simulator()),
+      node_(node),
+      band_(band),
+      rng_(medium.simulator().rng().split()) {}
+
+void RssiSampler::set_measurement_noise(double per_sample_sigma_db,
+                                        double per_capture_sigma_db) {
+  per_sample_sigma_db_ = per_sample_sigma_db;
+  per_capture_sigma_db_ = per_capture_sigma_db;
+}
+
+void RssiSampler::capture(std::size_t samples, Duration period, SegmentCallback done) {
+  if (in_flight_) throw std::logic_error("RssiSampler: capture already in flight");
+  if (samples == 0) throw std::invalid_argument("RssiSampler: zero samples");
+  in_flight_ = true;
+  remaining_ = samples;
+  period_ = period;
+  current_ = RssiSegment{};
+  current_.sample_period = period;
+  current_.dbm.reserve(samples);
+  done_ = std::move(done);
+  listen_time_ += period * static_cast<std::int64_t>(samples);
+  capture_offset_db_ = per_capture_sigma_db_ > 0.0
+                           ? rng_.normal(0.0, per_capture_sigma_db_)
+                           : 0.0;
+  tick();
+}
+
+void RssiSampler::tick() {
+  double v = medium_.energy_dbm(node_, band_, node_) + capture_offset_db_;
+  if (per_sample_sigma_db_ > 0.0) v += rng_.normal(0.0, per_sample_sigma_db_);
+  current_.dbm.push_back(v);
+  if (--remaining_ == 0) {
+    in_flight_ = false;
+    auto done = std::move(done_);
+    done_ = nullptr;
+    if (done) done(std::move(current_));
+    return;
+  }
+  sim_.after(period_, [this] { tick(); });
+}
+
+}  // namespace bicord::detect

@@ -1,0 +1,50 @@
+#include "interferers/bluetooth.hpp"
+
+#include "phy/spectrum.hpp"
+
+namespace bicord::interferers {
+
+BluetoothDevice::BluetoothDevice(phy::Medium& medium, phy::NodeId node, Config config)
+    : medium_(medium),
+      sim_(medium.simulator()),
+      node_(node),
+      config_(config),
+      rng_(medium.simulator().rng().split()) {}
+
+void BluetoothDevice::start() {
+  if (running_) return;
+  running_ = true;
+  slot_tick();
+}
+
+void BluetoothDevice::stop() {
+  running_ = false;
+  if (event_ != sim::kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+  }
+}
+
+void BluetoothDevice::slot_tick() {
+  if (!running_) return;
+  if (rng_.bernoulli(config_.slot_occupancy)) {
+    // Pseudo-random hop over the 79 BR/EDR channels.
+    const int hop = static_cast<int>(rng_.uniform_int(0, 78));
+    phy::Frame frame;
+    frame.tech = phy::Technology::Bluetooth;
+    frame.kind = phy::FrameKind::Data;
+    frame.src = node_;
+    frame.dst = phy::kBroadcastNode;
+    frame.bytes = 54;
+    frame.seq = seq_++;
+    medium_.begin_tx(frame, phy::bluetooth_channel(hop), config_.tx_power_dbm,
+                     config_.packet_len);
+    ++packets_;
+  }
+  event_ = sim_.after(config_.slot, [this] {
+    event_ = sim::kInvalidEventId;
+    slot_tick();
+  });
+}
+
+}  // namespace bicord::interferers

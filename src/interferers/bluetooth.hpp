@@ -1,0 +1,54 @@
+#pragma once
+// Bluetooth BR/EDR interferer (frequency-hopping A2DP-style stream).
+//
+// Needed as a *negative class* for CTI detection: a ZigBee node must not
+// mistake a Bluetooth headset for Wi-Fi and start cross-technology
+// signaling. Classic Bluetooth hops pseudo-randomly over 79 1 MHz channels
+// at 1600 hops/s (625 us slots); an audio stream occupies a slot with some
+// duty cycle and short (~400 us) packets. The resulting RSSI signature —
+// short bursts, highly variable energy (most hops land outside the ZigBee
+// channel), large peak-to-average ratio — is what the ZiSense features key
+// on.
+
+#include <cstdint>
+
+#include "phy/frame.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace bicord::interferers {
+
+class BluetoothDevice {
+ public:
+  struct Config {
+    double tx_power_dbm = 4.0;       ///< class 2 device
+    Duration slot = Duration::from_us(625);
+    Duration packet_len = Duration::from_us(410);  ///< single-slot payload
+    double slot_occupancy = 0.6;     ///< fraction of slots carrying a packet
+  };
+
+  BluetoothDevice(phy::Medium& medium, phy::NodeId node)
+      : BluetoothDevice(medium, node, Config{}) {}
+  BluetoothDevice(phy::Medium& medium, phy::NodeId node, Config config);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_; }
+
+ private:
+  void slot_tick();
+
+  phy::Medium& medium_;
+  sim::Simulator& sim_;
+  phy::NodeId node_;
+  Config config_;
+  Rng rng_;
+  bool running_ = false;
+  sim::EventId event_ = sim::kInvalidEventId;
+  std::uint64_t packets_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace bicord::interferers

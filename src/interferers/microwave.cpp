@@ -1,0 +1,50 @@
+#include "interferers/microwave.hpp"
+
+namespace bicord::interferers {
+
+MicrowaveOven::MicrowaveOven(phy::Medium& medium, phy::NodeId node, Config config)
+    : medium_(medium),
+      sim_(medium.simulator()),
+      node_(node),
+      config_(config),
+      rng_(medium.simulator().rng().split()) {}
+
+void MicrowaveOven::start() {
+  if (running_) return;
+  running_ = true;
+  cycle_tick();
+}
+
+void MicrowaveOven::stop() {
+  running_ = false;
+  if (event_ != sim::kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+  }
+}
+
+void MicrowaveOven::cycle_tick() {
+  if (!running_) return;
+  ++cycles_;
+  const Duration nominal_on =
+      Duration::from_sec_f(config_.mains_period.sec() * config_.duty_cycle);
+  const Duration jitter = Duration::from_us(
+      rng_.uniform_int(-config_.jitter.us(), config_.jitter.us()));
+  Duration on = nominal_on + jitter;
+  if (on <= Duration::zero()) on = Duration::from_us(100);
+
+  phy::Frame frame;
+  frame.tech = phy::Technology::Microwave;
+  frame.kind = phy::FrameKind::Noise;
+  frame.src = node_;
+  frame.dst = phy::kBroadcastNode;
+  frame.seq = cycles_;
+  medium_.begin_tx(frame, config_.band, config_.tx_power_dbm, on);
+
+  event_ = sim_.after(config_.mains_period, [this] {
+    event_ = sim::kInvalidEventId;
+    cycle_tick();
+  });
+}
+
+}  // namespace bicord::interferers

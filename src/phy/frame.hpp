@@ -1,0 +1,63 @@
+#pragma once
+// Technology-agnostic frame descriptor exchanged over the shared medium.
+//
+// The PHY layer does not interpret payloads; frames carry only the metadata
+// the MAC/coordination layers need. Cross-technology interactions work on
+// frame *existence* and energy, never on payload bits — exactly the premise
+// of BiCord's one-bit signaling.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace bicord::phy {
+
+enum class Technology : std::uint8_t { WiFi, ZigBee, Bluetooth, Microwave };
+
+[[nodiscard]] constexpr const char* to_string(Technology t) {
+  switch (t) {
+    case Technology::WiFi: return "WiFi";
+    case Technology::ZigBee: return "ZigBee";
+    case Technology::Bluetooth: return "Bluetooth";
+    case Technology::Microwave: return "Microwave";
+  }
+  return "?";
+}
+
+enum class FrameKind : std::uint8_t {
+  Data,     ///< application payload
+  Ack,      ///< link-layer acknowledgment
+  Cts,      ///< Wi-Fi CTS(-to-self); `nav` carries the reservation length
+  Control,  ///< BiCord cross-technology signaling packet (ZigBee side)
+  Notify,   ///< ECC downlink CTC notification of an upcoming white space
+  Noise,    ///< non-decodable emission (microwave oven, jammers)
+};
+
+[[nodiscard]] constexpr const char* to_string(FrameKind k) {
+  switch (k) {
+    case FrameKind::Data: return "Data";
+    case FrameKind::Ack: return "Ack";
+    case FrameKind::Cts: return "Cts";
+    case FrameKind::Control: return "Control";
+    case FrameKind::Notify: return "Notify";
+    case FrameKind::Noise: return "Noise";
+  }
+  return "?";
+}
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kBroadcastNode = 0xFFFFFFFFu;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFEu;
+
+struct Frame {
+  Technology tech = Technology::WiFi;
+  FrameKind kind = FrameKind::Data;
+  NodeId src = kInvalidNode;
+  NodeId dst = kBroadcastNode;
+  std::uint32_t bytes = 0;   ///< on-air size incl. MAC overhead
+  std::uint64_t seq = 0;     ///< per-sender sequence number
+  Duration nav;              ///< medium reservation (Cts/Notify), else zero
+  std::int32_t tag = 0;      ///< protocol scratch (e.g. burst id)
+};
+
+}  // namespace bicord::phy

@@ -1,0 +1,21 @@
+#pragma once
+// 2D placement of devices (the paper's office testbed is planar, Fig. 6).
+
+#include <cmath>
+
+namespace bicord::phy {
+
+struct Position {
+  double x = 0.0;  ///< metres
+  double y = 0.0;  ///< metres
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] inline double distance(Position a, Position b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,123 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/units.hpp"
+
+namespace bicord::phy {
+
+Medium::Medium(sim::Simulator& sim, PathLossModel path_loss)
+    : sim_(sim), path_loss_(path_loss) {}
+
+NodeId Medium::add_node(std::string name, Position pos) {
+  nodes_.push_back(NodeEntry{std::move(name), pos});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const Medium::NodeEntry& Medium::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Medium: unknown node id");
+  return nodes_[id];
+}
+
+void Medium::set_position(NodeId id, Position pos) {
+  if (id >= nodes_.size()) throw std::out_of_range("Medium: unknown node id");
+  nodes_[id].pos = pos;
+}
+
+Position Medium::position(NodeId id) const { return node(id).pos; }
+
+const std::string& Medium::node_name(NodeId id) const { return node(id).name; }
+
+void Medium::attach(MediumListener* listener) {
+  if (listener == nullptr) throw std::invalid_argument("Medium::attach: null listener");
+  listeners_.push_back(listener);
+}
+
+void Medium::detach(MediumListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+TxId Medium::begin_tx(const Frame& frame, Band band, double tx_power_dbm,
+                      Duration duration) {
+  if (frame.src >= nodes_.size()) {
+    throw std::invalid_argument("Medium::begin_tx: frame.src is not a registered node");
+  }
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument("Medium::begin_tx: non-positive duration");
+  }
+  ActiveTransmission tx;
+  tx.id = next_tx_id_++;
+  tx.frame = frame;
+  tx.band = band;
+  tx.tx_power_dbm = tx_power_dbm;
+  tx.start = sim_.now();
+  tx.end = sim_.now() + duration;
+  active_.push_back(tx);
+
+  airtime_[frame.tech] += duration;
+  node_airtime_[frame.src] += duration;
+
+  // Snapshot listeners: callbacks may attach/detach.
+  const auto listeners = listeners_;
+  for (auto* l : listeners) l->on_tx_start(tx);
+
+  const TxId id = tx.id;
+  sim_.at(tx.end, [this, id] { finish_tx(id); });
+  return id;
+}
+
+void Medium::finish_tx(TxId id) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [id](const ActiveTransmission& t) { return t.id == id; });
+  if (it == active_.end()) return;  // defensive: already removed
+  const ActiveTransmission tx = *it;
+  active_.erase(it);
+  const auto listeners = listeners_;
+  for (auto* l : listeners) l->on_tx_end(tx);
+}
+
+double Medium::rx_power_dbm(NodeId src, double tx_power_dbm, Band tx_band, NodeId dst,
+                            Band rx_band) const {
+  const double d = distance(node(src).pos, node(dst).pos);
+  // Link key is direction-independent so A->B and B->A shadow identically.
+  const std::uint64_t lo = std::min(src, dst);
+  const std::uint64_t hi = std::max(src, dst);
+  const std::uint64_t link_key = (lo << 32) | hi;
+  const double loss = path_loss_.mean_loss_db(d) + path_loss_.shadowing_db(link_key) +
+                      overlap_loss_db(tx_band, rx_band);
+  const double p = tx_power_dbm - loss;
+  return p < kFloorDbm ? kFloorDbm : p;
+}
+
+double Medium::rx_power_dbm(const ActiveTransmission& tx, NodeId dst, Band rx_band) const {
+  return rx_power_dbm(tx.frame.src, tx.tx_power_dbm, tx.band, dst, rx_band);
+}
+
+double Medium::energy_dbm(NodeId rx, Band rx_band, NodeId exclude_src) const {
+  double acc_mw = dbm_to_mw(noise_floor_dbm(rx_band));
+  for (const auto& tx : active_) {
+    if (tx.frame.src == rx || tx.frame.src == exclude_src) continue;
+    acc_mw += dbm_to_mw(rx_power_dbm(tx, rx, rx_band));
+  }
+  return mw_to_dbm(acc_mw);
+}
+
+double Medium::noise_floor_dbm(Band band) {
+  if (band.width_mhz <= 0.0) throw std::invalid_argument("noise_floor_dbm: empty band");
+  return -174.0 + 10.0 * std::log10(band.width_mhz * 1e6) + 6.0;
+}
+
+Duration Medium::airtime(Technology tech) const {
+  const auto it = airtime_.find(tech);
+  return it == airtime_.end() ? Duration::zero() : it->second;
+}
+
+Duration Medium::airtime_of(NodeId node_id) const {
+  const auto it = node_airtime_.find(node_id);
+  return it == node_airtime_.end() ? Duration::zero() : it->second;
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,125 @@
+#pragma once
+// The shared wireless medium.
+//
+// The Medium owns the registry of nodes (name + position), tracks every
+// in-flight transmission, computes per-link received power (path loss +
+// per-link shadowing + band-overlap scaling), answers energy queries (CCA,
+// RSSI sampling), and fans transmission start/end notifications out to the
+// attached radios. It also accounts per-technology airtime, which the
+// metrics layer turns into the paper's "channel utilization".
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/geometry.hpp"
+#include "phy/path_loss.hpp"
+#include "phy/spectrum.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace bicord::phy {
+
+using TxId = std::uint64_t;
+inline constexpr TxId kInvalidTx = 0;
+
+/// A transmission currently on the air.
+struct ActiveTransmission {
+  TxId id = kInvalidTx;
+  Frame frame;
+  Band band;
+  double tx_power_dbm = 0.0;
+  TimePoint start;
+  TimePoint end;
+};
+
+/// Implemented by radios (and passive observers such as RSSI samplers that
+/// want edge-triggered updates). Callbacks fire for every transmission on
+/// the medium including the listener's own.
+class MediumListener {
+ public:
+  virtual void on_tx_start(const ActiveTransmission& tx) = 0;
+  virtual void on_tx_end(const ActiveTransmission& tx) = 0;
+
+ protected:
+  ~MediumListener() = default;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, PathLossModel path_loss);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  // --- node registry -------------------------------------------------------
+
+  NodeId add_node(std::string name, Position pos);
+  void set_position(NodeId id, Position pos);
+  [[nodiscard]] Position position(NodeId id) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  void attach(MediumListener* listener);
+  void detach(MediumListener* listener);
+
+  // --- transmission --------------------------------------------------------
+
+  /// Puts a frame on the air for `duration`; the end event is scheduled
+  /// automatically. Returns the transmission id.
+  TxId begin_tx(const Frame& frame, Band band, double tx_power_dbm, Duration duration);
+
+  [[nodiscard]] const std::vector<ActiveTransmission>& active() const { return active_; }
+
+  // --- propagation / energy queries ---------------------------------------
+
+  /// Received power at node `dst` listening on `rx_band` for a transmission
+  /// from `src` with the given parameters. Includes mean path loss, a fixed
+  /// per-link shadowing term, and the band-overlap attenuation.
+  [[nodiscard]] double rx_power_dbm(NodeId src, double tx_power_dbm, Band tx_band,
+                                    NodeId dst, Band rx_band) const;
+  [[nodiscard]] double rx_power_dbm(const ActiveTransmission& tx, NodeId dst,
+                                    Band rx_band) const;
+
+  /// Total in-band energy at `rx` from all active transmissions except those
+  /// originated by `exclude_src`, combined with the thermal noise floor of
+  /// `rx_band`. This is what a CCA energy-detect or RSSI register reads.
+  [[nodiscard]] double energy_dbm(NodeId rx, Band rx_band,
+                                  NodeId exclude_src = kInvalidNode) const;
+
+  /// Thermal noise floor for a band: -174 dBm/Hz + 10 log10(BW) + NF(6 dB).
+  [[nodiscard]] static double noise_floor_dbm(Band band);
+
+  // --- airtime accounting ---------------------------------------------------
+
+  /// Cumulative on-air time per technology since construction.
+  [[nodiscard]] Duration airtime(Technology tech) const;
+  /// Cumulative on-air time per (node, any technology).
+  [[nodiscard]] Duration airtime_of(NodeId node) const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const PathLossModel& path_loss() const { return path_loss_; }
+
+ private:
+  struct NodeEntry {
+    std::string name;
+    Position pos;
+  };
+
+  void finish_tx(TxId id);
+  [[nodiscard]] const NodeEntry& node(NodeId id) const;
+
+  sim::Simulator& sim_;
+  PathLossModel path_loss_;
+  std::vector<NodeEntry> nodes_;
+  std::vector<ActiveTransmission> active_;
+  std::vector<MediumListener*> listeners_;
+  std::unordered_map<Technology, Duration> airtime_;
+  std::unordered_map<NodeId, Duration> node_airtime_;
+  TxId next_tx_id_ = 1;
+};
+
+}  // namespace bicord::phy

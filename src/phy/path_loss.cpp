@@ -1,0 +1,30 @@
+#include "phy/path_loss.hpp"
+
+#include <cmath>
+
+namespace bicord::phy {
+
+double PathLossModel::mean_loss_db(double d_m) const {
+  const double d = d_m < min_distance_m ? min_distance_m : d_m;
+  return pl_d0_db + 10.0 * exponent * std::log10(d);
+}
+
+double PathLossModel::shadowing_db(std::uint64_t link_key) const {
+  if (shadowing_sigma_db <= 0.0) return 0.0;
+  // SplitMix64 scramble of the link key -> two uniform doubles -> Box-Muller.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t a = mix(link_key);
+  const std::uint64_t b = mix(a);
+  double u1 = static_cast<double>(a >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return shadowing_sigma_db * z;
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,28 @@
+#pragma once
+// Log-distance path-loss with per-link log-normal shadowing.
+//
+// Indoor office propagation (the paper's environment) is modelled as
+//   PL(d) = PL(d0) + 10 n log10(d / d0) + X_sigma
+// with d0 = 1 m. X_sigma is drawn once per (tx, rx) link and held constant —
+// shadowing is a property of the geometry, not of time — so experiments are
+// reproducible and links keep a stable character across a run.
+
+#include <cstdint>
+
+namespace bicord::phy {
+
+struct PathLossModel {
+  double pl_d0_db = 40.0;     ///< path loss at 1 m (2.4 GHz free space ~40 dB)
+  double exponent = 3.0;      ///< indoor-office range 2.7..3.5
+  double shadowing_sigma_db = 3.0;
+  double min_distance_m = 0.1;  ///< distances below this clamp (near field)
+
+  /// Deterministic mean path loss (no shadowing) at distance `d` metres.
+  [[nodiscard]] double mean_loss_db(double d_m) const;
+
+  /// Shadowing offset for an identified link; pure function of the link key
+  /// (hash-seeded normal) so it never changes during a run.
+  [[nodiscard]] double shadowing_db(std::uint64_t link_key) const;
+};
+
+}  // namespace bicord::phy

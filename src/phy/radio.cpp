@@ -1,0 +1,185 @@
+#include "phy/radio.hpp"
+
+#include <stdexcept>
+
+#include "phy/units.hpp"
+#include "util/logging.hpp"
+
+namespace bicord::phy {
+
+Radio::Radio(Medium& medium, NodeId node, Config config)
+    : medium_(medium),
+      node_(node),
+      config_(config),
+      rng_(medium.simulator().rng().split()) {
+  medium_.attach(this);
+}
+
+Radio::~Radio() { medium_.detach(this); }
+
+void Radio::set_band(Band band) {
+  if (state_ != RadioState::Idle && state_ != RadioState::Sleep) {
+    throw std::logic_error("Radio::set_band: radio busy");
+  }
+  config_.band = band;
+}
+
+void Radio::enter(RadioState next) {
+  if (state_ == next) return;
+  const RadioState prev = state_;
+  state_ = next;
+  if (state_cb_) state_cb_(prev, next);
+}
+
+void Radio::transmit(const Frame& frame, double tx_power_dbm, Duration duration,
+                     TxDoneCallback done) {
+  if (state_ == RadioState::Tx) throw std::logic_error("Radio::transmit: already transmitting");
+  if (state_ == RadioState::Sleep) throw std::logic_error("Radio::transmit: radio asleep");
+  if (frame.src != node_) throw std::invalid_argument("Radio::transmit: frame.src mismatch");
+  if (rx_) {
+    // Half-duplex: transmitting aborts the in-progress reception.
+    rx_.reset();
+  }
+  enter(RadioState::Tx);
+  tx_done_ = std::move(done);
+  ++frames_sent_;
+  own_tx_ = medium_.begin_tx(frame, config_.band, tx_power_dbm, duration);
+}
+
+double Radio::energy_dbm() const {
+  return medium_.energy_dbm(node_, config_.band, node_);
+}
+
+void Radio::sleep() {
+  if (state_ == RadioState::Tx) throw std::logic_error("Radio::sleep: transmitting");
+  rx_.reset();
+  enter(RadioState::Sleep);
+}
+
+void Radio::wake() {
+  if (state_ == RadioState::Sleep) enter(RadioState::Idle);
+}
+
+bool Radio::decodable(const ActiveTransmission& tx) const {
+  if (tx.frame.tech != config_.tech) return false;
+  if (tx.frame.kind == FrameKind::Noise) return false;
+  // Require the transmission to substantially cover this radio's channel.
+  return overlap_mhz(tx.band, config_.band) >= 0.5 * config_.band.width_mhz;
+}
+
+double Radio::interference_mw(TxId exclude) const {
+  double acc = 0.0;
+  for (const auto& [id, o] : ongoing_) {
+    if (id == exclude) continue;
+    acc += dbm_to_mw(o.rx_power_dbm);
+  }
+  return acc;
+}
+
+void Radio::update_rx_sinr() {
+  if (!rx_) return;
+  auto& r = rx_->result;
+  const double noise_mw = dbm_to_mw(Medium::noise_floor_dbm(config_.band));
+  double interf_mw = 0.0;
+  for (const auto& [id, o] : ongoing_) {
+    if (id == rx_->tx_id) continue;
+    double p = o.rx_power_dbm;
+    // Narrowband interferers are largely ridden out by coding/interleaving
+    // (SINR only — they remain fully visible to energy queries and CSI).
+    if (config_.narrowband_discount_db > 0.0 &&
+        o.band.width_mhz < config_.narrowband_ratio * config_.band.width_mhz) {
+      p -= config_.narrowband_discount_db;
+    }
+    interf_mw += dbm_to_mw(p);
+    if (o.rx_power_dbm > r.max_interference_dbm) r.max_interference_dbm = o.rx_power_dbm;
+    if (o.tech == Technology::ZigBee) {
+      r.zigbee_overlap = true;
+      if (o.rx_power_dbm > r.zigbee_overlap_dbm) {
+        r.zigbee_overlap_dbm = o.rx_power_dbm;
+        r.zigbee_overlap_tx = id;
+      }
+    }
+  }
+  const double sinr = r.rssi_dbm - mw_to_dbm(interf_mw + noise_mw);
+  if (sinr < r.min_sinr_db) r.min_sinr_db = sinr;
+}
+
+void Radio::on_tx_start(const ActiveTransmission& tx) {
+  if (tx.frame.src == node_) return;  // own emission
+
+  const double p = medium_.rx_power_dbm(tx, node_, config_.band) +
+                   (config_.fading_sigma_db > 0.0
+                        ? rng_.normal(0.0, config_.fading_sigma_db)
+                        : 0.0);
+  ongoing_.emplace(tx.id, Ongoing{p, tx.frame.tech, tx.frame.kind, tx.band});
+
+  if (state_ == RadioState::Sleep) return;
+
+  if (state_ == RadioState::Idle && !rx_ && decodable(tx) && p >= config_.sensitivity_dbm) {
+    // Lock onto the frame (preamble acquisition).
+    CurrentRx cur;
+    cur.tx_id = tx.id;
+    cur.result.frame = tx.frame;
+    cur.result.rssi_dbm = p;
+    cur.result.min_sinr_db = 1e9;  // lowered by update_rx_sinr below
+    cur.result.start = tx.start;
+    cur.result.end = tx.end;
+    rx_ = cur;
+    enter(RadioState::Rx);
+  }
+  // Whether locked or not, a new emission changes the interference picture.
+  update_rx_sinr();
+  if (activity_cb_) activity_cb_();
+}
+
+void Radio::on_tx_end(const ActiveTransmission& tx) {
+  if (tx.frame.src == node_) {
+    if (tx.id == own_tx_) {
+      own_tx_ = kInvalidTx;
+      enter(RadioState::Idle);
+      if (tx_done_) {
+        auto done = std::move(tx_done_);
+        tx_done_ = nullptr;
+        done();
+      }
+      if (activity_cb_) activity_cb_();
+    }
+    return;
+  }
+
+  // Capture the final SINR sample before the emission leaves the air.
+  update_rx_sinr();
+
+  const bool was_locked = rx_ && rx_->tx_id == tx.id;
+  ongoing_.erase(tx.id);
+
+  if (was_locked) finalize_rx(tx);
+  if (activity_cb_) activity_cb_();
+}
+
+void Radio::finalize_rx(const ActiveTransmission& tx) {
+  RxResult result = rx_->result;
+  rx_.reset();
+  if (state_ == RadioState::Rx) enter(RadioState::Idle);
+
+  // Logistic PER curve around the SINR threshold gives a soft decode edge.
+  const double x = (result.min_sinr_db - config_.sinr_threshold_db) /
+                   (config_.sinr_width_db > 0.0 ? config_.sinr_width_db : 1.0);
+  const double p_success = 1.0 / (1.0 + std::exp(-x));
+  result.success = rng_.bernoulli(p_success);
+  result.end = tx.end;
+
+  if (result.success) {
+    ++frames_received_;
+  } else {
+    ++frames_corrupted_;
+  }
+  BICORD_LOG(Trace, medium_.simulator().now(), "phy.radio",
+             medium_.node_name(node_) << " rx " << to_string(result.frame.kind) << " from "
+                                      << result.frame.src << " rssi=" << result.rssi_dbm
+                                      << " sinr=" << result.min_sinr_db
+                                      << (result.success ? " OK" : " CORRUPT"));
+  if (rx_cb_) rx_cb_(result);
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,39 @@
+#include "phy/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bicord::phy {
+
+double overlap_mhz(Band a, Band b) {
+  return std::max(0.0, std::min(a.hi(), b.hi()) - std::max(a.lo(), b.lo()));
+}
+
+double in_band_fraction(Band tx, Band rx) {
+  if (tx.width_mhz <= 0.0) throw std::invalid_argument("in_band_fraction: empty tx band");
+  return overlap_mhz(tx, rx) / tx.width_mhz;
+}
+
+double overlap_loss_db(Band tx, Band rx) {
+  const double f = in_band_fraction(tx, rx);
+  if (f <= 0.0) return 200.0;  // effectively disjoint
+  return -10.0 * std::log10(f);
+}
+
+Band wifi_channel(int n) {
+  if (n < 1 || n > 13) throw std::invalid_argument("wifi_channel: n must be in [1,13]");
+  return Band{2412.0 + 5.0 * (n - 1), 20.0};
+}
+
+Band zigbee_channel(int n) {
+  if (n < 11 || n > 26) throw std::invalid_argument("zigbee_channel: n must be in [11,26]");
+  return Band{2405.0 + 5.0 * (n - 11), 2.0};
+}
+
+Band bluetooth_channel(int n) {
+  if (n < 0 || n > 78) throw std::invalid_argument("bluetooth_channel: n must be in [0,78]");
+  return Band{2402.0 + 1.0 * n, 1.0};
+}
+
+}  // namespace bicord::phy

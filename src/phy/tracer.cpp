@@ -1,0 +1,129 @@
+#include "phy/tracer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace bicord::phy {
+
+MediumTracer::MediumTracer(Medium& medium, std::size_t capacity_hint)
+    : medium_(medium) {
+  records_.reserve(capacity_hint);
+  medium_.attach(this);
+  attached_ = true;
+}
+
+MediumTracer::~MediumTracer() { stop(); }
+
+void MediumTracer::stop() {
+  if (attached_) {
+    medium_.detach(this);
+    attached_ = false;
+  }
+}
+
+void MediumTracer::on_tx_start(const ActiveTransmission& tx) {
+  TxRecord r;
+  r.start = tx.start;
+  r.end = tx.end;
+  r.src = tx.frame.src;
+  r.tech = tx.frame.tech;
+  r.kind = tx.frame.kind;
+  r.band_center_mhz = tx.band.center_mhz;
+  r.bytes = tx.frame.bytes;
+  records_.push_back(r);
+}
+
+void MediumTracer::on_tx_end(const ActiveTransmission&) {}
+
+std::vector<TxRecord> MediumTracer::window(TimePoint from, TimePoint to) const {
+  std::vector<TxRecord> out;
+  for (const auto& r : records_) {
+    if (r.end >= from && r.start <= to) out.push_back(r);
+  }
+  return out;
+}
+
+void MediumTracer::write_jsonl(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << "{\"start_us\":" << r.start.us() << ",\"end_us\":" << r.end.us()
+       << ",\"node\":\"" << medium_.node_name(r.src) << "\",\"tech\":\""
+       << to_string(r.tech) << "\",\"kind\":\"" << to_string(r.kind)
+       << "\",\"band_mhz\":" << r.band_center_mhz << ",\"bytes\":" << r.bytes
+       << "}\n";
+  }
+}
+
+namespace {
+char glyph_for(Technology tech, FrameKind kind) {
+  if (tech == Technology::WiFi) {
+    switch (kind) {
+      case FrameKind::Cts: return 'C';
+      case FrameKind::Ack: return 'a';
+      case FrameKind::Notify: return 'N';
+      default: return 'W';
+    }
+  }
+  if (tech == Technology::ZigBee) {
+    switch (kind) {
+      case FrameKind::Control: return 's';
+      case FrameKind::Ack: return 'k';
+      case FrameKind::Notify: return 'n';
+      default: return 'Z';
+    }
+  }
+  if (tech == Technology::Bluetooth) return 'B';
+  return 'M';  // microwave / other noise
+}
+
+/// Priority when several frames share a bucket: reservations and signaling
+/// beat bulk data so the coordination stays visible.
+int glyph_priority(char g) {
+  switch (g) {
+    case 'C': return 5;
+    case 's': return 4;
+    case 'N': return 4;
+    case 'Z': return 3;
+    case 'W': return 2;
+    case 'B': return 2;
+    case 'M': return 2;
+    default: return 1;
+  }
+}
+}  // namespace
+
+std::string MediumTracer::render_timeline(TimePoint from, TimePoint to,
+                                          std::size_t width) const {
+  if (to <= from || width == 0) return {};
+  const double span_us = static_cast<double>((to - from).us());
+
+  // Rows: Wi-Fi, ZigBee, other.
+  std::array<std::string, 3> rows;
+  for (auto& row : rows) row.assign(width, '.');
+
+  for (const auto& r : window(from, to)) {
+    const std::size_t row_idx = r.tech == Technology::WiFi   ? 0
+                                : r.tech == Technology::ZigBee ? 1
+                                                               : 2;
+    const double b0 = static_cast<double>((std::max(r.start, from) - from).us()) /
+                      span_us * static_cast<double>(width);
+    const double b1 = static_cast<double>((std::min(r.end, to) - from).us()) / span_us *
+                      static_cast<double>(width);
+    const char g = glyph_for(r.tech, r.kind);
+    const auto lo = static_cast<std::size_t>(b0);
+    const auto hi = std::min(width - 1, static_cast<std::size_t>(b1));
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (glyph_priority(g) > glyph_priority(rows[row_idx][i])) rows[row_idx][i] = g;
+    }
+  }
+
+  std::ostringstream os;
+  os << "timeline " << from.to_string() << " .. " << to.to_string() << "\n";
+  os << "  wifi   |" << rows[0] << "|\n";
+  os << "  zigbee |" << rows[1] << "|\n";
+  os << "  other  |" << rows[2] << "|\n";
+  os << "  (W data, C cts, a ack | Z data, s control, k ack | B bluetooth, M noise)\n";
+  return os.str();
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,66 @@
+#pragma once
+// Transmission tracing: record everything that happens on the medium.
+//
+// A MediumTracer captures each transmission's timing, source, technology,
+// kind, and band. The records can be exported as JSON-lines for external
+// tooling, or rendered as an ASCII timeline that makes the coordination
+// visible at a glance — Wi-Fi traffic pausing, ZigBee bursts filling the
+// white space, the CTS that opened it.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "phy/medium.hpp"
+
+namespace bicord::phy {
+
+struct TxRecord {
+  TimePoint start;
+  TimePoint end;
+  NodeId src = kInvalidNode;
+  Technology tech = Technology::WiFi;
+  FrameKind kind = FrameKind::Data;
+  double band_center_mhz = 0.0;
+  std::uint32_t bytes = 0;
+};
+
+class MediumTracer final : public MediumListener {
+ public:
+  /// Attaches to the medium immediately; records until destroyed or
+  /// stop()ped. `capacity_hint` preallocates record storage.
+  explicit MediumTracer(Medium& medium, std::size_t capacity_hint = 4096);
+  ~MediumTracer();
+
+  MediumTracer(const MediumTracer&) = delete;
+  MediumTracer& operator=(const MediumTracer&) = delete;
+
+  void stop();
+  void clear() { records_.clear(); }
+  [[nodiscard]] const std::vector<TxRecord>& records() const { return records_; }
+
+  /// Keep only records overlapping [from, to].
+  [[nodiscard]] std::vector<TxRecord> window(TimePoint from, TimePoint to) const;
+
+  /// One JSON object per line:
+  /// {"start_us":..,"end_us":..,"node":"..","tech":"..","kind":"..,...}
+  void write_jsonl(std::ostream& os) const;
+
+  /// ASCII timeline of [from, to]: one row per technology, `width` buckets;
+  /// a bucket shows the dominant frame kind active in it (W=Wi-Fi data,
+  /// C=CTS, Z=ZigBee data, s=control/signaling, A=ack, '.'=idle).
+  [[nodiscard]] std::string render_timeline(TimePoint from, TimePoint to,
+                                            std::size_t width = 100) const;
+
+  // MediumListener:
+  void on_tx_start(const ActiveTransmission& tx) override;
+  void on_tx_end(const ActiveTransmission& tx) override;
+
+ private:
+  Medium& medium_;
+  bool attached_ = false;
+  std::vector<TxRecord> records_;
+};
+
+}  // namespace bicord::phy

@@ -1,0 +1,42 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace bicord::sim {
+
+EventId EventQueue::schedule(TimePoint when, EventCallback cb) {
+  if (!cb) throw std::invalid_argument("EventQueue::schedule: null callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Only ids still awaiting dispatch can be cancelled; ids that already
+  // fired (or were cancelled before) are no longer in pending_.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.id);
+  return Fired{top.time, top.id, std::move(top.callback)};
+}
+
+}  // namespace bicord::sim

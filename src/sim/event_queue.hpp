@@ -1,0 +1,70 @@
+#pragma once
+// Cancellable pending-event queue for the discrete-event simulator.
+//
+// Implemented as a binary heap plus a set of live event ids: cancel()
+// removes the id from the live set and the heap discards dead entries on
+// pop. Events at the same instant fire in schedule order (a monotonically
+// increasing sequence number breaks ties), making simulations deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace bicord::sim {
+
+using EventCallback = std::function<void()>;
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Enqueues `cb` to fire at `when`. Returns a non-zero id usable with
+  /// cancel().
+  EventId schedule(TimePoint when, EventCallback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  struct Fired {
+    TimePoint time;
+    EventId id;
+    EventCallback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    EventCallback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bicord::sim

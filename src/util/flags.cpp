@@ -1,0 +1,183 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace bicord {
+
+Flags::Flags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+namespace {
+const char* type_name(int t) {
+  switch (t) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "bool";
+  }
+  return "?";
+}
+}  // namespace
+
+void Flags::add_string(const std::string& name, std::string default_value,
+                       std::string help) {
+  entries_[name] = Entry{Type::String, default_value, std::move(default_value),
+                         std::move(help), false};
+  order_.push_back(name);
+}
+
+void Flags::add_int(const std::string& name, std::int64_t default_value,
+                    std::string help) {
+  const std::string v = std::to_string(default_value);
+  entries_[name] = Entry{Type::Int, v, v, std::move(help), false};
+  order_.push_back(name);
+}
+
+void Flags::add_double(const std::string& name, double default_value, std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  entries_[name] = Entry{Type::Double, os.str(), os.str(), std::move(help), false};
+  order_.push_back(name);
+}
+
+void Flags::add_bool(const std::string& name, bool default_value, std::string help) {
+  const std::string v = default_value ? "true" : "false";
+  entries_[name] = Entry{Type::Bool, v, v, std::move(help), false};
+  order_.push_back(name);
+}
+
+bool Flags::assign(const std::string& name, const std::string& value) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  Entry& e = it->second;
+  switch (e.type) {
+    case Type::Int: {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::Double: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::Bool:
+      if (value != "true" && value != "false") {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::String:
+      break;
+  }
+  e.value = value;
+  e.provided = true;
+  return true;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!assign(arg.substr(0, eq), arg.substr(eq + 1))) return false;
+      continue;
+    }
+
+    // Boolean shorthand: --flag / --no-flag.
+    const bool negated = arg.rfind("no-", 0) == 0;
+    const std::string bare = negated ? arg.substr(3) : arg;
+    const auto it = entries_.find(bare);
+    if (it != entries_.end() && it->second.type == Type::Bool) {
+      it->second.value = negated ? "false" : "true";
+      it->second.provided = true;
+      continue;
+    }
+    if (negated) {
+      error_ = "unknown flag --" + arg;
+      return false;
+    }
+
+    // `--name value` form.
+    if (it == entries_.end()) {
+      error_ = "unknown flag --" + arg;
+      return false;
+    }
+    if (i + 1 >= argc) {
+      error_ = "flag --" + arg + " is missing a value";
+      return false;
+    }
+    if (!assign(arg, argv[++i])) return false;
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry_of(const std::string& name, Type expected) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::logic_error("Flags: unregistered flag " + name);
+  if (it->second.type != expected) {
+    throw std::logic_error("Flags: flag " + name + " is not a " +
+                           type_name(static_cast<int>(expected)));
+  }
+  return it->second;
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return entry_of(name, Type::String).value;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::strtoll(entry_of(name, Type::Int).value.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::strtod(entry_of(name, Type::Double).value.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return entry_of(name, Type::Bool).value == "true";
+}
+
+bool Flags::provided(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.provided;
+}
+
+std::string Flags::usage(const std::string& program_name) const {
+  std::ostringstream os;
+  if (!description_.empty()) os << description_ << "\n\n";
+  os << "usage: " << program_name << " [flags]\n\nflags:\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    os << "  --" << name;
+    os << " (" << type_name(static_cast<int>(e.type)) << ", default "
+       << (e.default_value.empty() ? "\"\"" : e.default_value) << ")\n";
+    os << "      " << e.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bicord

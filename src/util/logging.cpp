@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace bicord {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_sink_mutex
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::function<void(const std::string&)> sink) {
+  const std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace detail {
+
+bool enabled(LogLevel level) { return level >= log_level(); }
+
+void emit(LogLevel level, TimePoint sim_now, const std::string& component,
+          const std::string& message) {
+  std::string line = "[" + sim_now.to_string() + "] " + level_name(level) + " " +
+                     component + ": " + message;
+  const std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace bicord

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal leveled logger. Simulation-hot paths log at Debug/Trace which is
+// compiled to a branch on a global level; there is no allocation unless the
+// message is actually emitted.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace bicord {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Redirects log output (default: stderr). Pass nullptr to restore default.
+void set_log_sink(std::function<void(const std::string&)> sink);
+
+namespace detail {
+void emit(LogLevel level, TimePoint sim_now, const std::string& component,
+          const std::string& message);
+[[nodiscard]] bool enabled(LogLevel level);
+}  // namespace detail
+
+/// Usage: BICORD_LOG(Info, now, "wifi.mac", "CTS sent, nav=" << nav);
+#define BICORD_LOG(level, now, component, expr)                                 \
+  do {                                                                          \
+    if (::bicord::detail::enabled(::bicord::LogLevel::level)) {                 \
+      std::ostringstream bicord_log_os_;                                        \
+      bicord_log_os_ << expr;                                                   \
+      ::bicord::detail::emit(::bicord::LogLevel::level, (now), (component),     \
+                             bicord_log_os_.str());                             \
+    }                                                                           \
+  } while (0)
+
+}  // namespace bicord

@@ -1,0 +1,116 @@
+#include "util/rng.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace bicord {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit span
+  // Lemire-style rejection-free multiply-shift is fine here; modulo bias is
+  // negligible for the small ranges used in simulation, but reject anyway.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate to keep the stream position
+  // independent of call history.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("Rng::poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  if (mean > 60.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::int64_t k = 0;
+  double prod = uniform();
+  while (prod > limit) {
+    ++k;
+    prod *= uniform();
+  }
+  return k;
+}
+
+double Rng::rayleigh(double sigma) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+Duration Rng::exp_duration(Duration mean) {
+  return Duration::from_us(
+      static_cast<std::int64_t>(exponential(static_cast<double>(mean.us()))));
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+  return Duration::from_us(uniform_int(lo.us(), hi.us()));
+}
+
+Rng Rng::split() { return Rng{next()}; }
+
+}  // namespace bicord

@@ -1,0 +1,83 @@
+#pragma once
+// Streaming and batch statistics used by the metrics layer and benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bicord {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container supporting exact quantiles; O(n log n) on first query
+/// after new insertions.
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolation quantile, q in [0, 1]. Throws if empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bin. Useful for delay distributions in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Multi-line ASCII rendering (one row per non-empty bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Mean of a vector; 0 for empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& v);
+
+}  // namespace bicord

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace bicord {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void AsciiTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string AsciiTable::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string AsciiTable::percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream os;
+  auto hline = [&os, &widths] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < row.size() ? row[i] : std::string{};
+      os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    emit(rows_[i]);
+    if (std::find(separators_.begin(), separators_.end(), i + 1) != separators_.end()) {
+      hline();
+    }
+  }
+  hline();
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const { os << render(); }
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width, const std::string& unit) {
+  double peak = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    peak = std::max(peak, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : bars) {
+    const auto n = peak > 0.0
+        ? static_cast<std::size_t>(v / peak * static_cast<double>(width))
+        : std::size_t{0};
+    os << label << std::string(label_w - label.size(), ' ') << " | "
+       << std::string(n, '#') << ' ' << AsciiTable::cell(v, 2) << unit << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bicord

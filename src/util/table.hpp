@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table rendering for bench output (paper-style tables and figures).
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bicord {
+
+/// Column-aligned ASCII table. Rows are added as strings (use `cell` helpers
+/// for numeric formatting); render() pads every column to its widest cell.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Adds a horizontal separator after the current last row.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+
+  /// Formats a double with the given precision.
+  [[nodiscard]] static std::string cell(double v, int precision = 3);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  /// Formats a ratio as a percentage ("42.3%").
+  [[nodiscard]] static std::string percent(double ratio, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // indices into rows_ after which to draw
+};
+
+/// Renders a simple horizontal bar chart (one bar per labelled value),
+/// scaled to `width` characters at the maximum value. Used by benches to
+/// approximate the paper's figures in text form.
+[[nodiscard]] std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                                    std::size_t width = 50,
+                                    const std::string& unit = {});
+
+}  // namespace bicord

@@ -1,0 +1,29 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bicord {
+
+namespace {
+std::string format_us(std::int64_t us) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(us));
+  if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us) / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Duration::to_string() const { return format_us(us_); }
+std::string TimePoint::to_string() const { return format_us(us_); }
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.to_string(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.to_string(); }
+
+}  // namespace bicord

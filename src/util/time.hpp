@@ -1,0 +1,105 @@
+#pragma once
+// Strong time types for the discrete-event simulation.
+//
+// All simulation time is measured in integer microseconds. Using strong
+// types (rather than bare int64_t) prevents accidentally mixing durations
+// with absolute instants, and makes unit intent explicit at call sites
+// (`5_ms`, `Duration::from_us(192)`).
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace bicord {
+
+/// A span of simulated time, in whole microseconds. May be negative in
+/// intermediate arithmetic but most APIs require non-negative values.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration from_us(std::int64_t us) { return Duration{us}; }
+  [[nodiscard]] static constexpr Duration from_ms(std::int64_t ms) { return Duration{ms * 1000}; }
+  [[nodiscard]] static constexpr Duration from_sec(std::int64_t s) { return Duration{s * 1'000'000}; }
+  /// Rounds to the nearest microsecond.
+  [[nodiscard]] static constexpr Duration from_sec_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static constexpr Duration from_ms_f(double ms) { return from_sec_f(ms / 1e3); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us_ / k}; }
+  /// Integer ratio of two durations (how many `o` fit into *this).
+  constexpr std::int64_t operator/(Duration o) const { return us_ / o.us_; }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulation clock (microseconds since start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_us(std::int64_t us) { return TimePoint{us}; }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us_ + d.us()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us_ - d.us()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::from_us(us_ - o.us_); }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.us(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+namespace time_literals {
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::from_us(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::from_ms(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_sec(unsigned long long v) {
+  return Duration::from_sec(static_cast<std::int64_t>(v));
+}
+}  // namespace time_literals
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace bicord

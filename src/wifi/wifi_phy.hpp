@@ -1,0 +1,45 @@
+#pragma once
+// IEEE 802.11 (2.4 GHz OFDM) timing parameters and airtime arithmetic.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace bicord::wifi {
+
+inline constexpr std::uint32_t kAckBytes = 14;
+inline constexpr std::uint32_t kCtsBytes = 14;
+inline constexpr std::uint32_t kMacOverheadBytes = 28;  ///< MAC hdr + FCS
+
+/// ERP-OFDM (802.11g) timings.
+struct PhyTimings {
+  double data_rate_mbps = 24.0;   ///< rate for data payloads
+  double basic_rate_mbps = 6.0;   ///< rate for ACK/CTS control frames
+  Duration preamble = Duration::from_us(20);  ///< PLCP preamble + header
+  Duration slot = Duration::from_us(9);
+  Duration sifs = Duration::from_us(10);
+  int cw_min = 15;
+  int cw_max = 1023;
+
+  [[nodiscard]] Duration difs() const { return sifs + 2 * slot; }
+  [[nodiscard]] Duration pifs() const { return sifs + slot; }
+
+  /// On-air duration of a PSDU of `bytes` (already including MAC overhead)
+  /// at `rate_mbps`: preamble + whole 4 us OFDM symbols covering
+  /// SERVICE(16) + 8*bytes + TAIL(6) bits.
+  [[nodiscard]] Duration airtime(std::uint32_t bytes, double rate_mbps) const {
+    const double bits = 16.0 + 8.0 * static_cast<double>(bytes) + 6.0;
+    const double bits_per_symbol = rate_mbps * 4.0;  // symbol = 4 us
+    const auto symbols =
+        static_cast<std::int64_t>((bits + bits_per_symbol - 1.0) / bits_per_symbol);
+    return preamble + Duration::from_us(symbols * 4);
+  }
+
+  [[nodiscard]] Duration data_airtime(std::uint32_t payload_bytes) const {
+    return airtime(payload_bytes + kMacOverheadBytes, data_rate_mbps);
+  }
+  [[nodiscard]] Duration ack_airtime() const { return airtime(kAckBytes, basic_rate_mbps); }
+  [[nodiscard]] Duration cts_airtime() const { return airtime(kCtsBytes, basic_rate_mbps); }
+};
+
+}  // namespace bicord::wifi

@@ -1,0 +1,77 @@
+#include "zigbee/energy.hpp"
+
+#include <algorithm>
+
+namespace bicord::zigbee {
+
+EnergyMeter::EnergyMeter(sim::Simulator& sim, Currents currents)
+    : sim_(sim), currents_(currents), state_since_(sim.now()) {}
+
+void EnergyMeter::attach(phy::Radio& radio) {
+  state_ = radio.state();
+  state_since_ = sim_.now();
+  radio.set_state_callback(
+      [this](phy::RadioState prev, phy::RadioState next) { on_state(prev, next); });
+}
+
+double EnergyMeter::current_ma(phy::RadioState s) const {
+  switch (s) {
+    case phy::RadioState::Tx: {
+      // Linear interpolation of PA draw between -25 dBm and 0 dBm settings.
+      const double t = std::clamp((tx_power_dbm_ + 25.0) / 25.0, 0.0, 1.2);
+      return currents_.tx_m25dbm_ma +
+             t * (currents_.tx_0dbm_ma - currents_.tx_m25dbm_ma);
+    }
+    case phy::RadioState::Rx:
+      return currents_.rx_ma;
+    case phy::RadioState::Idle:
+      return currents_.idle_ma;
+    case phy::RadioState::Sleep:
+      return currents_.sleep_ma;
+  }
+  return 0.0;
+}
+
+void EnergyMeter::settle() {
+  const Duration dt = sim_.now() - state_since_;
+  if (dt <= Duration::zero()) return;
+  const double mj = current_ma(state_) * currents_.voltage_v * dt.sec();
+  switch (state_) {
+    case phy::RadioState::Tx: tx_mj_ += mj; break;
+    case phy::RadioState::Rx: rx_mj_ += mj; break;
+    case phy::RadioState::Idle: idle_mj_ += mj; break;
+    case phy::RadioState::Sleep: sleep_mj_ += mj; break;
+  }
+  dwell_[static_cast<int>(state_)] += dt;
+  state_since_ = sim_.now();
+}
+
+void EnergyMeter::on_state(phy::RadioState /*prev*/, phy::RadioState next) {
+  settle();
+  state_ = next;
+}
+
+void EnergyMeter::add_listen(Duration d) {
+  if (d > Duration::zero()) rx_mj_ += currents_.rx_ma * currents_.voltage_v * d.sec();
+}
+
+double EnergyMeter::total_mj() const {
+  // Include the unsettled tail of the current state.
+  const Duration dt = sim_.now() - state_since_;
+  const double tail = current_ma(state_) * currents_.voltage_v * dt.sec();
+  return tx_mj_ + rx_mj_ + idle_mj_ + sleep_mj_ + tail;
+}
+
+Duration EnergyMeter::time_in(phy::RadioState s) const {
+  Duration d = dwell_[static_cast<int>(s)];
+  if (s == state_) d += sim_.now() - state_since_;
+  return d;
+}
+
+void EnergyMeter::reset() {
+  tx_mj_ = rx_mj_ = idle_mj_ = sleep_mj_ = 0.0;
+  for (auto& d : dwell_) d = Duration::zero();
+  state_since_ = sim_.now();
+}
+
+}  // namespace bicord::zigbee

@@ -1,0 +1,64 @@
+#pragma once
+// CC2420-style energy accounting for a ZigBee node (TelosB mote).
+//
+// The meter integrates radio-state dwell times against datasheet current
+// draws, with the transmit current interpolated over the PA power setting.
+// Used to reproduce the Sec. VII-B energy-cost analysis.
+
+#include <cstdint>
+
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace bicord::zigbee {
+
+class EnergyMeter {
+ public:
+  struct Currents {
+    double tx_0dbm_ma = 17.4;   ///< PA at 0 dBm
+    double tx_m25dbm_ma = 8.5;  ///< PA at -25 dBm (linear interp between)
+    double rx_ma = 18.8;        ///< receive / listen (CCA, RSSI sampling)
+    double idle_ma = 0.426;     ///< oscillator on, radio idle
+    double sleep_ma = 0.02;
+    double voltage_v = 3.0;
+  };
+
+  explicit EnergyMeter(sim::Simulator& sim) : EnergyMeter(sim, Currents{}) {}
+  EnergyMeter(sim::Simulator& sim, Currents currents);
+
+  /// Wire into a radio: meter.attach(radio) installs the state callback.
+  void attach(phy::Radio& radio);
+
+  /// The PA setting used for subsequent transmissions (interpolates current).
+  void set_tx_power_dbm(double dbm) { tx_power_dbm_ = dbm; }
+
+  /// Credits extra receive-mode time not visible through radio states
+  /// (e.g. RSSI sampling keeps the RF front-end in RX).
+  void add_listen(Duration d);
+
+  /// Total energy consumed so far, in millijoules.
+  [[nodiscard]] double total_mj() const;
+  [[nodiscard]] double tx_mj() const { return tx_mj_; }
+  [[nodiscard]] double rx_mj() const { return rx_mj_; }
+  [[nodiscard]] Duration time_in(phy::RadioState s) const;
+  void reset();
+
+ private:
+  void on_state(phy::RadioState prev, phy::RadioState next);
+  [[nodiscard]] double current_ma(phy::RadioState s) const;
+  void settle();
+
+  sim::Simulator& sim_;
+  Currents currents_;
+  double tx_power_dbm_ = 0.0;
+  phy::RadioState state_ = phy::RadioState::Idle;
+  TimePoint state_since_;
+  double tx_mj_ = 0.0;
+  double rx_mj_ = 0.0;
+  double idle_mj_ = 0.0;
+  double sleep_mj_ = 0.0;
+  Duration dwell_[4] = {};
+};
+
+}  // namespace bicord::zigbee

@@ -1,0 +1,35 @@
+#include "zigbee/traffic.hpp"
+
+namespace bicord::zigbee {
+
+BurstSource::BurstSource(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(config), rng_(sim.rng().split()) {}
+
+void BurstSource::start() {
+  stop();
+  arm();
+}
+
+void BurstSource::stop() {
+  if (event_ != sim::kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+  }
+}
+
+void BurstSource::arm() {
+  const Duration wait = config_.poisson ? rng_.exp_duration(config_.mean_interval)
+                                        : config_.mean_interval;
+  event_ = sim_.after(wait, [this] {
+    event_ = sim::kInvalidEventId;
+    fire();
+  });
+}
+
+void BurstSource::fire() {
+  ++bursts_;
+  if (callback_) callback_(config_.packets_per_burst, config_.payload_bytes);
+  arm();
+}
+
+}  // namespace bicord::zigbee

@@ -1,0 +1,41 @@
+#pragma once
+// IEEE 802.15.4 (2.4 GHz O-QPSK, 250 kbps) timing parameters.
+//
+// All the arithmetic the paper relies on falls out of these constants: a
+// 50-byte-payload data frame occupies ~2.1 ms of air, a 120-byte BiCord
+// control packet ~4.4 ms (long enough to span two back-to-back Wi-Fi frames),
+// and an ACK 352 us.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace bicord::zigbee {
+
+inline constexpr std::int64_t kUsPerByte = 32;        ///< 250 kbps
+inline constexpr std::uint32_t kPhyOverheadBytes = 6;  ///< preamble+SFD+len
+inline constexpr std::uint32_t kMacOverheadBytes = 11; ///< MAC hdr + FCS
+inline constexpr std::uint32_t kAckFrameBytes = 11;    ///< incl. PHY overhead
+
+struct PhyTimings {
+  Duration symbol = Duration::from_us(16);
+  Duration backoff_period = Duration::from_us(320);  ///< aUnitBackoffPeriod
+  Duration cca_duration = Duration::from_us(128);    ///< 8 symbols
+  Duration turnaround = Duration::from_us(192);      ///< aTurnaroundTime
+  Duration ack_wait = Duration::from_us(864);        ///< macAckWaitDuration
+  int mac_min_be = 3;
+  int mac_max_be = 5;
+  int max_csma_backoffs = 4;
+
+  /// On-air time of a data frame with `payload_bytes` of MAC payload.
+  [[nodiscard]] Duration data_airtime(std::uint32_t payload_bytes) const {
+    return Duration::from_us(
+        static_cast<std::int64_t>(payload_bytes + kPhyOverheadBytes + kMacOverheadBytes) *
+        kUsPerByte);
+  }
+  [[nodiscard]] Duration ack_airtime() const {
+    return Duration::from_us(static_cast<std::int64_t>(kAckFrameBytes) * kUsPerByte);
+  }
+};
+
+}  // namespace bicord::zigbee

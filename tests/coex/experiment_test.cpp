@@ -1,0 +1,76 @@
+#include "coex/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::coex {
+namespace {
+
+using namespace bicord::time_literals;
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.seed = 1000;
+  cfg.coordination = Coordination::BiCord;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = 200_ms;
+  return cfg;
+}
+
+TEST(ExperimentRunnerTest, AggregatesAcrossSeeds) {
+  ExperimentRunner runner(quick_config(), 200_ms, 2_sec);
+  runner.add_metric("util", metric_total_utilization());
+  runner.add_metric("delay", metric_zigbee_mean_delay_ms());
+  runner.add_metric("delivery", metric_zigbee_delivery());
+  const auto summaries = runner.run(4);
+  ASSERT_EQ(summaries.size(), 3u);
+  EXPECT_EQ(summaries[0].name, "util");
+  EXPECT_EQ(summaries[0].stats.count(), 4u);
+  EXPECT_GT(summaries[0].stats.mean(), 0.5);
+  EXPECT_GT(summaries[1].stats.mean(), 5.0);
+  EXPECT_GT(summaries[2].stats.mean(), 0.8);
+  // Different seeds genuinely vary the runs.
+  EXPECT_GT(summaries[1].stats.stddev(), 0.0);
+}
+
+TEST(ExperimentRunnerTest, Ci95ShrinksWithSamples) {
+  ExperimentRunner small(quick_config(), 200_ms, 1_sec);
+  small.add_metric("util", metric_total_utilization());
+  ExperimentRunner large(quick_config(), 200_ms, 1_sec);
+  large.add_metric("util", metric_total_utilization());
+  const auto s = small.run(3);
+  const auto l = large.run(9);
+  if (s[0].stats.stddev() > 0 && l[0].stats.stddev() > 0) {
+    EXPECT_LT(l[0].ci95(), s[0].ci95() * 1.5);
+  }
+  EXPECT_NE(l[0].to_string().find("+/-"), std::string::npos);
+}
+
+TEST(ExperimentRunnerTest, SingleRunHasZeroCi) {
+  ExperimentRunner runner(quick_config(), 100_ms, 500_ms);
+  runner.add_metric("delivery", metric_zigbee_delivery());
+  const auto summaries = runner.run(1);
+  EXPECT_DOUBLE_EQ(summaries[0].ci95(), 0.0);
+}
+
+TEST(ExperimentRunnerTest, ValidatesArguments) {
+  EXPECT_THROW(ExperimentRunner(quick_config(), 0_ms, 0_ms), std::invalid_argument);
+  ExperimentRunner runner(quick_config(), 0_ms, 1_sec);
+  EXPECT_THROW(runner.add_metric("x", Metric{}), std::invalid_argument);
+  EXPECT_THROW(runner.run(1), std::logic_error);  // no metrics
+  runner.add_metric("util", metric_total_utilization());
+  EXPECT_THROW(runner.run(0), std::invalid_argument);
+}
+
+TEST(ExperimentRunnerTest, GoodputAndZigbeeUtilMetrics) {
+  ExperimentRunner runner(quick_config(), 200_ms, 1_sec);
+  runner.add_metric("goodput", metric_zigbee_goodput_kbps());
+  runner.add_metric("zb-util", metric_zigbee_utilization());
+  const auto s = runner.run(2);
+  EXPECT_GT(s[0].stats.mean(), 1.0);   // kbit/s
+  EXPECT_GT(s[1].stats.mean(), 0.01);  // share
+  EXPECT_LT(s[1].stats.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace bicord::coex

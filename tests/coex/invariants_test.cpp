@@ -1,0 +1,108 @@
+// Property-style end-to-end invariants: whatever the seed, workload, and
+// coordination scheme, physical and accounting invariants must hold after a
+// multi-second run of the full stack.
+
+#include <gtest/gtest.h>
+
+#include "coex/scenario.hpp"
+#include "phy/tracer.hpp"
+
+namespace bicord::coex {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct InvariantParam {
+  std::uint64_t seed;
+  Coordination scheme;
+};
+
+class ScenarioInvariants : public ::testing::TestWithParam<InvariantParam> {};
+
+TEST_P(ScenarioInvariants, HoldAfterThreeSeconds) {
+  const auto [seed, scheme] = GetParam();
+
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = scheme;
+  // Derive a varied workload from the seed.
+  cfg.location = static_cast<ZigbeeLocation>(seed % 4);
+  cfg.burst.packets_per_burst = 2 + static_cast<int>(seed % 9);
+  cfg.burst.payload_bytes = 20 + static_cast<std::uint32_t>((seed * 7) % 90);
+  cfg.burst.mean_interval = Duration::from_ms(120 + static_cast<std::int64_t>(seed % 5) * 80);
+  cfg.person_mobility = (seed % 3) == 0;
+  cfg.device_mobility = (seed % 5) == 0;
+
+  Scenario sc(cfg);
+  phy::MediumTracer tracer(sc.medium(), 1 << 15);
+  sc.start_measurement();
+  sc.run_for(3_sec);
+  const Duration elapsed = 3_sec;
+
+  // --- physical invariants ---------------------------------------------------
+  // A half-duplex node can never be on the air longer than wall time.
+  for (phy::NodeId n = 0; n < sc.medium().node_count(); ++n) {
+    EXPECT_LE(sc.medium().airtime_of(n), elapsed) << "node " << n;
+  }
+  // Technology airtime is the sum over its (serialised per-node) senders.
+  EXPECT_GE(sc.medium().airtime(phy::Technology::WiFi), Duration::zero());
+  // Utilization shares are sane.
+  const auto util = sc.utilization();
+  EXPECT_GE(util.wifi, 0.0);
+  EXPECT_GE(util.zigbee, 0.0);
+  EXPECT_NEAR(util.total, util.wifi + util.zigbee, 1e-12);
+  EXPECT_LT(util.total, 2.0);  // two technologies can overlap, each <= 1
+
+  // Every traced transmission has positive duration and a valid source.
+  for (const auto& r : tracer.records()) {
+    EXPECT_LT(r.start, r.end);
+    EXPECT_LT(r.src, sc.medium().node_count());
+    EXPECT_GT(r.band_center_mhz, 2400.0);
+    EXPECT_LT(r.band_center_mhz, 2500.0);
+  }
+
+  // --- accounting invariants ---------------------------------------------------
+  const auto& zb = sc.zigbee_stats();
+  EXPECT_EQ(zb.generated, zb.delivered + zb.dropped + sc.zigbee_agent().backlog());
+  EXPECT_EQ(zb.delay_ms.count(), zb.delivered);
+  for (double d : zb.delay_ms.values()) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, elapsed.ms());
+  }
+  EXPECT_EQ(zb.payload_bytes_delivered,
+            zb.delivered * cfg.burst.payload_bytes);
+  EXPECT_LE(sc.wifi_delivery_ratio(), 1.0);
+
+  // --- scheme-specific sanity ---------------------------------------------------
+  if (scheme == Coordination::BiCord) {
+    auto* wifi_agent = sc.bicord_wifi();
+    ASSERT_NE(wifi_agent, nullptr);
+    EXPECT_LE(wifi_agent->whitespaces_granted(), wifi_agent->requests_detected());
+    EXPECT_EQ(wifi_agent->grant_history().size(), wifi_agent->whitespaces_granted());
+    for (Duration g : wifi_agent->grant_history()) {
+      EXPECT_GT(g, Duration::zero());
+      EXPECT_LE(g, cfg.allocator.max_whitespace);
+    }
+  }
+}
+
+std::vector<InvariantParam> make_params() {
+  std::vector<InvariantParam> params;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    params.push_back({seed, Coordination::BiCord});
+  }
+  params.push_back({7, Coordination::Ecc});
+  params.push_back({8, Coordination::Ecc});
+  params.push_back({9, Coordination::Csma});
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, ScenarioInvariants, ::testing::ValuesIn(make_params()),
+    [](const ::testing::TestParamInfo<InvariantParam>& info) {
+      return std::string(to_string(info.param.scheme)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace bicord::coex

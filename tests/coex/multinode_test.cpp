@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "coex/scenario.hpp"
+
+namespace bicord::coex {
+namespace {
+
+using namespace bicord::time_literals;
+
+ScenarioConfig two_link_config(Coordination scheme) {
+  ScenarioConfig cfg;
+  cfg.seed = 31337;
+  cfg.coordination = scheme;
+  cfg.location = ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = 250_ms;
+  ExtraZigbeeSpec spec;
+  spec.location = ZigbeeLocation::C;
+  spec.burst.packets_per_burst = 3;
+  spec.burst.payload_bytes = 30;
+  spec.burst.mean_interval = 180_ms;
+  cfg.extra_zigbee.push_back(spec);
+  return cfg;
+}
+
+TEST(MultiNodeTest, LinkCountReflectsExtras) {
+  Scenario one(two_link_config(Coordination::BiCord));
+  EXPECT_EQ(one.zigbee_link_count(), 2u);
+  ScenarioConfig single = two_link_config(Coordination::BiCord);
+  single.extra_zigbee.clear();
+  Scenario zero(single);
+  EXPECT_EQ(zero.zigbee_link_count(), 1u);
+}
+
+TEST(MultiNodeTest, BothLinksDeliverUnderBiCord) {
+  Scenario sc(two_link_config(Coordination::BiCord));
+  sc.run_for(8_sec);
+  for (std::size_t i = 0; i < sc.zigbee_link_count(); ++i) {
+    const auto& s = sc.zigbee_stats_at(i);
+    EXPECT_GT(s.generated, 50u) << "link " << i;
+    EXPECT_GT(s.delivery_ratio(), 0.85) << "link " << i;
+  }
+}
+
+TEST(MultiNodeTest, AggregateSumsAllLinks) {
+  Scenario sc(two_link_config(Coordination::BiCord));
+  sc.run_for(5_sec);
+  const auto agg = sc.aggregate_zigbee_stats();
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::size_t delays = 0;
+  for (std::size_t i = 0; i < sc.zigbee_link_count(); ++i) {
+    generated += sc.zigbee_stats_at(i).generated;
+    delivered += sc.zigbee_stats_at(i).delivered;
+    delays += sc.zigbee_stats_at(i).delay_ms.count();
+  }
+  EXPECT_EQ(agg.generated, generated);
+  EXPECT_EQ(agg.delivered, delivered);
+  EXPECT_EQ(agg.delay_ms.count(), delays);
+}
+
+TEST(MultiNodeTest, SharedWhitespacesServeBothLinks) {
+  // Two requesters are indistinguishable to the Wi-Fi device; grants must
+  // still flow and both agents make progress.
+  Scenario sc(two_link_config(Coordination::BiCord));
+  sc.run_for(8_sec);
+  EXPECT_GT(sc.bicord_wifi()->whitespaces_granted(), 20u);
+  auto* extra = dynamic_cast<core::BiCordZigbeeAgent*>(&sc.zigbee_agent_at(1));
+  ASSERT_NE(extra, nullptr);
+  EXPECT_GT(extra->control_packets_sent(), 0u);
+}
+
+TEST(MultiNodeTest, EccServesExtrasToo) {
+  Scenario sc(two_link_config(Coordination::Ecc));
+  sc.run_for(8_sec);
+  EXPECT_GT(sc.zigbee_stats_at(1).delivery_ratio(), 0.7);
+}
+
+TEST(MultiNodeTest, CsmaExtrasStarveLikeThePrimary) {
+  Scenario sc(two_link_config(Coordination::Csma));
+  sc.run_for(5_sec);
+  EXPECT_LT(sc.zigbee_stats_at(0).delivery_ratio(), 0.1);
+  EXPECT_LT(sc.zigbee_stats_at(1).delivery_ratio(), 0.35);
+}
+
+TEST(MultiNodeTest, UtilizationStaysHealthy) {
+  Scenario sc(two_link_config(Coordination::BiCord));
+  sc.run_for(1_sec);
+  sc.start_measurement();
+  sc.run_for(8_sec);
+  EXPECT_GT(sc.utilization().total, 0.6);
+}
+
+TEST(MultiNodeTest, OutOfRangeIndexThrows) {
+  Scenario sc(two_link_config(Coordination::BiCord));
+  EXPECT_THROW(sc.zigbee_stats_at(2), std::out_of_range);
+  EXPECT_THROW(sc.zigbee_agent_at(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bicord::coex

@@ -1,0 +1,86 @@
+#include "coex/signaling_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::coex {
+namespace {
+
+SignalingExperimentConfig base_config(int trials = 120) {
+  SignalingExperimentConfig cfg;
+  cfg.seed = 404;
+  cfg.location = ZigbeeLocation::A;
+  cfg.power_dbm = 0.0;
+  cfg.control_packets = 4;
+  cfg.trials = trials;
+  return cfg;
+}
+
+TEST(SignalingExperimentTest, CountsAreConsistent) {
+  const auto r = run_signaling_experiment(base_config());
+  EXPECT_EQ(r.trials, 120);
+  EXPECT_LE(r.detected_trials, r.trials);
+  EXPECT_EQ(r.true_positives, r.detected_trials);
+  EXPECT_GE(r.false_positives, 0);
+  EXPECT_GE(r.recall(), 0.0);
+  EXPECT_LE(r.recall(), 1.0);
+  EXPECT_GE(r.precision(), 0.0);
+  EXPECT_LE(r.precision(), 1.0);
+}
+
+TEST(SignalingExperimentTest, LocationAIsReliable) {
+  const auto r = run_signaling_experiment(base_config());
+  // Paper Table II anchor: ~0.93 recall at A / 0 dBm / 4 packets.
+  EXPECT_GT(r.recall(), 0.8);
+  EXPECT_GT(r.precision(), 0.9);
+}
+
+TEST(SignalingExperimentTest, RecallRisesWithPacketCount) {
+  auto cfg3 = base_config();
+  cfg3.control_packets = 3;
+  auto cfg5 = base_config();
+  cfg5.control_packets = 5;
+  const auto r3 = run_signaling_experiment(cfg3);
+  const auto r5 = run_signaling_experiment(cfg5);
+  EXPECT_GE(r5.recall() + 0.03, r3.recall());  // small statistical slack
+}
+
+TEST(SignalingExperimentTest, LocationDNeedsLowPower) {
+  auto high = base_config();
+  high.location = ZigbeeLocation::D;
+  high.power_dbm = 0.0;
+  auto low = high;
+  low.power_dbm = -3.0;
+  const auto r_high = run_signaling_experiment(high);
+  const auto r_low = run_signaling_experiment(low);
+  // Sec. VIII-B: at D the ZigBee node silences the nearby Wi-Fi sender when
+  // it signals too loudly; -3 dBm works far better than 0 dBm.
+  EXPECT_GT(r_low.recall(), r_high.recall() + 0.2);
+}
+
+TEST(SignalingExperimentTest, WifiPrrBarelyAffected) {
+  const auto r = run_signaling_experiment(base_config());
+  EXPECT_GT(r.wifi_prr_baseline, 0.97);
+  // Paper: 1-6 % PRR impact from signaling.
+  EXPECT_GT(r.wifi_prr, r.wifi_prr_baseline - 0.08);
+}
+
+TEST(SignalingExperimentTest, AmplitudeOnlyAblationLosesPrecision) {
+  auto naive = base_config();
+  naive.amplitude_only = true;
+  naive.detector.n_required = 1;
+  const auto r_naive = run_signaling_experiment(naive);
+  const auto r_paper = run_signaling_experiment(base_config());
+  EXPECT_GT(r_naive.false_positives, r_paper.false_positives);
+  EXPECT_LT(r_naive.precision(), r_paper.precision());
+}
+
+TEST(SignalingExperimentTest, DeterministicPerSeed) {
+  const auto a = run_signaling_experiment(base_config(60));
+  const auto b = run_signaling_experiment(base_config(60));
+  EXPECT_EQ(a.detected_trials, b.detected_trials);
+  EXPECT_EQ(a.false_positives, b.false_positives);
+  EXPECT_DOUBLE_EQ(a.wifi_prr, b.wifi_prr);
+}
+
+}  // namespace
+}  // namespace bicord::coex

@@ -1,0 +1,143 @@
+// Integration tests of the coordination agents over the full simulated
+// stack, using the Scenario builder (the paper's Fig. 6 testbed).
+
+#include <gtest/gtest.h>
+
+#include "coex/scenario.hpp"
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+using coex::Coordination;
+using coex::Scenario;
+using coex::ScenarioConfig;
+using coex::ZigbeeLocation;
+
+ScenarioConfig base_config(Coordination scheme) {
+  ScenarioConfig cfg;
+  cfg.seed = 99;
+  cfg.coordination = scheme;
+  cfg.location = ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 50;
+  cfg.burst.mean_interval = 200_ms;
+  return cfg;
+}
+
+TEST(BiCordAgentsTest, DeliversAllPacketsUnderSaturatedWifi) {
+  Scenario sc(base_config(Coordination::BiCord));
+  sc.run_for(5_sec);
+  const auto& stats = sc.zigbee_stats();
+  EXPECT_GT(stats.generated, 80u);
+  // Every generated packet is either delivered or still queued (a burst may
+  // arrive right before the cutoff); nothing is dropped.
+  EXPECT_EQ(stats.delivered + sc.zigbee_agent().backlog(), stats.generated);
+  EXPECT_GT(stats.delivery_ratio(), 0.9);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(BiCordAgentsTest, DelayStaysLow) {
+  Scenario sc(base_config(Coordination::BiCord));
+  sc.run_for(5_sec);
+  EXPECT_LT(sc.zigbee_stats().delay_ms.mean(), 60.0);
+  EXPECT_LT(sc.zigbee_stats().delay_ms.quantile(0.5), 45.0);
+}
+
+TEST(BiCordAgentsTest, SignalingDrivesGrants) {
+  Scenario sc(base_config(Coordination::BiCord));
+  sc.run_for(5_sec);
+  auto* wifi = sc.bicord_wifi();
+  auto* zigbee = sc.bicord_zigbee();
+  ASSERT_NE(wifi, nullptr);
+  ASSERT_NE(zigbee, nullptr);
+  EXPECT_GT(zigbee->control_packets_sent(), 0u);
+  EXPECT_GT(wifi->requests_detected(), 0u);
+  EXPECT_GT(wifi->whitespaces_granted(), 0u);
+  // Roughly one grant per burst (some bursts need a supplement).
+  const auto bursts = sc.burst_source().bursts_generated();
+  EXPECT_GE(wifi->whitespaces_granted(), bursts / 2);
+  EXPECT_LE(wifi->whitespaces_granted(), bursts * 3);
+}
+
+TEST(BiCordAgentsTest, AllocatorConvergesToCoveringEstimate) {
+  Scenario sc(base_config(Coordination::BiCord));
+  sc.run_for(8_sec);
+  const auto& alloc = sc.bicord_wifi()->allocator();
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+  // A 5-packet burst occupies ~35 ms; the estimate must be in a sane band.
+  EXPECT_GE(alloc.estimate(), 10_ms);
+  EXPECT_LE(alloc.estimate(), 90_ms);
+}
+
+TEST(BiCordAgentsTest, PolicyIgnoreStopsGrants) {
+  auto cfg = base_config(Coordination::BiCord);
+  cfg.wifi_grants_requests = false;
+  Scenario sc(cfg);
+  sc.run_for(3_sec);
+  EXPECT_EQ(sc.bicord_wifi()->whitespaces_granted(), 0u);
+  EXPECT_GT(sc.bicord_wifi()->requests_ignored(), 0u);
+  EXPECT_GT(sc.bicord_zigbee()->ignored_requests(), 0u);
+  // Without white spaces almost nothing gets through.
+  EXPECT_LT(sc.zigbee_stats().delivery_ratio(), 0.3);
+}
+
+TEST(BiCordAgentsTest, WorksWithCbrWifiTraffic) {
+  auto cfg = base_config(Coordination::BiCord);
+  cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
+  Scenario sc(cfg);
+  sc.run_for(5_sec);
+  EXPECT_GT(sc.zigbee_stats().delivery_ratio(), 0.9);
+}
+
+TEST(EccAgentsTest, DeliversButSlowly) {
+  auto cfg = base_config(Coordination::Ecc);
+  cfg.ecc.whitespace = 30_ms;
+  Scenario sc(cfg);
+  sc.run_for(5_sec);
+  const auto& stats = sc.zigbee_stats();
+  EXPECT_GT(stats.delivery_ratio(), 0.85);
+  // Blind periodic white spaces force waiting for the next notification.
+  EXPECT_GT(stats.delay_ms.mean(), 40.0);
+  EXPECT_NE(sc.ecc_wifi(), nullptr);
+  EXPECT_GT(sc.ecc_wifi()->notifications_sent(), 40u);
+}
+
+TEST(EccAgentsTest, ZigbeeHearsNotifications) {
+  auto cfg = base_config(Coordination::Ecc);
+  Scenario sc(cfg);
+  sc.run_for(3_sec);
+  auto* agent = dynamic_cast<EccZigbeeAgent*>(&sc.zigbee_agent());
+  ASSERT_NE(agent, nullptr);
+  EXPECT_GT(agent->notifications_heard(), 20u);
+}
+
+TEST(CsmaAgentsTest, StarvesUnderSaturatedWifi) {
+  Scenario sc(base_config(Coordination::Csma));
+  sc.run_for(5_sec);
+  // The uncoordinated baseline loses nearly everything — the paper's
+  // motivation (>95 % loss under Wi-Fi interference).
+  EXPECT_LT(sc.zigbee_stats().delivery_ratio(), 0.05);
+}
+
+TEST(CsmaAgentsTest, FineOnCleanChannel) {
+  auto cfg = base_config(Coordination::Csma);
+  cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
+  cfg.wifi_cbr_interval = 1_sec;  // nearly idle Wi-Fi
+  Scenario sc(cfg);
+  sc.run_for(5_sec);
+  EXPECT_GT(sc.zigbee_stats().delivery_ratio(), 0.9);
+}
+
+TEST(AgentsTest, StatsAccounting) {
+  Scenario sc(base_config(Coordination::BiCord));
+  sc.run_for(3_sec);
+  const auto& stats = sc.zigbee_stats();
+  EXPECT_EQ(stats.generated, sc.burst_source().bursts_generated() * 5);
+  EXPECT_LE(stats.delivered + stats.dropped, stats.generated);
+  EXPECT_EQ(stats.delay_ms.count(), stats.delivered);
+  EXPECT_EQ(stats.payload_bytes_delivered, stats.delivered * 50);
+}
+
+}  // namespace
+}  // namespace bicord::core

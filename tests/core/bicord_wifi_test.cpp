@@ -1,0 +1,146 @@
+// Focused tests of the Wi-Fi-side BiCord agent: detection-to-grant wiring,
+// policy gating, grant bookkeeping, and end-of-burst feedback — driven by
+// injecting CSI samples directly into the agent's detector.
+
+#include "core/bicord_wifi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/tracer.hpp"
+#include "wifi/traffic.hpp"
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct BiCordWifiFixture : ::testing::Test {
+  BiCordWifiFixture() : sim(121), medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    e = medium.add_node("wifi-E", {0.0, 0.0});
+    f = medium.add_node("wifi-F", {3.0, 0.0});
+    wifi::WifiMac::Config wc;
+    wc.channel = 11;
+    sender = std::make_unique<wifi::WifiMac>(medium, e, wc);
+    receiver = std::make_unique<wifi::WifiMac>(medium, f, wc);
+    traffic = std::make_unique<wifi::SaturatedSource>(*sender, f, 2000);
+    traffic->start();
+  }
+
+  BiCordWifiAgent::Config agent_config() {
+    BiCordWifiAgent::Config cfg;
+    cfg.allocator.initial_whitespace = 30_ms;
+    cfg.allocator.control_duration = 5_ms;
+    cfg.allocator.end_of_burst_gap = 20_ms;
+    return cfg;
+  }
+
+  /// Injects a run of high-amplitude CSI samples (a "ZigBee request").
+  static void inject_request(BiCordWifiAgent& agent, TimePoint t) {
+    for (int i = 0; i < 3; ++i) {
+      csi::CsiSample s;
+      s.time = t + Duration::from_us(i * 700);
+      s.amplitude = 1.0;
+      agent.detector().add_sample(s);
+    }
+  }
+
+  sim::Simulator sim;
+  phy::Medium medium;
+  phy::NodeId e{}, f{};
+  std::unique_ptr<wifi::WifiMac> sender;
+  std::unique_ptr<wifi::WifiMac> receiver;
+  std::unique_ptr<wifi::SaturatedSource> traffic;
+};
+
+TEST_F(BiCordWifiFixture, DetectionGrantsCtsAndPausesWifi) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  phy::MediumTracer tracer(medium);
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  sim.run_for(50_ms);
+
+  EXPECT_EQ(agent.requests_detected(), 1u);
+  EXPECT_EQ(agent.whitespaces_granted(), 1u);
+  ASSERT_EQ(agent.grant_history().size(), 1u);
+  EXPECT_EQ(agent.grant_history()[0], 30_ms);  // learning phase grant
+
+  // A CTS from F must be on the trace, followed by a Wi-Fi-silent gap.
+  TimePoint cts_end;
+  bool cts_seen = false;
+  for (const auto& r : tracer.records()) {
+    if (r.kind == phy::FrameKind::Cts && r.src == f) {
+      cts_seen = true;
+      cts_end = r.end;
+    }
+  }
+  ASSERT_TRUE(cts_seen);
+  for (const auto& r : tracer.records()) {
+    if (r.tech == phy::Technology::WiFi && r.kind == phy::FrameKind::Data &&
+        r.start > cts_end && r.start < cts_end + 25_ms) {
+      FAIL() << "Wi-Fi data inside the granted white space";
+    }
+  }
+}
+
+TEST_F(BiCordWifiFixture, PolicyDeniesGrants) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  agent.set_policy([] { return false; });
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  sim.run_for(30_ms);
+  EXPECT_EQ(agent.requests_detected(), 1u);
+  EXPECT_EQ(agent.whitespaces_granted(), 0u);
+  EXPECT_EQ(agent.requests_ignored(), 1u);
+  EXPECT_FALSE(receiver->paused());
+}
+
+TEST_F(BiCordWifiFixture, DuplicateRequestsDuringGrantAreAbsorbed) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  sim.run_for(10_ms);  // inside the white space / pending grant
+  inject_request(agent, sim.now());
+  sim.run_for(5_ms);
+  EXPECT_EQ(agent.requests_detected(), 2u);
+  EXPECT_EQ(agent.whitespaces_granted(), 1u);  // one reservation serves both
+}
+
+TEST_F(BiCordWifiFixture, BurstEndFeedsAllocator) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  // One grant (30 ms) elapses with no further requests: after the 20 ms
+  // end-of-burst gap the allocator enters the adjusted phase.
+  sim.run_for(80_ms);
+  EXPECT_EQ(agent.allocator().phase(), AllocatorPhase::Adjusted);
+  EXPECT_EQ(agent.allocator().estimate(), 30_ms - 2 * 5_ms);
+}
+
+TEST_F(BiCordWifiFixture, SecondBurstGetsAdjustedGrant) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  sim.run_for(100_ms);  // burst 1 over, adjusted
+  inject_request(agent, sim.now());
+  sim.run_for(50_ms);
+  ASSERT_EQ(agent.grant_history().size(), 2u);
+  EXPECT_EQ(agent.grant_history()[1], 20_ms);  // the adjusted estimate
+}
+
+TEST_F(BiCordWifiFixture, GrantObserverSeesEveryGrant) {
+  BiCordWifiAgent agent(*receiver, agent_config());
+  int observed = 0;
+  Duration last;
+  agent.set_grant_observer([&](TimePoint, Duration g) {
+    ++observed;
+    last = g;
+  });
+  sim.run_for(20_ms);
+  inject_request(agent, sim.now());
+  sim.run_for(100_ms);
+  EXPECT_EQ(observed, 1);
+  EXPECT_EQ(last, 30_ms);
+}
+
+}  // namespace
+}  // namespace bicord::core

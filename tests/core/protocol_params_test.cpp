@@ -1,0 +1,66 @@
+// The paper's protocol constants and the timing arithmetic its analysis
+// relies on — pinned so refactors cannot silently drift from Sec. V-VI.
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_params.hpp"
+#include "wifi/wifi_phy.hpp"
+#include "zigbee/zigbee_phy.hpp"
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+TEST(ProtocolParamsTest, PaperDefaults) {
+  const SignalingParams sig;
+  EXPECT_EQ(sig.control_payload_bytes, 120u);  // Sec. V
+  EXPECT_GE(sig.max_control_packets, 5);
+
+  const AllocatorParams alloc;
+  EXPECT_EQ(alloc.initial_whitespace, 30_ms);       // Sec. VI (30 or 40 ms)
+  EXPECT_EQ(alloc.control_duration, 8_ms);          // T_c in estimation
+  EXPECT_EQ(alloc.end_of_burst_gap, 20_ms);         // end-of-burst silence
+  EXPECT_EQ(alloc.reestimate_period, 10_sec);       // expiry timer
+}
+
+TEST(ProtocolParamsTest, ControlPacketSpansTwoWifiFrames) {
+  // Sec. V: "long enough (120 bytes) to cover two continuous Wi-Fi
+  // packets" — with the evaluation's 100-byte CBR frames.
+  const SignalingParams sig;
+  const Duration control =
+      zigbee::PhyTimings{}.data_airtime(sig.control_payload_bytes);
+  const Duration wifi_frame = wifi::PhyTimings{}.data_airtime(100);
+  EXPECT_GE(control, 2 * wifi_frame);
+}
+
+TEST(ProtocolParamsTest, PaperBurstArithmetic) {
+  // Sec. III-A: a 50-byte packet exchange (data + turnaround + ACK + app
+  // pacing + mean CSMA backoff) takes a handful of milliseconds; the
+  // paper's hardware measured ~6 ms per packet ("five packets ... about
+  // 30 ms"), this substrate lands slightly faster at ~4.6 ms.
+  const zigbee::PhyTimings t;
+  const Duration cycle = t.data_airtime(50) + t.turnaround + t.ack_airtime() +
+                         Duration::from_us(1600) /* pacing */ +
+                         t.backoff_period /* mean CSMA */;
+  EXPECT_GT(cycle, 4_ms);
+  EXPECT_LT(cycle, 7_ms);
+  // Five packets land in the paper's "about 30 ms" band.
+  EXPECT_GT(cycle * 5, 20_ms);
+  EXPECT_LT(cycle * 5, 35_ms);
+}
+
+TEST(ProtocolParamsTest, ZigbeeControlPacketAirtime) {
+  // 120 B payload + 17 B overhead at 32 us/byte = 4.384 ms.
+  EXPECT_EQ(zigbee::PhyTimings{}.data_airtime(120), Duration::from_us(4384));
+}
+
+TEST(ProtocolParamsTest, EstimationFormulaMatchesPaperExample) {
+  // Paper Sec. VIII-C anchor: 5 rounds of 30 ms with T_c = 8 ms -> 70 ms.
+  const AllocatorParams p;
+  const Duration t_est = (p.initial_whitespace - 2 * p.control_duration) * 5;
+  EXPECT_EQ(t_est, 70_ms);
+}
+
+}  // namespace
+}  // namespace bicord::core

@@ -1,0 +1,227 @@
+#include "core/whitespace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+TimePoint at_ms(std::int64_t ms) { return TimePoint::from_us(ms * 1000); }
+
+AllocatorParams params_30ms() {
+  AllocatorParams p;
+  p.initial_whitespace = 30_ms;
+  p.control_duration = 8_ms;
+  return p;
+}
+
+TEST(WhitespaceAllocatorTest, LearningGrantsInitialWhitespace) {
+  WhitespaceAllocator alloc(params_30ms());
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.on_request(at_ms(0)), 30_ms);
+  EXPECT_EQ(alloc.on_request(at_ms(40)), 30_ms);
+  EXPECT_EQ(alloc.rounds_this_burst(), 2);
+}
+
+TEST(WhitespaceAllocatorTest, PaperEstimationFormula) {
+  // T_est = (T_w - 2 T_c) * N_round: 5 rounds of 30 ms with T_c = 8 ms
+  // estimate 70 ms — exactly the paper's Fig. 7 anchor (10-packet burst,
+  // 62.7 ms, converges to ~70 ms after ~5 iterations).
+  WhitespaceAllocator alloc(params_30ms());
+  for (int i = 0; i < 5; ++i) alloc.on_request(at_ms(i * 40));
+  alloc.on_burst_end(at_ms(250));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+  EXPECT_EQ(alloc.estimate(), 70_ms);
+}
+
+TEST(WhitespaceAllocatorTest, AdjustedPhaseGrantsEstimate) {
+  WhitespaceAllocator alloc(params_30ms());
+  for (int i = 0; i < 3; ++i) alloc.on_request(at_ms(i * 40));
+  alloc.on_burst_end(at_ms(150));
+  EXPECT_EQ(alloc.estimate(), 42_ms);
+  EXPECT_EQ(alloc.on_request(at_ms(200)), 42_ms);
+}
+
+TEST(WhitespaceAllocatorTest, SupplementalGrantIsInitialWhitespace) {
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));  // estimate 14 ms
+  EXPECT_EQ(alloc.on_request(at_ms(100)), 14_ms);
+  EXPECT_EQ(alloc.on_request(at_ms(120)), 30_ms);  // fell short: supplement
+}
+
+TEST(WhitespaceAllocatorTest, SingleShortfallDoesNotRatchet) {
+  // A lone over-long burst (two Poisson bursts coinciding) must not grow
+  // the steady-state estimate.
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_request(at_ms(0));
+  alloc.on_request(at_ms(35));
+  alloc.on_burst_end(at_ms(80));  // learning: estimate 28
+  const Duration estimate = alloc.estimate();
+
+  alloc.on_request(at_ms(200));
+  alloc.on_request(at_ms(235));  // shortfall 1
+  alloc.on_burst_end(at_ms(280));
+  EXPECT_EQ(alloc.estimate(), estimate);  // transient: unchanged
+}
+
+TEST(WhitespaceAllocatorTest, PersistentShortfallsRatchet) {
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));  // estimate 14
+  for (int burst = 0; burst < 3; ++burst) {
+    alloc.on_request(at_ms(200 + burst * 100));
+    alloc.on_request(at_ms(235 + burst * 100));
+    alloc.on_burst_end(at_ms(280 + burst * 100));
+  }
+  // Third consecutive shortfall of 1 round: estimate += (30 - 16).
+  EXPECT_EQ(alloc.estimate(), 28_ms);
+}
+
+TEST(WhitespaceAllocatorTest, TwoShortfallsAreStillTransient) {
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));  // estimate 14
+  for (int burst = 0; burst < 2; ++burst) {
+    alloc.on_request(at_ms(200 + burst * 100));
+    alloc.on_request(at_ms(235 + burst * 100));
+    alloc.on_burst_end(at_ms(280 + burst * 100));
+  }
+  alloc.on_request(at_ms(500));
+  alloc.on_burst_end(at_ms(550));  // fits again: streak broken
+  EXPECT_EQ(alloc.estimate(), 14_ms);
+}
+
+TEST(WhitespaceAllocatorTest, ConvergenceFlagAndIterationCount) {
+  WhitespaceAllocator alloc(params_30ms());
+  for (int i = 0; i < 3; ++i) alloc.on_request(at_ms(i * 40));  // 3 grants
+  alloc.on_burst_end(at_ms(150));
+  EXPECT_FALSE(alloc.converged());
+  alloc.on_request(at_ms(300));  // 4th grant, fits
+  alloc.on_burst_end(at_ms(400));
+  EXPECT_TRUE(alloc.converged());
+  EXPECT_EQ(alloc.iterations_to_converge(), 4);
+}
+
+TEST(WhitespaceAllocatorTest, GrantsCappedAtMaximum) {
+  AllocatorParams p = params_30ms();
+  p.max_whitespace = 50_ms;
+  WhitespaceAllocator alloc(p);
+  for (int i = 0; i < 10; ++i) alloc.on_request(at_ms(i * 40));
+  alloc.on_burst_end(at_ms(500));
+  // Raw estimate 140 ms clamps to 50 ms on grant.
+  EXPECT_EQ(alloc.on_request(at_ms(600)), 50_ms);
+}
+
+TEST(WhitespaceAllocatorTest, ExpiryForcesRelearning) {
+  AllocatorParams p = params_30ms();
+  p.reestimate_period = 1_sec;
+  WhitespaceAllocator alloc(p);
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+  // 2 s later (past the expiry), the next request re-enters learning.
+  EXPECT_EQ(alloc.on_request(at_ms(2000)), 30_ms);
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+}
+
+TEST(WhitespaceAllocatorTest, NoExpiryMidBurst) {
+  AllocatorParams p = params_30ms();
+  p.reestimate_period = 100_ms;
+  WhitespaceAllocator alloc(p);
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(10));
+  alloc.on_request(at_ms(200));  // expired: relearn, burst open
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  alloc.on_request(at_ms(500));  // mid-burst: must not reset again
+  EXPECT_EQ(alloc.rounds_this_burst(), 2);
+}
+
+TEST(WhitespaceAllocatorTest, ManualResetClearsEverything) {
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));
+  alloc.reset(at_ms(100));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.estimate(), Duration::zero());
+  EXPECT_FALSE(alloc.converged());
+  EXPECT_EQ(alloc.rounds_this_burst(), 0);
+}
+
+TEST(WhitespaceAllocatorTest, BurstEndWithoutBurstIsIgnored) {
+  WhitespaceAllocator alloc(params_30ms());
+  alloc.on_burst_end(at_ms(0));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.estimate(), Duration::zero());
+}
+
+TEST(WhitespaceAllocatorTest, DegenerateParamsStillGrantPositive) {
+  AllocatorParams p;
+  p.initial_whitespace = 10_ms;
+  p.control_duration = 8_ms;  // W0 - 2 T_c < 0: credit clamps to 1 ms
+  WhitespaceAllocator alloc(p);
+  alloc.on_request(at_ms(0));
+  alloc.on_burst_end(at_ms(50));
+  EXPECT_GT(alloc.estimate(), Duration::zero());
+}
+
+// --- Property sweep: emulate the paper's Fig. 8/9 arithmetic ---------------
+//
+// For every (burst size, step) combination, simulate the allocator against an
+// idealised ZigBee burst of `n` packets with the paper's ~6 ms per-packet
+// cycle and verify: (a) the allocator converges, (b) the converged white
+// space covers the burst, (c) over-provisioning is bounded.
+
+struct SweepParam {
+  int packets;
+  std::int64_t step_ms;
+};
+
+class AllocatorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AllocatorSweep, ConvergesAndCoversBurst) {
+  const auto [packets, step_ms] = GetParam();
+  AllocatorParams p;
+  p.initial_whitespace = Duration::from_ms(step_ms);
+  p.control_duration = 8_ms;
+  WhitespaceAllocator alloc(p);
+
+  const Duration per_packet = Duration::from_us(6270);  // paper: 62.7ms / 10
+  const Duration lead_in = 6_ms;  // signaling + CCA before the first packet
+  const Duration need = lead_in + per_packet * packets;
+
+  std::int64_t clock_ms = 0;
+  Duration final_grant;
+  for (int burst = 0; burst < 12; ++burst) {
+    Duration remaining = need;
+    int guard = 0;
+    while (remaining > Duration::zero() && ++guard < 50) {
+      const Duration grant = alloc.on_request(at_ms(clock_ms));
+      final_grant = grant;
+      remaining -= grant;  // idealised: the whole grant is usable
+      clock_ms += 40;
+    }
+    alloc.on_burst_end(at_ms(clock_ms));
+    clock_ms += 200;
+  }
+
+  EXPECT_TRUE(alloc.converged());
+  // Converged single-grant covers the burst...
+  EXPECT_GE(alloc.estimate() + 1_ms, need - p.initial_whitespace);
+  // ...and over-provisioning stays below one step + one round credit.
+  EXPECT_LE(alloc.estimate(), need + p.initial_whitespace + 14_ms);
+  (void)final_grant;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWorkloads, AllocatorSweep,
+    ::testing::Values(SweepParam{5, 30}, SweepParam{5, 40}, SweepParam{10, 30},
+                      SweepParam{10, 40}, SweepParam{15, 30}, SweepParam{15, 40}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "pkts" + std::to_string(info.param.packets) + "_step" +
+             std::to_string(info.param.step_ms);
+    });
+
+}  // namespace
+}  // namespace bicord::core

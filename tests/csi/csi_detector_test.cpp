@@ -1,0 +1,140 @@
+#include "csi/csi_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bicord::csi {
+namespace {
+
+CsiSample sample(std::int64_t us, double amplitude) {
+  CsiSample s;
+  s.time = TimePoint::from_us(us);
+  s.amplitude = amplitude;
+  return s;
+}
+
+TEST(CsiDetectorTest, TwoHighSamplesWithinWindowDetect) {
+  CsiDetector det;
+  std::vector<TimePoint> detections;
+  det.set_detection_callback([&](TimePoint t) { detections.push_back(t); });
+  det.add_sample(sample(0, 0.9));
+  det.add_sample(sample(3000, 0.9));  // 3 ms later, inside T = 5 ms
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].us(), 3000);
+}
+
+TEST(CsiDetectorTest, IsolatedImpulsesDoNotDetect) {
+  // The continuity rule: strong but isolated noise impulses are ignored.
+  CsiDetector det;
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  for (int i = 0; i < 100; ++i) {
+    det.add_sample(sample(i * 20000, 1.2));  // one impulse every 20 ms
+  }
+  EXPECT_EQ(detections, 0);
+  EXPECT_EQ(det.high_samples(), 100u);
+}
+
+TEST(CsiDetectorTest, LowAmplitudeNeverDetects) {
+  CsiDetector det;
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  for (int i = 0; i < 1000; ++i) det.add_sample(sample(i * 500, 0.2));
+  EXPECT_EQ(detections, 0);
+  EXPECT_EQ(det.high_samples(), 0u);
+  EXPECT_EQ(det.samples_seen(), 1000u);
+}
+
+TEST(CsiDetectorTest, RefractorySuppressesBurstDuplicates) {
+  DetectorParams p;
+  p.refractory = Duration::from_ms(8);
+  CsiDetector det(p);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  // A dense run of high samples 1 ms apart for 6 ms: one detection only.
+  for (int i = 0; i < 7; ++i) det.add_sample(sample(i * 1000, 1.0));
+  EXPECT_EQ(detections, 1);
+  // After the refractory a fresh run detects again.
+  for (int i = 0; i < 7; ++i) det.add_sample(sample(20000 + i * 1000, 1.0));
+  EXPECT_EQ(detections, 2);
+}
+
+TEST(CsiDetectorTest, HigherNRequiresMoreEvidence) {
+  DetectorParams p;
+  p.n_required = 4;
+  CsiDetector det(p);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  det.add_sample(sample(0, 1.0));
+  det.add_sample(sample(1000, 1.0));
+  det.add_sample(sample(2000, 1.0));
+  EXPECT_EQ(detections, 0);
+  det.add_sample(sample(3000, 1.0));
+  EXPECT_EQ(detections, 1);
+}
+
+TEST(CsiDetectorTest, WindowBoundaryIsExclusiveOfStale) {
+  DetectorParams p;
+  p.window = Duration::from_ms(5);
+  CsiDetector det(p);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  det.add_sample(sample(0, 1.0));
+  det.add_sample(sample(6000, 1.0));  // 6 ms later: outside window
+  EXPECT_EQ(detections, 0);
+  det.add_sample(sample(9000, 1.0));  // 3 ms after previous: inside
+  EXPECT_EQ(detections, 1);
+}
+
+TEST(CsiDetectorTest, AmplitudeOnlyAblationFiresPerImpulse) {
+  CsiDetector det;
+  det.set_amplitude_only(true);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  det.add_sample(sample(0, 1.0));
+  det.add_sample(sample(50000, 1.0));
+  det.add_sample(sample(100000, 1.0));
+  EXPECT_EQ(detections, 3);  // every isolated impulse is a (false) positive
+}
+
+TEST(CsiDetectorTest, ResetClearsState) {
+  CsiDetector det;
+  det.add_sample(sample(0, 1.0));
+  det.reset();
+  EXPECT_EQ(det.samples_seen(), 0u);
+  EXPECT_EQ(det.high_samples(), 0u);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  det.add_sample(sample(1000, 1.0));  // single high after reset: no pair
+  EXPECT_EQ(detections, 0);
+}
+
+TEST(CsiDetectorTest, RejectsBadParams) {
+  DetectorParams p;
+  p.n_required = 0;
+  EXPECT_THROW(CsiDetector{p}, std::invalid_argument);
+  DetectorParams q;
+  q.window = Duration::zero();
+  EXPECT_THROW(CsiDetector{q}, std::invalid_argument);
+}
+
+class DetectorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectorSweep, NWithinWindowAlwaysDetectsDenseRun) {
+  // Property: a run of N high samples 1 ms apart always triggers exactly one
+  // detection for any N in the sweep.
+  DetectorParams p;
+  p.n_required = GetParam();
+  p.window = Duration::from_ms(5);
+  CsiDetector det(p);
+  int detections = 0;
+  det.set_detection_callback([&](TimePoint) { ++detections; });
+  for (int i = 0; i < GetParam(); ++i) det.add_sample(sample(i * 1000, 1.0));
+  EXPECT_EQ(detections, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Continuity, DetectorSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace bicord::csi

@@ -1,0 +1,163 @@
+#include "csi/csi_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace bicord::csi {
+namespace {
+
+using namespace bicord::time_literals;
+
+phy::RxResult wifi_rx(double rssi_dbm, bool zb_overlap, double zb_dbm,
+                      phy::TxId zb_tx = phy::kInvalidTx) {
+  phy::RxResult rx;
+  rx.frame.tech = phy::Technology::WiFi;
+  rx.rssi_dbm = rssi_dbm;
+  rx.zigbee_overlap = zb_overlap;
+  rx.zigbee_overlap_dbm = zb_dbm;
+  rx.zigbee_overlap_tx = zb_tx;
+  rx.success = true;
+  return rx;
+}
+
+struct CsiModelFixture : ::testing::Test {
+  CsiModelFixture() : sim(41) {}
+
+  /// Feeds `n` frames spaced 1 ms apart, changing the overlapping ZigBee
+  /// transmission id every `samples_per_packet` frames (a fresh visibility
+  /// draw per packet). Returns the fraction of samples above `threshold`.
+  double high_fraction(CsiStream& stream, int n, bool overlap, double zb_dbm,
+                       int samples_per_packet = 4, double threshold = 0.45) {
+    int high = 0;
+    int total = 0;
+    stream.set_sample_callback([&](const CsiSample& s) {
+      ++total;
+      if (s.amplitude > threshold) ++high;
+    });
+    for (int i = 0; i < n; ++i) {
+      const auto tx = static_cast<phy::TxId>(1 + i / samples_per_packet);
+      stream.on_frame(wifi_rx(-35.0, overlap, zb_dbm, overlap ? tx : phy::kInvalidTx));
+      sim.run_for(1_ms);
+    }
+    return total ? static_cast<double>(high) / total : 0.0;
+  }
+
+  sim::Simulator sim;
+};
+
+TEST_F(CsiModelFixture, QuiescentJitterIsLow) {
+  CsiStream stream(sim, CsiModelParams{});
+  const double frac = high_fraction(stream, 5000, false, -120.0);
+  // Only impulse noise exceeds the threshold: ~1.2 % of samples.
+  EXPECT_LT(frac, 0.03);
+  EXPECT_GT(frac, 0.002);
+  EXPECT_EQ(stream.samples_emitted(), 5000u);
+}
+
+TEST_F(CsiModelFixture, StrongOverlapDisturbsMostPackets) {
+  CsiStream stream(sim, CsiModelParams{});
+  // ISR = -20 - (-35) = +15 dB: essentially every packet is visible and
+  // most of its samples go high.
+  const double frac = high_fraction(stream, 2000, true, -20.0);
+  EXPECT_GT(frac, 0.7);
+}
+
+TEST_F(CsiModelFixture, WeakOverlapRarelyDisturbs) {
+  CsiStream stream(sim, CsiModelParams{});
+  // ISR = -75 - (-35) = -40 dB: far below the visibility midpoint.
+  const double frac = high_fraction(stream, 2000, true, -75.0);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST_F(CsiModelFixture, MidIsrDisturbsAboutHalfThePackets) {
+  CsiStream stream(sim, CsiModelParams{});
+  // ISR = -44 - (-35) = -9 dB = the default visibility midpoint.
+  const double frac = high_fraction(stream, 4000, true, -44.0);
+  const double expected = 0.5 * CsiModelParams{}.visible_high_prob;
+  EXPECT_NEAR(frac, expected, 0.08);
+}
+
+TEST_F(CsiModelFixture, DisturbanceProbabilityMonotoneInIsr) {
+  CsiModelParams params;
+  double prev = -1.0;
+  for (double zb : {-70.0, -55.0, -46.0, -38.0}) {
+    CsiStream stream(sim, params);
+    const double frac = high_fraction(stream, 3000, true, zb);
+    EXPECT_GE(frac, prev - 0.03);  // allow small statistical slack
+    prev = frac;
+  }
+}
+
+TEST_F(CsiModelFixture, VisibilityIsPerPacketNotPerSample) {
+  // With one shared tx id, the whole run is a single visibility draw: the
+  // high fraction is either ~0 or ~visible_high_prob, nothing in between.
+  CsiModelParams params;
+  params.impulse_prob = 0.0;
+  int bimodal_hits = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    sim::Simulator local_sim(seed);
+    CsiStream stream(local_sim, params);
+    int high = 0;
+    stream.set_sample_callback([&](const CsiSample& s) {
+      if (s.amplitude > 0.45) ++high;
+    });
+    for (int i = 0; i < 200; ++i) {
+      stream.on_frame(wifi_rx(-35.0, true, -44.0, 7));  // same tx id always
+      local_sim.run_for(1_ms);
+    }
+    const double frac = high / 200.0;
+    if (frac < 0.05 || frac > 0.6) ++bimodal_hits;
+  }
+  EXPECT_EQ(bimodal_hits, 20);
+}
+
+TEST_F(CsiModelFixture, GroundTruthFlagOnlyWithOverlap) {
+  CsiStream stream(sim, CsiModelParams{});
+  bool truth_seen_without_overlap = false;
+  stream.set_sample_callback([&](const CsiSample& s) {
+    if (s.zigbee_ground_truth) truth_seen_without_overlap = true;
+  });
+  for (int i = 0; i < 2000; ++i) {
+    stream.on_frame(wifi_rx(-35.0, false, -120.0));
+    sim.run_for(1_ms);
+  }
+  EXPECT_FALSE(truth_seen_without_overlap);
+}
+
+TEST_F(CsiModelFixture, TailResetsAfterReceptionGap) {
+  CsiModelParams params;
+  params.impulse_prob = 0.0;
+  CsiStream stream(sim, params);
+  int high_tail = 0;
+  stream.set_sample_callback([&](const CsiSample& s) {
+    if (s.amplitude > 0.45) ++high_tail;
+  });
+  // Strongly visible packet, then a long pause, then clean frames: the
+  // estimator must have settled — no residual disturbance at all.
+  for (int i = 0; i < 5; ++i) {
+    stream.on_frame(wifi_rx(-35.0, true, -20.0, 9));
+    sim.run_for(1_ms);
+  }
+  sim.run_for(50_ms);
+  high_tail = 0;
+  for (int i = 0; i < 300; ++i) {
+    stream.on_frame(wifi_rx(-35.0, false, -120.0));
+    sim.run_for(1_ms);
+  }
+  EXPECT_EQ(high_tail, 0);
+}
+
+TEST_F(CsiModelFixture, PersonMobilityRaisesFalseFluctuations) {
+  CsiModelParams params;
+  CsiStream still(sim, params);
+  const double base = high_fraction(still, 4000, false, -120.0);
+  CsiStream moving(sim, params);
+  moving.set_mobility(2.0);  // person walking
+  const double mob = high_fraction(moving, 4000, false, -120.0);
+  EXPECT_GT(mob, base + 0.02);
+}
+
+}  // namespace
+}  // namespace bicord::csi

@@ -1,0 +1,143 @@
+#include "detect/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bicord::detect {
+namespace {
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  DecisionTree tree;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i), 0.0});
+    y.push_back(i < 10 ? 0 : 1);
+  }
+  tree.fit(x, y);
+  EXPECT_TRUE(tree.trained());
+  EXPECT_EQ(tree.predict({3.0, 0.0}), 0);
+  EXPECT_EQ(tree.predict({15.0, 0.0}), 1);
+  EXPECT_DOUBLE_EQ(tree.accuracy(x, y), 1.0);
+}
+
+TEST(DecisionTreeTest, LearnsTwoFeatureInteraction) {
+  // XOR-like corners need depth 2.
+  DecisionTree tree;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    x.push_back({a, b});
+    y.push_back((a < 0.5) == (b < 0.5) ? 0 : 1);
+  }
+  tree.fit(x, y);
+  EXPECT_GT(tree.accuracy(x, y), 0.95);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, MultiClass) {
+  DecisionTree tree;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      x.push_back({static_cast<double>(c) * 10.0 + static_cast<double>(i % 5)});
+      y.push_back(c);
+    }
+  }
+  tree.fit(x, y);
+  EXPECT_EQ(tree.predict({2.0}), 0);
+  EXPECT_EQ(tree.predict({12.0}), 1);
+  EXPECT_EQ(tree.predict({22.0}), 2);
+  EXPECT_EQ(tree.predict({32.0}), 3);
+}
+
+TEST(DecisionTreeTest, DepthLimitCapsTree) {
+  DecisionTree::Params p;
+  p.max_depth = 1;
+  DecisionTree tree(p);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    x.push_back({a, b});
+    y.push_back((a < 0.5) == (b < 0.5) ? 0 : 1);  // needs depth 2
+  }
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 1);
+  EXPECT_LT(tree.accuracy(x, y), 0.8);  // stump cannot solve XOR
+}
+
+TEST(DecisionTreeTest, MinLeafPreventsTinySplits) {
+  DecisionTree::Params p;
+  p.min_leaf = 50;
+  DecisionTree tree(p);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 5 ? 1 : 0);  // minority class smaller than min_leaf
+  }
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);  // no split possible
+  EXPECT_EQ(tree.predict({0.0}), 0);  // majority label
+}
+
+TEST(DecisionTreeTest, PureInputMakesLeaf) {
+  DecisionTree tree;
+  tree.fit({{1.0}, {2.0}, {3.0}}, {7, 7, 7});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({100.0}), 7);
+}
+
+TEST(DecisionTreeTest, IdenticalFeaturesCannotSplit) {
+  DecisionTree tree;
+  tree.fit({{5.0}, {5.0}, {5.0}, {5.0}, {5.0}, {5.0}}, {0, 1, 0, 1, 0, 0});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({5.0}), 0);
+}
+
+TEST(DecisionTreeTest, ValidatesInput) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(tree.fit({{1.0}}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(tree.fit({{1.0}, {1.0, 2.0}}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  tree.fit({{1.0, 2.0}, {3.0, 4.0}, {1.0, 2.0}, {3.0, 4.0}, {1.0, 2.0}, {3.0, 4.0}},
+           {0, 1, 0, 1, 0, 1});
+  EXPECT_THROW(tree.predict({}), std::invalid_argument);
+}
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, RobustToLabelNoise) {
+  // Property: training accuracy stays above 1 - 2*noise for moderate noise.
+  const double noise = GetParam();
+  DecisionTree::Params p;
+  p.max_depth = 4;
+  p.min_leaf = 8;
+  DecisionTree tree(p);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform();
+    int label = a < 0.5 ? 0 : 1;
+    if (rng.bernoulli(noise)) label = 1 - label;
+    x.push_back({a});
+    y.push_back(label);
+  }
+  tree.fit(x, y);
+  EXPECT_GT(tree.accuracy(x, y), 1.0 - 2.0 * noise - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseSweep, ::testing::Values(0.0, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace bicord::detect

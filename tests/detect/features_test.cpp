@@ -1,0 +1,117 @@
+#include "detect/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::detect {
+namespace {
+
+RssiSegment segment(std::vector<double> dbm) {
+  RssiSegment s;
+  s.sample_period = Duration::from_us(25);
+  s.dbm = std::move(dbm);
+  return s;
+}
+
+/// Builds a segment of `n` samples: floor everywhere except the runs given
+/// as (start, length, level).
+RssiSegment with_runs(std::size_t n,
+                      std::vector<std::tuple<std::size_t, std::size_t, double>> runs,
+                      double floor_dbm = -97.0) {
+  std::vector<double> v(n, floor_dbm);
+  for (const auto& [start, len, level] : runs) {
+    for (std::size_t i = start; i < start + len && i < n; ++i) v[i] = level;
+  }
+  return segment(std::move(v));
+}
+
+const FeatureParams kParams{};  // floor -97, busy margin +5
+
+TEST(FeaturesTest, HasActivityDetectsBusySamples) {
+  EXPECT_FALSE(has_activity(with_runs(200, {}), kParams));
+  EXPECT_TRUE(has_activity(with_runs(200, {{10, 5, -60.0}}), kParams));
+  // Samples below floor + margin do not count as activity.
+  EXPECT_FALSE(has_activity(with_runs(200, {{10, 5, -93.0}}), kParams));
+}
+
+TEST(FeaturesTest, AverageOnAirTime) {
+  // Two runs of 4 and 8 samples at 25 us: mean 6 * 25 = 150 us.
+  const auto seg = with_runs(200, {{10, 4, -60.0}, {50, 8, -60.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.avg_on_air_us, 150.0, 1e-9);
+}
+
+TEST(FeaturesTest, MinPacketInterval) {
+  // Gaps: 10 samples and 30 samples -> min 10 * 25 = 250 us.
+  const auto seg = with_runs(200, {{10, 4, -60.0}, {24, 4, -60.0}, {58, 4, -60.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.min_packet_interval_us, 250.0, 1e-9);
+}
+
+TEST(FeaturesTest, SingleRunReportsFullWindowInterval) {
+  const auto seg = with_runs(200, {{10, 20, -60.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.min_packet_interval_us, 200 * 25.0, 1e-9);
+}
+
+TEST(FeaturesTest, PeakToAveragePowerRatio) {
+  // Busy samples at -60 and -70 dBm: peak/avg = 1 uW over 0.55 uW = 2.6 dB.
+  const auto seg = with_runs(200, {{10, 1, -60.0}, {20, 1, -70.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.peak_to_avg_db, 2.596, 0.01);
+}
+
+TEST(FeaturesTest, ConstantPowerHasZeroPapr) {
+  const auto seg = with_runs(200, {{10, 50, -60.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.peak_to_avg_db, 0.0, 1e-9);
+}
+
+TEST(FeaturesTest, UnderNoiseFloorFraction) {
+  // 150 of 200 samples at the floor, 50 busy.
+  const auto seg = with_runs(200, {{0, 50, -60.0}});
+  const auto f = extract_tech_features(seg, kParams);
+  EXPECT_NEAR(f.under_noise_floor, 150.0 / 200.0, 1e-9);
+}
+
+TEST(FeaturesTest, FingerprintSpanLevelVariance) {
+  const auto seg = with_runs(200, {{10, 1, -50.0}, {20, 1, -60.0}});
+  const auto fp = extract_fingerprint(seg, kParams);
+  EXPECT_NEAR(fp.energy_span_db, 10.0, 1e-9);
+  EXPECT_NEAR(fp.energy_level_dbm, -55.0, 1e-9);
+  EXPECT_NEAR(fp.energy_variance, 25.0, 1e-9);
+  EXPECT_NEAR(fp.occupancy, 2.0 / 200.0, 1e-9);
+}
+
+TEST(FeaturesTest, IdleFingerprintIsZero) {
+  const auto fp = extract_fingerprint(with_runs(200, {}), kParams);
+  EXPECT_DOUBLE_EQ(fp.energy_span_db, 0.0);
+  EXPECT_DOUBLE_EQ(fp.energy_level_dbm, 0.0);
+  EXPECT_DOUBLE_EQ(fp.occupancy, 0.0);
+}
+
+TEST(FeaturesTest, AsArrayOrderingStable) {
+  TechFeatures f;
+  f.avg_on_air_us = 1;
+  f.min_packet_interval_us = 2;
+  f.peak_to_avg_db = 3;
+  f.under_noise_floor = 4;
+  const auto arr = f.as_array();
+  EXPECT_EQ(arr[0], 1);
+  EXPECT_EQ(arr[1], 2);
+  EXPECT_EQ(arr[2], 3);
+  EXPECT_EQ(arr[3], 4);
+}
+
+TEST(FeaturesTest, WifiVsZigbeeSignatureDiffer) {
+  // Wi-Fi: short dense frames (3 samples on, 37 off at 40 kHz ~ 75 us on /
+  // 925 us off). ZigBee: long frames (86 samples ~ 2.1 ms).
+  RssiSegment wifi = with_runs(
+      200, {{0, 3, -55.0}, {40, 3, -55.0}, {80, 3, -55.0}, {120, 3, -55.0}, {160, 3, -55.0}});
+  RssiSegment zigbee = with_runs(200, {{20, 86, -55.0}});
+  const auto fw = extract_tech_features(wifi, kParams);
+  const auto fz = extract_tech_features(zigbee, kParams);
+  EXPECT_LT(fw.avg_on_air_us, fz.avg_on_air_us / 5.0);
+}
+
+}  // namespace
+}  // namespace bicord::detect

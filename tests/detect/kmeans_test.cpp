@@ -1,0 +1,118 @@
+#include "detect/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::detect {
+namespace {
+
+TEST(ManhattanTest, DistanceArithmetic) {
+  EXPECT_DOUBLE_EQ(manhattan({0.0, 0.0}, {3.0, 4.0}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({1.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1.0, 2.0}, {1.0, -2.0}), 6.0);
+  EXPECT_THROW(manhattan({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ZscoreTest, NormalizesToZeroMeanUnitSd) {
+  const auto out = zscore_normalize({{0.0, 10.0}, {2.0, 20.0}, {4.0, 30.0}});
+  ASSERT_EQ(out.size(), 3u);
+  double mean0 = 0.0;
+  for (const auto& r : out) mean0 += r[0];
+  EXPECT_NEAR(mean0 / 3.0, 0.0, 1e-12);
+  EXPECT_NEAR(out[0][0], -out[2][0], 1e-12);
+}
+
+TEST(ZscoreTest, ConstantDimensionPassesThrough) {
+  const auto out = zscore_normalize({{5.0, 1.0}, {5.0, 2.0}});
+  EXPECT_DOUBLE_EQ(out[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 5.0);
+}
+
+TEST(ZscoreTest, EmptyAndRagged) {
+  EXPECT_TRUE(zscore_normalize({}).empty());
+  EXPECT_THROW(zscore_normalize({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(KmeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> truth;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      rows.push_back({centers[c][0] + rng.normal(0.0, 0.5),
+                      centers[c][1] + rng.normal(0.0, 0.5)});
+      truth.push_back(c);
+    }
+  }
+  KmeansParams p;
+  p.k = 3;
+  const auto result = kmeans_manhattan(rows, p, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.centroids.size(), 3u);
+  EXPECT_GT(cluster_purity(result.labels, truth), 0.98);
+}
+
+TEST(KmeansTest, SingleCluster) {
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({rng.uniform(), rng.uniform()});
+  KmeansParams p;
+  p.k = 1;
+  const auto result = kmeans_manhattan(rows, p, rng);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(KmeansTest, ValidatesInput) {
+  Rng rng(7);
+  KmeansParams p;
+  p.k = 3;
+  EXPECT_THROW(kmeans_manhattan({}, p, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans_manhattan({{1.0}, {2.0}}, p, rng), std::invalid_argument);
+  p.k = 0;
+  EXPECT_THROW(kmeans_manhattan({{1.0}}, p, rng), std::invalid_argument);
+}
+
+TEST(KmeansTest, DeterministicGivenSameRngState) {
+  std::vector<std::vector<double>> rows;
+  Rng data_rng(8);
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({data_rng.uniform() + (i < 25 ? 0.0 : 5.0)});
+  }
+  KmeansParams p;
+  p.k = 2;
+  Rng a(99);
+  Rng b(99);
+  const auto ra = kmeans_manhattan(rows, p, a);
+  const auto rb = kmeans_manhattan(rows, p, b);
+  EXPECT_EQ(ra.labels, rb.labels);
+}
+
+TEST(ClusterPurityTest, PerfectAndWorstCase) {
+  EXPECT_DOUBLE_EQ(cluster_purity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
+  // Every cluster is a 50/50 mix: purity 0.5.
+  EXPECT_DOUBLE_EQ(cluster_purity({0, 0, 1, 1}, {5, 7, 5, 7}), 0.5);
+  EXPECT_THROW(cluster_purity({}, {}), std::invalid_argument);
+  EXPECT_THROW(cluster_purity({0}, {0, 1}), std::invalid_argument);
+}
+
+class KSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KSweep, LabelsAlwaysInRange) {
+  Rng rng(11);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.uniform() * 10.0, rng.uniform() * 10.0});
+  }
+  KmeansParams p;
+  p.k = GetParam();
+  const auto result = kmeans_manhattan(rows, p, rng);
+  for (int label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, p.k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kmeans, KSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace bicord::detect

@@ -1,0 +1,87 @@
+#include "detect/rssi_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/spectrum.hpp"
+#include "sim/simulator.hpp"
+
+namespace bicord::detect {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct SamplerFixture : ::testing::Test {
+  SamplerFixture() : sim(51), medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    node = medium.add_node("collector", {0.0, 0.0});
+    source = medium.add_node("source", {1.0, 0.0});
+  }
+  sim::Simulator sim;
+  phy::Medium medium;
+  phy::NodeId node{};
+  phy::NodeId source{};
+};
+
+TEST_F(SamplerFixture, DefaultCaptureIs200SamplesAt40kHz) {
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  RssiSegment got;
+  sampler.capture([&](RssiSegment s) { got = std::move(s); });
+  sim.run_all();
+  EXPECT_EQ(got.dbm.size(), 200u);
+  EXPECT_EQ(got.sample_period, Duration::from_us(25));
+  EXPECT_EQ(got.length(), 5_ms);
+}
+
+TEST_F(SamplerFixture, QuietChannelReadsNoiseFloor) {
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  RssiSegment got;
+  sampler.capture([&](RssiSegment s) { got = std::move(s); });
+  sim.run_all();
+  for (double v : got.dbm) {
+    EXPECT_NEAR(v, phy::Medium::noise_floor_dbm(phy::zigbee_channel(24)), 0.01);
+  }
+}
+
+TEST_F(SamplerFixture, CapturesTransmissionEdges) {
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  // Source transmits from t = 1 ms to t = 3 ms; capture spans 0-5 ms.
+  sim.after(1_ms, [&] {
+    phy::Frame f;
+    f.tech = phy::Technology::ZigBee;
+    f.src = source;
+    medium.begin_tx(f, phy::zigbee_channel(24), 0.0, 2_ms);
+  });
+  RssiSegment got;
+  sampler.capture([&](RssiSegment s) { got = std::move(s); });
+  sim.run_all();
+  int busy = 0;
+  for (double v : got.dbm) {
+    if (v > -60.0) ++busy;
+  }
+  // 2 ms busy of 5 ms window at 25 us/sample: about 80 samples.
+  EXPECT_NEAR(busy, 80, 3);
+}
+
+TEST_F(SamplerFixture, BusyFlagAndListenTime) {
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  EXPECT_FALSE(sampler.busy());
+  sampler.capture([](RssiSegment) {});
+  EXPECT_TRUE(sampler.busy());
+  EXPECT_THROW(sampler.capture([](RssiSegment) {}), std::logic_error);
+  sim.run_all();
+  EXPECT_FALSE(sampler.busy());
+  EXPECT_EQ(sampler.listen_time(), 5_ms);
+}
+
+TEST_F(SamplerFixture, CustomCadence) {
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  RssiSegment got;
+  sampler.capture(10, Duration::from_us(100), [&](RssiSegment s) { got = std::move(s); });
+  const TimePoint start = sim.now();
+  sim.run_all();
+  EXPECT_EQ(got.dbm.size(), 10u);
+  EXPECT_EQ(sim.now() - start, Duration::from_us(900));  // 9 gaps
+  EXPECT_THROW(sampler.capture(0, 1_ms, [](RssiSegment) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bicord::detect

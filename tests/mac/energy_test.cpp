@@ -1,0 +1,93 @@
+#include "zigbee/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "zigbee/zigbee_mac.hpp"
+
+namespace bicord::zigbee {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct EnergyFixture : ::testing::Test {
+  EnergyFixture() : sim(31), medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    node = medium.add_node("z", {0.0, 0.0});
+    peer = medium.add_node("p", {1.0, 0.0});
+  }
+  sim::Simulator sim;
+  phy::Medium medium;
+  phy::NodeId node{};
+  phy::NodeId peer{};
+};
+
+TEST_F(EnergyFixture, IdleDrawMatchesDatasheet) {
+  EnergyMeter meter(sim);
+  ZigbeeMac mac(medium, node, ZigbeeMac::Config{});
+  meter.attach(mac.radio());
+  sim.run_for(1_sec);
+  // Idle: 0.426 mA * 3 V * 1 s = 1.278 mJ.
+  EXPECT_NEAR(meter.total_mj(), 1.278, 0.01);
+  EXPECT_EQ(meter.time_in(phy::RadioState::Idle), 1_sec);
+}
+
+TEST_F(EnergyFixture, TransmitEnergyAccounted) {
+  EnergyMeter meter(sim);
+  ZigbeeMac mac(medium, node, ZigbeeMac::Config{});
+  meter.attach(mac.radio());
+  meter.set_tx_power_dbm(0.0);
+  mac.send_raw({phy::kBroadcastNode, 120, phy::FrameKind::Control,
+                ZigbeeMac::kNoOverride, 0});
+  sim.run_for(10_ms);
+  // Control frame: (120+17) bytes * 32 us = 4.384 ms at 17.4 mA, 3 V.
+  const double expected_tx = 17.4 * 3.0 * 0.004384;
+  EXPECT_NEAR(meter.tx_mj(), expected_tx, 0.005);
+  EXPECT_EQ(meter.time_in(phy::RadioState::Tx), Duration::from_us(137 * 32));
+}
+
+TEST_F(EnergyFixture, LowerPowerDrawsLessCurrent) {
+  EnergyMeter meter_hi(sim);
+  EnergyMeter meter_lo(sim);
+  meter_hi.set_tx_power_dbm(0.0);
+  meter_lo.set_tx_power_dbm(-25.0);
+  ZigbeeMac mac_hi(medium, node, ZigbeeMac::Config{});
+  ZigbeeMac mac_lo(medium, peer, ZigbeeMac::Config{});
+  meter_hi.attach(mac_hi.radio());
+  meter_lo.attach(mac_lo.radio());
+  mac_hi.send_raw({phy::kBroadcastNode, 120, phy::FrameKind::Control, 0.0, 0});
+  mac_lo.send_raw({phy::kBroadcastNode, 120, phy::FrameKind::Control, -25.0, 0});
+  sim.run_for(10_ms);
+  EXPECT_GT(meter_hi.tx_mj(), meter_lo.tx_mj());
+  EXPECT_NEAR(meter_lo.tx_mj() / meter_hi.tx_mj(), 8.5 / 17.4, 0.01);
+}
+
+TEST_F(EnergyFixture, AddListenCreditsRxEnergy) {
+  EnergyMeter meter(sim);
+  meter.add_listen(5_ms);
+  EXPECT_NEAR(meter.rx_mj(), 18.8 * 3.0 * 0.005, 1e-9);
+  meter.add_listen(Duration::zero());
+  meter.add_listen(Duration::from_us(-5));
+  EXPECT_NEAR(meter.rx_mj(), 18.8 * 3.0 * 0.005, 1e-9);
+}
+
+TEST_F(EnergyFixture, ResetZeroesAccumulators) {
+  EnergyMeter meter(sim);
+  meter.add_listen(5_ms);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.rx_mj(), 0.0);
+  EXPECT_NEAR(meter.total_mj(), 0.0, 1e-9);
+}
+
+TEST_F(EnergyFixture, SleepDrawsAlmostNothing) {
+  EnergyMeter meter(sim);
+  ZigbeeMac mac(medium, node, ZigbeeMac::Config{});
+  meter.attach(mac.radio());
+  mac.radio().sleep();
+  sim.run_for(1_sec);
+  EXPECT_LT(meter.total_mj(), 0.1);
+  EXPECT_EQ(meter.time_in(phy::RadioState::Sleep), 1_sec);
+}
+
+}  // namespace
+}  // namespace bicord::zigbee

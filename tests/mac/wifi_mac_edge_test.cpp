@@ -1,0 +1,175 @@
+// Edge cases of the Wi-Fi MAC: NAV vs pause interaction, control-frame
+// expedited access, CCA measurement noise, and listener lifecycle safety.
+
+#include <gtest/gtest.h>
+
+#include "phy/tracer.hpp"
+#include "sim/simulator.hpp"
+#include "wifi/wifi_mac.hpp"
+
+namespace bicord::wifi {
+namespace {
+
+using namespace bicord::time_literals;
+using phy::FrameKind;
+
+struct EdgeFixture : ::testing::Test {
+  EdgeFixture() : sim(141), medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    a = medium.add_node("A", {0.0, 0.0});
+    b = medium.add_node("B", {3.0, 0.0});
+    c = medium.add_node("C", {1.5, 1.0});
+    mac_a = std::make_unique<WifiMac>(medium, a, WifiMac::Config{});
+    mac_b = std::make_unique<WifiMac>(medium, b, WifiMac::Config{});
+  }
+  sim::Simulator sim;
+  phy::Medium medium;
+  phy::NodeId a{}, b{}, c{};
+  std::unique_ptr<WifiMac> mac_a;
+  std::unique_ptr<WifiMac> mac_b;
+};
+
+TEST_F(EdgeFixture, NavAndPauseComposeToLaterGate) {
+  // A is paused for 10 ms and then hears a CTS reserving 30 ms: the later
+  // gate (NAV) wins.
+  mac_a->pause_for(10_ms);
+  mac_b->enqueue_front({phy::kBroadcastNode, 0, FrameKind::Cts, 30_ms, 0});
+  sim.run_for(2_ms);
+  std::vector<TimePoint> sent;
+  mac_a->set_sent_callback(
+      [&](const WifiMac::SendOutcome& o) { sent.push_back(o.completed); });
+  mac_a->enqueue({b, 100, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(60_ms);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_GE(sent[0], TimePoint::from_us(30000));
+}
+
+TEST_F(EdgeFixture, CtsGetsPifsExpeditedAccess) {
+  // A CTS reaches the air after a bare PIFS with no random backoff.
+  phy::MediumTracer tracer(medium);
+  mac_a->enqueue_front({phy::kBroadcastNode, 0, FrameKind::Cts, 5_ms, 0});
+  sim.run_for(5_ms);
+  ASSERT_GE(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].kind, FrameKind::Cts);
+  EXPECT_LE(tracer.records()[0].start.us(), 30);  // PIFS = 19 us (+ slack)
+
+  // enqueue_front queues ahead of *pending* frames but cannot preempt an
+  // attempt already contending: data enqueued first still wins.
+  tracer.clear();
+  sim.run_for(10_ms);
+  mac_a->enqueue({b, 1000, FrameKind::Data, Duration::zero(), 0});
+  mac_a->enqueue({b, 1000, FrameKind::Data, Duration::zero(), 0});
+  mac_a->enqueue_front({phy::kBroadcastNode, 0, FrameKind::Cts, 5_ms, 0});
+  sim.run_for(30_ms);
+  // Consider only A's transmissions (B's ACKs interleave on the trace).
+  std::vector<FrameKind> from_a;
+  for (const auto& r : tracer.records()) {
+    if (r.src == a) from_a.push_back(r.kind);
+  }
+  ASSERT_GE(from_a.size(), 3u);
+  EXPECT_EQ(from_a[0], FrameKind::Data);  // already contending: not preempted
+  EXPECT_EQ(from_a[1], FrameKind::Cts);   // front of the pending queue
+  EXPECT_EQ(from_a[2], FrameKind::Data);
+}
+
+TEST_F(EdgeFixture, SelfPauseDoesNotBlockAcks) {
+  // B is inside its own reservation but must still ACK A's traffic once the
+  // NAV (set on A by the same CTS) expires — ACKs bypass contention.
+  mac_b->enqueue_front({phy::kBroadcastNode, 0, FrameKind::Cts, 15_ms, 0});
+  sim.run_for(20_ms);  // reservation over
+  bool delivered = false;
+  mac_a->set_sent_callback(
+      [&](const WifiMac::SendOutcome& o) { delivered = o.delivered; });
+  mac_a->enqueue({b, 200, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(20_ms);
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(EdgeFixture, ZeroCcaNoiseIsDeterministic) {
+  // Two identically-seeded simulators with zero CCA noise must produce the
+  // exact same delivery timeline.
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim2(seed);
+    phy::Medium medium2(sim2, phy::PathLossModel{40.0, 3.0, 0.0, 0.1});
+    const auto x = medium2.add_node("x", {0.0, 0.0});
+    const auto y = medium2.add_node("y", {3.0, 0.0});
+    WifiMac mx(medium2, x, WifiMac::Config{});
+    WifiMac my(medium2, y, WifiMac::Config{});
+    std::vector<std::int64_t> times;
+    mx.set_sent_callback(
+        [&](const WifiMac::SendOutcome& o) { times.push_back(o.completed.us()); });
+    for (int i = 0; i < 10; ++i) {
+      mx.enqueue({y, 500, FrameKind::Data, Duration::zero(), 0});
+    }
+    sim2.run_for(100_ms);
+    return times;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+TEST_F(EdgeFixture, QueueDepthTracksLifecycle) {
+  EXPECT_EQ(mac_a->queue_depth(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    mac_a->enqueue({b, 100, FrameKind::Data, Duration::zero(), 0});
+  }
+  // One became the in-flight attempt.
+  EXPECT_EQ(mac_a->queue_depth(), 2u);
+  sim.run_for(50_ms);
+  EXPECT_EQ(mac_a->queue_depth(), 0u);
+  EXPECT_EQ(mac_a->delivered(), 3u);
+}
+
+TEST_F(EdgeFixture, MediumListenerDetachDuringCallbackIsSafe) {
+  struct OneShot : phy::MediumListener {
+    phy::Medium& medium;
+    int events = 0;
+    explicit OneShot(phy::Medium& m) : medium(m) { medium.attach(this); }
+    void on_tx_start(const phy::ActiveTransmission&) override {
+      ++events;
+      medium.detach(this);  // detach from inside the notification
+    }
+    void on_tx_end(const phy::ActiveTransmission&) override { ++events; }
+  } listener(medium);
+
+  mac_a->enqueue({phy::kBroadcastNode, 100, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(10_ms);
+  mac_a->enqueue({phy::kBroadcastNode, 100, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(10_ms);
+  // Only the first start event observed: one from on_tx_start, possibly one
+  // end from the snapshot taken before detach.
+  EXPECT_LE(listener.events, 2);
+  EXPECT_GE(listener.events, 1);
+}
+
+TEST_F(EdgeFixture, AttachDuringCallbackTakesEffectNextTransmission) {
+  struct Spawner : phy::MediumListener {
+    phy::Medium& medium;
+    phy::MediumListener* child;
+    explicit Spawner(phy::Medium& m, phy::MediumListener* kid)
+        : medium(m), child(kid) {
+      medium.attach(this);
+    }
+    void on_tx_start(const phy::ActiveTransmission&) override {
+      medium.attach(child);
+      medium.detach(this);
+    }
+    void on_tx_end(const phy::ActiveTransmission&) override {}
+  };
+  struct Counter : phy::MediumListener {
+    int starts = 0;
+    void on_tx_start(const phy::ActiveTransmission&) override { ++starts; }
+    void on_tx_end(const phy::ActiveTransmission&) override {}
+  } counter;
+  Spawner spawner(medium, &counter);
+
+  mac_a->enqueue({phy::kBroadcastNode, 100, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(10_ms);
+  const int after_first = counter.starts;
+  mac_a->enqueue({phy::kBroadcastNode, 100, FrameKind::Data, Duration::zero(), 0});
+  sim.run_for(10_ms);
+  EXPECT_EQ(counter.starts, after_first + 1);
+  medium.detach(&counter);
+}
+
+}  // namespace
+}  // namespace bicord::wifi

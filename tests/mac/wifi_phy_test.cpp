@@ -1,0 +1,54 @@
+#include "wifi/wifi_phy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::wifi {
+namespace {
+
+TEST(WifiPhyTest, DerivedIfsTimings) {
+  PhyTimings t;
+  EXPECT_EQ(t.difs(), Duration::from_us(28));  // SIFS + 2 slots
+  EXPECT_EQ(t.pifs(), Duration::from_us(19));  // SIFS + 1 slot
+}
+
+TEST(WifiPhyTest, AirtimeWholeSymbols) {
+  PhyTimings t;
+  // 0-byte PSDU: 22 bits at 24 Mb/s -> 96 bits/symbol -> 1 symbol.
+  EXPECT_EQ(t.airtime(0, 24.0), Duration::from_us(24));
+  // 100 bytes + 28 MAC overhead at 24 Mb/s: 16+1024+6=1046 bits -> 11 sym.
+  EXPECT_EQ(t.data_airtime(100), Duration::from_us(20 + 11 * 4));
+}
+
+TEST(WifiPhyTest, AirtimeMonotoneInSize) {
+  PhyTimings t;
+  Duration prev = t.data_airtime(0);
+  for (std::uint32_t b = 50; b <= 2000; b += 50) {
+    const Duration cur = t.data_airtime(b);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(WifiPhyTest, FasterRateShorterAirtime) {
+  PhyTimings t;
+  EXPECT_LT(t.airtime(1000, 54.0), t.airtime(1000, 24.0));
+  EXPECT_LT(t.airtime(1000, 24.0), t.airtime(1000, 6.0));
+}
+
+TEST(WifiPhyTest, ControlFrameAirtimes) {
+  PhyTimings t;
+  // ACK/CTS are 14 bytes at the basic rate (6 Mb/s -> 24 bits/symbol):
+  // 16 + 112 + 6 = 134 bits -> 6 symbols -> 20 + 24 us.
+  EXPECT_EQ(t.ack_airtime(), Duration::from_us(44));
+  EXPECT_EQ(t.cts_airtime(), Duration::from_us(44));
+}
+
+TEST(WifiPhyTest, HundredByteCbrFrameFitsWellUnderAMillisecond) {
+  // The paper's Wi-Fi workload: 100-byte packets every 1 ms must leave idle
+  // air between frames (that is what ZigBee control packets overlap).
+  PhyTimings t;
+  EXPECT_LT(t.data_airtime(100), Duration::from_us(200));
+}
+
+}  // namespace
+}  // namespace bicord::wifi

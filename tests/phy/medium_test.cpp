@@ -1,0 +1,169 @@
+#include "phy/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace bicord::phy {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct Fixture : ::testing::Test {
+  Fixture() : sim(1), medium(sim, PathLossModel{40.0, 3.0, 0.0, 0.1}) {}
+
+  Frame zigbee_frame(NodeId src) {
+    Frame f;
+    f.tech = Technology::ZigBee;
+    f.src = src;
+    return f;
+  }
+
+  sim::Simulator sim;
+  Medium medium;
+};
+
+TEST_F(Fixture, NodeRegistryRoundTrip) {
+  const NodeId a = medium.add_node("a", {1.0, 2.0});
+  const NodeId b = medium.add_node("b", {3.0, 4.0});
+  EXPECT_EQ(medium.node_count(), 2u);
+  EXPECT_EQ(medium.node_name(a), "a");
+  EXPECT_EQ(medium.position(b).x, 3.0);
+  medium.set_position(a, {5.0, 6.0});
+  EXPECT_EQ(medium.position(a).y, 6.0);
+  EXPECT_THROW(medium.position(99), std::out_of_range);
+  EXPECT_THROW(medium.set_position(99, {0, 0}), std::out_of_range);
+}
+
+TEST_F(Fixture, RxPowerFollowsPathLossAndOverlap) {
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  const NodeId rx = medium.add_node("rx", {1.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  const Band wf = wifi_channel(11);
+
+  // Same band at 1 m: P - PL(1m) = 0 - 40.
+  EXPECT_NEAR(medium.rx_power_dbm(tx, 0.0, zb, rx, zb), -40.0, 1e-9);
+  // ZigBee victim of a Wi-Fi transmission: extra 10 dB overlap loss.
+  EXPECT_NEAR(medium.rx_power_dbm(tx, 20.0, wf, rx, zb), 20.0 - 40.0 - 10.0, 1e-9);
+  // Wi-Fi victim of a ZigBee transmission: no overlap loss.
+  EXPECT_NEAR(medium.rx_power_dbm(tx, 0.0, zb, rx, wf), -40.0, 1e-9);
+}
+
+TEST_F(Fixture, RxPowerSymmetricLinks) {
+  const NodeId a = medium.add_node("a", {0.0, 0.0});
+  const NodeId b = medium.add_node("b", {2.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  EXPECT_DOUBLE_EQ(medium.rx_power_dbm(a, 0.0, zb, b, zb),
+                   medium.rx_power_dbm(b, 0.0, zb, a, zb));
+}
+
+TEST_F(Fixture, EnergyIsNoiseFloorWhenIdle) {
+  const NodeId rx = medium.add_node("rx", {0.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  EXPECT_NEAR(medium.energy_dbm(rx, zb), Medium::noise_floor_dbm(zb), 1e-9);
+}
+
+TEST_F(Fixture, NoiseFloorScalesWithBandwidth) {
+  // 20 MHz floor should be 10 dB above the 2 MHz floor.
+  EXPECT_NEAR(Medium::noise_floor_dbm(wifi_channel(11)) -
+                  Medium::noise_floor_dbm(zigbee_channel(24)),
+              10.0, 1e-9);
+}
+
+TEST_F(Fixture, ActiveTransmissionRaisesEnergy) {
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  const NodeId rx = medium.add_node("rx", {1.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  medium.begin_tx(zigbee_frame(tx), zb, 0.0, 2_ms);
+  EXPECT_NEAR(medium.energy_dbm(rx, zb), -40.0, 0.1);
+  sim.run_for(3_ms);
+  EXPECT_NEAR(medium.energy_dbm(rx, zb), Medium::noise_floor_dbm(zb), 1e-9);
+}
+
+TEST_F(Fixture, EnergyExcludesSelfAndRequestedSource) {
+  const NodeId a = medium.add_node("a", {0.0, 0.0});
+  const NodeId b = medium.add_node("b", {1.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  medium.begin_tx(zigbee_frame(a), zb, 0.0, 2_ms);
+  // a's own emission is not part of a's received energy.
+  EXPECT_NEAR(medium.energy_dbm(a, zb), Medium::noise_floor_dbm(zb), 1e-9);
+  // Excluding the transmitter removes its contribution at b.
+  EXPECT_NEAR(medium.energy_dbm(b, zb, a), Medium::noise_floor_dbm(zb), 1e-9);
+}
+
+TEST_F(Fixture, EnergyCombinesMultipleSources) {
+  const NodeId a = medium.add_node("a", {0.0, 1.0});
+  const NodeId b = medium.add_node("b", {0.0, -1.0});
+  const NodeId rx = medium.add_node("rx", {0.0, 0.0});
+  const Band zb = zigbee_channel(24);
+  medium.begin_tx(zigbee_frame(a), zb, 0.0, 2_ms);
+  medium.begin_tx(zigbee_frame(b), zb, 0.0, 2_ms);
+  // Two equal -40 dBm signals combine to -37 dBm.
+  EXPECT_NEAR(medium.energy_dbm(rx, zb), -37.0, 0.1);
+}
+
+TEST_F(Fixture, ListenersSeeStartAndEnd) {
+  struct Listener : MediumListener {
+    int starts = 0;
+    int ends = 0;
+    void on_tx_start(const ActiveTransmission&) override { ++starts; }
+    void on_tx_end(const ActiveTransmission&) override { ++ends; }
+  } listener;
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  medium.attach(&listener);
+  medium.begin_tx(zigbee_frame(tx), zigbee_channel(24), 0.0, 1_ms);
+  EXPECT_EQ(listener.starts, 1);
+  EXPECT_EQ(listener.ends, 0);
+  sim.run_for(2_ms);
+  EXPECT_EQ(listener.ends, 1);
+  medium.detach(&listener);
+  medium.begin_tx(zigbee_frame(tx), zigbee_channel(24), 0.0, 1_ms);
+  sim.run_for(2_ms);
+  EXPECT_EQ(listener.starts, 1);
+}
+
+TEST_F(Fixture, AirtimeAccounting) {
+  const NodeId z = medium.add_node("z", {0.0, 0.0});
+  const NodeId w = medium.add_node("w", {1.0, 0.0});
+  medium.begin_tx(zigbee_frame(z), zigbee_channel(24), 0.0, 3_ms);
+  Frame wf;
+  wf.tech = Technology::WiFi;
+  wf.src = w;
+  medium.begin_tx(wf, wifi_channel(11), 20.0, 5_ms);
+  sim.run_for(10_ms);
+  EXPECT_EQ(medium.airtime(Technology::ZigBee), 3_ms);
+  EXPECT_EQ(medium.airtime(Technology::WiFi), 5_ms);
+  EXPECT_EQ(medium.airtime(Technology::Bluetooth), Duration::zero());
+  EXPECT_EQ(medium.airtime_of(z), 3_ms);
+  EXPECT_EQ(medium.airtime_of(w), 5_ms);
+}
+
+TEST_F(Fixture, ActiveListReflectsInFlight) {
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  EXPECT_TRUE(medium.active().empty());
+  medium.begin_tx(zigbee_frame(tx), zigbee_channel(24), 0.0, 1_ms);
+  EXPECT_EQ(medium.active().size(), 1u);
+  sim.run_for(2_ms);
+  EXPECT_TRUE(medium.active().empty());
+}
+
+TEST_F(Fixture, BeginTxValidatesArguments) {
+  Frame f = zigbee_frame(0);
+  EXPECT_THROW(medium.begin_tx(f, zigbee_channel(24), 0.0, 1_ms),
+               std::invalid_argument);  // node 0 not registered
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  f.src = tx;
+  EXPECT_THROW(medium.begin_tx(f, zigbee_channel(24), 0.0, Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST_F(Fixture, FloorsVeryWeakSignals) {
+  const NodeId tx = medium.add_node("tx", {0.0, 0.0});
+  const NodeId rx = medium.add_node("rx", {1000.0, 0.0});
+  const double p = medium.rx_power_dbm(tx, 0.0, zigbee_channel(24), rx, zigbee_channel(24));
+  EXPECT_DOUBLE_EQ(p, kFloorDbm);
+}
+
+}  // namespace
+}  // namespace bicord::phy

@@ -1,0 +1,69 @@
+#include "phy/path_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/geometry.hpp"
+
+namespace bicord::phy {
+namespace {
+
+TEST(PathLossTest, ReferenceLossAtOneMetre) {
+  PathLossModel m{40.0, 3.0, 0.0, 0.1};
+  EXPECT_DOUBLE_EQ(m.mean_loss_db(1.0), 40.0);
+}
+
+TEST(PathLossTest, TenXDistanceAdds10nDb) {
+  PathLossModel m{40.0, 3.0, 0.0, 0.1};
+  EXPECT_NEAR(m.mean_loss_db(10.0) - m.mean_loss_db(1.0), 30.0, 1e-9);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  PathLossModel m{40.0, 2.8, 0.0, 0.1};
+  double prev = m.mean_loss_db(0.2);
+  for (double d = 0.4; d < 50.0; d += 0.4) {
+    const double cur = m.mean_loss_db(d);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLossTest, NearFieldClamped) {
+  PathLossModel m{40.0, 3.0, 0.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.mean_loss_db(0.01), m.mean_loss_db(0.5));
+}
+
+TEST(PathLossTest, ShadowingDeterministicPerLink) {
+  PathLossModel m{40.0, 3.0, 4.0, 0.1};
+  EXPECT_DOUBLE_EQ(m.shadowing_db(12345), m.shadowing_db(12345));
+  EXPECT_NE(m.shadowing_db(12345), m.shadowing_db(54321));
+}
+
+TEST(PathLossTest, ShadowingZeroWhenDisabled) {
+  PathLossModel m{40.0, 3.0, 0.0, 0.1};
+  EXPECT_DOUBLE_EQ(m.shadowing_db(999), 0.0);
+}
+
+TEST(PathLossTest, ShadowingRoughlyZeroMeanUnitSpread) {
+  PathLossModel m{40.0, 3.0, 4.0, 0.1};
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = m.shadowing_db(static_cast<std::uint64_t>(i) * 2654435761u);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(sd, 4.0, 0.15);
+}
+
+TEST(GeometryTest, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({-1.0, 0.0}, {2.0, 4.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace bicord::phy

@@ -1,0 +1,120 @@
+#include "phy/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace bicord::phy {
+namespace {
+
+using namespace bicord::time_literals;
+
+struct TracerFixture : ::testing::Test {
+  TracerFixture() : sim(91), medium(sim, PathLossModel{40.0, 3.0, 0.0, 0.1}) {
+    wifi_node = medium.add_node("wifi", {0.0, 0.0});
+    zb_node = medium.add_node("zigbee", {1.0, 0.0});
+  }
+
+  /// Schedules a transmission `delay` from *now* lasting `len`.
+  void emit(Technology tech, FrameKind kind, NodeId src, Duration delay, Duration len) {
+    sim.after(delay, [this, tech, kind, src, len] {
+      Frame f;
+      f.tech = tech;
+      f.kind = kind;
+      f.src = src;
+      f.bytes = 42;
+      const Band band = tech == Technology::WiFi ? wifi_channel(11) : zigbee_channel(24);
+      medium.begin_tx(f, band, 0.0, len);
+    });
+  }
+
+  sim::Simulator sim;
+  Medium medium;
+  NodeId wifi_node{};
+  NodeId zb_node{};
+};
+
+TEST_F(TracerFixture, RecordsTransmissions) {
+  MediumTracer tracer(medium);
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 1_ms, 2_ms);
+  emit(Technology::ZigBee, FrameKind::Control, zb_node, 2_ms, 4_ms);
+  sim.run_for(10_ms);
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].tech, Technology::WiFi);
+  EXPECT_EQ(tracer.records()[0].start.us(), 1000);
+  EXPECT_EQ(tracer.records()[0].end.us(), 3000);
+  EXPECT_EQ(tracer.records()[1].kind, FrameKind::Control);
+  EXPECT_EQ(tracer.records()[1].bytes, 42u);
+}
+
+TEST_F(TracerFixture, StopDetaches) {
+  MediumTracer tracer(medium);
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 1_ms, 1_ms);
+  sim.run_for(3_ms);
+  tracer.stop();
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 1_ms, 1_ms);
+  sim.run_for(3_ms);
+  EXPECT_EQ(tracer.records().size(), 1u);
+}
+
+TEST_F(TracerFixture, WindowFiltersOverlap) {
+  MediumTracer tracer(medium);
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 1_ms, 1_ms);   // 1-2 ms
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 5_ms, 1_ms);   // 5-6 ms
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 10_ms, 1_ms);  // 10-11 ms
+  sim.run_for(20_ms);
+  const auto w = tracer.window(TimePoint::from_us(4000), TimePoint::from_us(7000));
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].start.us(), 5000);
+}
+
+TEST_F(TracerFixture, JsonlContainsFields) {
+  MediumTracer tracer(medium);
+  emit(Technology::ZigBee, FrameKind::Data, zb_node, 1_ms, 2_ms);
+  sim.run_for(5_ms);
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"start_us\":1000"), std::string::npos);
+  EXPECT_NE(line.find("\"end_us\":3000"), std::string::npos);
+  EXPECT_NE(line.find("\"node\":\"zigbee\""), std::string::npos);
+  EXPECT_NE(line.find("\"tech\":\"ZigBee\""), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"Data\""), std::string::npos);
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST_F(TracerFixture, TimelineShowsActivity) {
+  MediumTracer tracer(medium);
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 0_ms, 5_ms);
+  emit(Technology::WiFi, FrameKind::Cts, wifi_node, 5_ms, 1_ms);
+  emit(Technology::ZigBee, FrameKind::Data, zb_node, 6_ms, 4_ms);
+  sim.run_for(20_ms);
+  const std::string timeline =
+      tracer.render_timeline(TimePoint::origin(), TimePoint::from_us(10000), 10);
+  // Wi-Fi row: data for first half, CTS at bucket 5-6; ZigBee after.
+  EXPECT_NE(timeline.find("wifi   |WWWWWC"), std::string::npos);
+  EXPECT_NE(timeline.find("ZZZZ|"), std::string::npos);
+  EXPECT_NE(timeline.find("other  |........"), std::string::npos);
+}
+
+TEST_F(TracerFixture, TimelineHandlesDegenerateArgs) {
+  MediumTracer tracer(medium);
+  EXPECT_TRUE(tracer.render_timeline(TimePoint::from_us(5), TimePoint::from_us(5)).empty());
+  EXPECT_TRUE(
+      tracer.render_timeline(TimePoint::from_us(9), TimePoint::from_us(5)).empty());
+  EXPECT_TRUE(
+      tracer.render_timeline(TimePoint::origin(), TimePoint::from_us(10), 0).empty());
+}
+
+TEST_F(TracerFixture, ClearResets) {
+  MediumTracer tracer(medium);
+  emit(Technology::WiFi, FrameKind::Data, wifi_node, 1_ms, 1_ms);
+  sim.run_for(5_ms);
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+}  // namespace
+}  // namespace bicord::phy

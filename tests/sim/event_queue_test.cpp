@@ -1,0 +1,109 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bicord::sim {
+namespace {
+
+TimePoint at_us(std::int64_t us) { return TimePoint::from_us(us); }
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_us(30), [&] { order.push_back(3); });
+  q.schedule(at_us(10), [&] { order.push_back(1); });
+  q.schedule(at_us(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_us(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(at_us(1), [] {});
+  q.schedule(at_us(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelledEventNeverFires) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(at_us(1), [&] { fired = true; });
+  q.schedule(at_us(2), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().callback();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelReturnsFalseForFiredEvent) {
+  EventQueue q;
+  const EventId id = q.schedule(at_us(1), [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelReturnsFalseTwice) {
+  EventQueue q;
+  const EventId id = q.schedule(at_us(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidId) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(at_us(1), [] {});
+  q.schedule(at_us(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), at_us(5));
+}
+
+TEST(EventQueueTest, ThrowsOnEmptyAccess) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueueTest, RejectsNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(at_us(1), EventCallback{}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify global ordering on pop.
+  std::uint64_t x = 42;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(at_us(static_cast<std::int64_t>(x % 100000)), [] {});
+  }
+  TimePoint last = TimePoint::origin();
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace bicord::sim

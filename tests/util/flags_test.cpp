@@ -1,0 +1,133 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+Flags make_flags() {
+  Flags f("test program");
+  f.add_string("name", "default", "a string");
+  f.add_int("count", 5, "an int");
+  f.add_double("ratio", 0.5, "a double");
+  f.add_bool("verbose", false, "a bool");
+  return f;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  Flags f = make_flags();
+  const auto argv = argv_of({});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(f.get_string("name"), "default");
+  EXPECT_EQ(f.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.provided("name"));
+}
+
+TEST(FlagsTest, SpaceSeparatedValues) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--name", "zig", "--count", "42", "--ratio", "2.25"});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(f.get_string("name"), "zig");
+  EXPECT_EQ(f.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 2.25);
+  EXPECT_TRUE(f.provided("count"));
+}
+
+TEST(FlagsTest, EqualsSeparatedValues) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--name=bee", "--count=-3", "--ratio=1e-3"});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(f.get_string("name"), "bee");
+  EXPECT_EQ(f.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 1e-3);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  {
+    Flags f = make_flags();
+    const auto argv = argv_of({"--verbose"});
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(f.get_bool("verbose"));
+  }
+  {
+    Flags f = make_flags();
+    const auto argv = argv_of({"--verbose", "--no-verbose"});
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(f.get_bool("verbose"));
+  }
+  {
+    Flags f = make_flags();
+    const auto argv = argv_of({"--verbose=true"});
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(f.get_bool("verbose"));
+  }
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--bogus", "1"});
+  EXPECT_FALSE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(f.error().find("bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, RejectsTypeMismatch) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--count", "many"});
+  EXPECT_FALSE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(f.error().find("integer"), std::string::npos);
+
+  Flags g = make_flags();
+  const auto argv2 = argv_of({"--ratio", "fast"});
+  EXPECT_FALSE(g.parse(static_cast<int>(argv2.size()), argv2.data()));
+
+  Flags h = make_flags();
+  const auto argv3 = argv_of({"--verbose=maybe"});
+  EXPECT_FALSE(h.parse(static_cast<int>(argv3.size()), argv3.data()));
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--count"});
+  EXPECT_FALSE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(f.error().find("missing a value"), std::string::npos);
+}
+
+TEST(FlagsTest, HelpRequested) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"--help"});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(f.help_requested());
+  const std::string usage = f.usage("prog");
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a double"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  Flags f = make_flags();
+  const auto argv = argv_of({"alpha", "--count", "7", "beta"});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(FlagsTest, WrongTypeAccessThrows) {
+  Flags f = make_flags();
+  const auto argv = argv_of({});
+  ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(f.get_int("name"), std::logic_error);
+  EXPECT_THROW(f.get_string("count"), std::logic_error);
+  EXPECT_THROW(f.get_bool("unregistered"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bicord

@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bicord {
+namespace {
+
+struct LogCapture {
+  LogCapture() {
+    set_log_sink([this](const std::string& line) { lines.push_back(line); });
+  }
+  ~LogCapture() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Warn);
+  }
+  std::vector<std::string> lines;
+};
+
+TEST(LoggingTest, RespectsLevelThreshold) {
+  LogCapture capture;
+  set_log_level(LogLevel::Info);
+  BICORD_LOG(Debug, TimePoint::from_us(1), "test", "hidden");
+  BICORD_LOG(Info, TimePoint::from_us(2), "test", "shown " << 42);
+  BICORD_LOG(Error, TimePoint::from_us(3), "test", "also shown");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_NE(capture.lines[0].find("shown 42"), std::string::npos);
+  EXPECT_NE(capture.lines[1].find("ERROR"), std::string::npos);
+}
+
+TEST(LoggingTest, LineContainsTimeComponentLevel) {
+  LogCapture capture;
+  set_log_level(LogLevel::Trace);
+  BICORD_LOG(Warn, TimePoint::from_us(1500), "wifi.mac", "nav set");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_NE(line.find("1.500ms"), std::string::npos);
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("wifi.mac"), std::string::npos);
+  EXPECT_NE(line.find("nav set"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSuppressesEverything) {
+  LogCapture capture;
+  set_log_level(LogLevel::Off);
+  BICORD_LOG(Error, TimePoint::from_us(1), "test", "nope");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+}  // namespace
+}  // namespace bicord

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bicord {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats s;
+  const double vals[] = {1.0, 2.0, 4.0, 8.0};
+  for (double v : vals) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  // Sample variance with n-1 denominator.
+  const double expected_var = ((1 - 3.75) * (1 - 3.75) + (2 - 3.75) * (2 - 3.75) +
+                               (4 - 3.75) * (4 - 3.75) + (8 - 3.75) * (8 - 3.75)) /
+                              3.0;
+  EXPECT_NEAR(s.variance(), expected_var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(expected_var), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSingleStream) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(10.0, 4.0);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SamplesTest, QuantilesOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplesTest, QuantileAfterInterleavedInsertions) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);  // re-sorts lazily
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SamplesTest, ErrorsOnEmptyOrBadArgs) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SamplesTest, StddevMatchesFormula) {
+  Samples s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(15.0);  // clamps to bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_in_bin(0), 2u);
+  EXPECT_EQ(h.count_in_bin(9), 2u);
+  EXPECT_EQ(h.count_in_bin(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("[0, 1)"), std::string::npos);
+  EXPECT_EQ(out.find("[1, 2)"), std::string::npos);
+}
+
+TEST(MeanOfTest, HandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace bicord

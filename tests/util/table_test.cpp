@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 23456 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, TitleAndSeparators) {
+  AsciiTable t("My Table");
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.rfind("My Table", 0), 0u);
+  // header line + 3 separators from hline + 1 explicit = 5 '+--' lines
+  std::size_t lines = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_GE(lines, 4u);
+}
+
+TEST(AsciiTableTest, RaggedRowsPadded) {
+  AsciiTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(AsciiTableTest, CellFormatting) {
+  EXPECT_EQ(AsciiTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::cell(std::int64_t{42}), "42");
+  EXPECT_EQ(AsciiTable::percent(0.4567), "45.7%");
+  EXPECT_EQ(AsciiTable::percent(0.4567, 2), "45.67%");
+}
+
+TEST(BarChartTest, ScalesToWidth) {
+  const std::string out = bar_chart({{"x", 10.0}, {"y", 5.0}}, 10, "ms");
+  EXPECT_NE(out.find("x | ##########"), std::string::npos);
+  EXPECT_NE(out.find("y | #####"), std::string::npos);
+  EXPECT_NE(out.find("ms"), std::string::npos);
+}
+
+TEST(BarChartTest, HandlesAllZero) {
+  const std::string out = bar_chart({{"x", 0.0}}, 10);
+  EXPECT_NE(out.find("x | "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bicord

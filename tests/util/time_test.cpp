@@ -1,0 +1,82 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bicord {
+namespace {
+
+using namespace bicord::time_literals;
+
+TEST(DurationTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::from_ms(3).us(), 3000);
+  EXPECT_EQ(Duration::from_sec(2).us(), 2'000'000);
+  EXPECT_EQ(Duration::from_us(7).us(), 7);
+  EXPECT_EQ(Duration::from_sec_f(0.5).us(), 500'000);
+  EXPECT_EQ(Duration::from_ms_f(1.5).us(), 1500);
+}
+
+TEST(DurationTest, LiteralsMatchFactories) {
+  EXPECT_EQ(5_us, Duration::from_us(5));
+  EXPECT_EQ(5_ms, Duration::from_ms(5));
+  EXPECT_EQ(5_sec, Duration::from_sec(5));
+}
+
+TEST(DurationTest, ArithmeticAndComparison) {
+  EXPECT_EQ(2_ms + 3_ms, 5_ms);
+  EXPECT_EQ(5_ms - 3_ms, 2_ms);
+  EXPECT_EQ(2_ms * 3, 6_ms);
+  EXPECT_EQ(3 * 2_ms, 6_ms);
+  EXPECT_EQ(6_ms / 3, 2_ms);
+  EXPECT_EQ(6_ms / 2_ms, 3);
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ(-(3_ms), Duration::zero() - 3_ms);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = 1_ms;
+  d += 2_ms;
+  EXPECT_EQ(d, 3_ms);
+  d -= 1_ms;
+  EXPECT_EQ(d, 2_ms);
+}
+
+TEST(DurationTest, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ((1500_us).ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_ms).sec(), 2.5);
+}
+
+TEST(DurationTest, RoundingInFractionalFactories) {
+  EXPECT_EQ(Duration::from_sec_f(1e-6 * 0.4).us(), 0);
+  EXPECT_EQ(Duration::from_sec_f(1e-6 * 0.6).us(), 1);
+  EXPECT_EQ(Duration::from_sec_f(-1e-6 * 0.6).us(), -1);
+}
+
+TEST(TimePointTest, OffsetArithmetic) {
+  const TimePoint t = TimePoint::origin() + 5_ms;
+  EXPECT_EQ(t.us(), 5000);
+  EXPECT_EQ((t + 1_ms).us(), 6000);
+  EXPECT_EQ((t - 1_ms).us(), 4000);
+  EXPECT_EQ(t - TimePoint::origin(), 5_ms);
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a = TimePoint::from_us(10);
+  const TimePoint b = TimePoint::from_us(20);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint::from_us(10));
+  EXPECT_LE(a, a);
+}
+
+TEST(TimeFormattingTest, PicksHumanUnits) {
+  EXPECT_EQ((500_us).to_string(), "500us");
+  EXPECT_EQ((1500_us).to_string(), "1.500ms");
+  EXPECT_EQ((2_sec).to_string(), "2.000s");
+  std::ostringstream os;
+  os << 1500_us << " " << TimePoint::from_us(42);
+  EXPECT_EQ(os.str(), "1.500ms 42us");
+}
+
+}  // namespace
+}  // namespace bicord

@@ -1,0 +1,187 @@
+// bicordsim — run a configurable coexistence simulation from the shell.
+//
+//   bicordsim --scheme bicord --location A --burst-packets 5 \
+//             --burst-interval-ms 200 --seconds 10 --seed 7
+//
+// Prints the paper's metrics (channel utilization, ZigBee delay
+// percentiles, delivery, goodput, Wi-Fi health) for one run. Every knob of
+// coex::ScenarioConfig that the evaluation varies is exposed as a flag.
+
+#include <cstdio>
+#include <string>
+
+#include <fstream>
+#include <memory>
+
+#include "coex/scenario.hpp"
+#include "phy/tracer.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace bicord;
+
+namespace {
+bool parse_scheme(const std::string& s, coex::Coordination& out) {
+  if (s == "bicord") {
+    out = coex::Coordination::BiCord;
+  } else if (s == "ecc") {
+    out = coex::Coordination::Ecc;
+  } else if (s == "csma") {
+    out = coex::Coordination::Csma;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_location(const std::string& s, coex::ZigbeeLocation& out) {
+  if (s == "A" || s == "a") {
+    out = coex::ZigbeeLocation::A;
+  } else if (s == "B" || s == "b") {
+    out = coex::ZigbeeLocation::B;
+  } else if (s == "C" || s == "c") {
+    out = coex::ZigbeeLocation::C;
+  } else if (s == "D" || s == "d") {
+    out = coex::ZigbeeLocation::D;
+  } else {
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(
+      "bicordsim — BiCord/ECC/CSMA coexistence simulation (ICDCS'21 reproduction)");
+  flags.add_string("scheme", "bicord", "coordination scheme: bicord | ecc | csma");
+  flags.add_string("location", "A", "ZigBee sender location: A | B | C | D (Fig. 6)");
+  flags.add_int("burst-packets", 5, "ZigBee packets per burst");
+  flags.add_int("burst-payload", 50, "ZigBee payload bytes per packet");
+  flags.add_double("burst-interval-ms", 200.0, "mean interval between bursts");
+  flags.add_bool("poisson", true, "Poisson burst arrivals (vs fixed interval)");
+  flags.add_string("wifi-traffic", "saturated", "Wi-Fi workload: saturated | cbr | priority");
+  flags.add_double("wifi-high-share", 0.3, "high-priority share (priority traffic only)");
+  flags.add_double("ecc-whitespace-ms", 20.0, "ECC blind white-space length");
+  flags.add_double("ecc-period-ms", 100.0, "ECC white-space period");
+  flags.add_double("step-ms", 30.0, "BiCord initial white space (learning step)");
+  flags.add_bool("person-mobility", false, "someone walks near the Wi-Fi receiver");
+  flags.add_bool("device-mobility", false, "the ZigBee sender moves within ~1 m");
+  flags.add_int("seconds", 10, "measured simulation time");
+  flags.add_int("warmup-seconds", 1, "warm-up before measurement");
+  flags.add_int("seed", 1, "RNG seed (runs are bit-reproducible)");
+  flags.add_string("trace-file", "", "write a JSONL transmission trace to this path");
+  flags.add_bool("timeline", false, "print an ASCII timeline of the final 300 ms");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", flags.error().c_str(),
+                 flags.usage("bicordsim").c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage("bicordsim").c_str());
+    return 0;
+  }
+
+  coex::ScenarioConfig cfg;
+  if (!parse_scheme(flags.get_string("scheme"), cfg.coordination)) {
+    std::fprintf(stderr, "error: unknown scheme '%s'\n", flags.get_string("scheme").c_str());
+    return 2;
+  }
+  if (!parse_location(flags.get_string("location"), cfg.location)) {
+    std::fprintf(stderr, "error: unknown location '%s'\n",
+                 flags.get_string("location").c_str());
+    return 2;
+  }
+  const std::string wifi = flags.get_string("wifi-traffic");
+  if (wifi == "saturated") {
+    cfg.wifi_traffic = coex::WifiTrafficKind::Saturated;
+  } else if (wifi == "cbr") {
+    cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
+  } else if (wifi == "priority") {
+    cfg.wifi_traffic = coex::WifiTrafficKind::Priority;
+  } else {
+    std::fprintf(stderr, "error: unknown wifi traffic '%s'\n", wifi.c_str());
+    return 2;
+  }
+
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.burst.packets_per_burst = static_cast<int>(flags.get_int("burst-packets"));
+  cfg.burst.payload_bytes = static_cast<std::uint32_t>(flags.get_int("burst-payload"));
+  cfg.burst.mean_interval = Duration::from_ms_f(flags.get_double("burst-interval-ms"));
+  cfg.burst.poisson = flags.get_bool("poisson");
+  cfg.wifi_high_share = flags.get_double("wifi-high-share");
+  cfg.ecc.whitespace = Duration::from_ms_f(flags.get_double("ecc-whitespace-ms"));
+  cfg.ecc.period = Duration::from_ms_f(flags.get_double("ecc-period-ms"));
+  cfg.allocator.initial_whitespace = Duration::from_ms_f(flags.get_double("step-ms"));
+  cfg.person_mobility = flags.get_bool("person-mobility");
+  cfg.device_mobility = flags.get_bool("device-mobility");
+
+  coex::Scenario scenario(cfg);
+  std::unique_ptr<phy::MediumTracer> tracer;
+  if (!flags.get_string("trace-file").empty() || flags.get_bool("timeline")) {
+    tracer = std::make_unique<phy::MediumTracer>(scenario.medium(), 1 << 16);
+  }
+  scenario.run_for(Duration::from_sec(flags.get_int("warmup-seconds")));
+  scenario.start_measurement();
+  scenario.run_for(Duration::from_sec(flags.get_int("seconds")));
+
+  const auto util = scenario.utilization();
+  const auto& zb = scenario.zigbee_stats();
+
+  std::printf("bicordsim: scheme=%s location=%s seed=%llu, %llds measured\n\n",
+              coex::to_string(cfg.coordination), coex::to_string(cfg.location),
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<long long>(flags.get_int("seconds")));
+
+  AsciiTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"channel utilization (total)", AsciiTable::percent(util.total)});
+  table.add_row({"  wifi / zigbee share", AsciiTable::percent(util.wifi) + " / " +
+                                              AsciiTable::percent(util.zigbee)});
+  table.add_row({"zigbee packets generated",
+                 AsciiTable::cell(static_cast<std::int64_t>(zb.generated))});
+  table.add_row({"zigbee delivery ratio", AsciiTable::percent(zb.delivery_ratio())});
+  if (!zb.delay_ms.empty()) {
+    table.add_row({"zigbee delay mean / p50", AsciiTable::cell(zb.delay_ms.mean(), 1) +
+                                                  " / " +
+                                                  AsciiTable::cell(zb.delay_ms.median(), 1) +
+                                                  " ms"});
+    table.add_row({"zigbee delay p95 / max",
+                   AsciiTable::cell(zb.delay_ms.quantile(0.95), 1) + " / " +
+                       AsciiTable::cell(zb.delay_ms.max(), 1) + " ms"});
+  }
+  table.add_row({"zigbee goodput", AsciiTable::cell(scenario.zigbee_goodput_kbps(), 2) +
+                                       " kbit/s"});
+  table.add_row({"wifi delivery ratio", AsciiTable::percent(scenario.wifi_delivery_ratio())});
+  if (auto* agent = scenario.bicord_zigbee()) {
+    table.add_row({"control packets sent",
+                   AsciiTable::cell(static_cast<std::int64_t>(agent->control_packets_sent()))});
+    table.add_row({"white spaces granted",
+                   AsciiTable::cell(static_cast<std::int64_t>(
+                       scenario.bicord_wifi()->whitespaces_granted()))});
+    table.add_row({"converged white space",
+                   AsciiTable::cell(scenario.bicord_wifi()->allocator().estimate().ms(), 1) +
+                       " ms"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (tracer != nullptr) {
+    if (flags.get_bool("timeline")) {
+      const TimePoint end = scenario.simulator().now();
+      std::printf("\n%s",
+                  tracer->render_timeline(end - Duration::from_ms(300), end).c_str());
+    }
+    const std::string path = flags.get_string("trace-file");
+    if (!path.empty()) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open trace file '%s'\n", path.c_str());
+        return 1;
+      }
+      tracer->write_jsonl(out);
+      std::printf("\ntrace: %zu transmissions written to %s\n",
+                  tracer->records().size(), path.c_str());
+    }
+  }
+  return 0;
+}
