@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_expiry.dir/bench_ablation_expiry.cpp.o"
+  "CMakeFiles/bench_ablation_expiry.dir/bench_ablation_expiry.cpp.o.d"
+  "bench_ablation_expiry"
+  "bench_ablation_expiry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_expiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cti_accuracy.dir/bench_cti_accuracy.cpp.o"
+  "CMakeFiles/bench_cti_accuracy.dir/bench_cti_accuracy.cpp.o.d"
+  "bench_cti_accuracy"
+  "bench_cti_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cti_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

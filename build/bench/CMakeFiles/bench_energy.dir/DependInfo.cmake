@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_energy.cpp" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coex/CMakeFiles/bicord_coex.dir/DependInfo.cmake"
+  "/root/repo/build/src/interferers/CMakeFiles/bicord_interferers.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctc/CMakeFiles/bicord_ctc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/bicord_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bicord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/bicord_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/bicord_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/bicord_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/bicord_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ble.dir/bench_ext_ble.cpp.o"
+  "CMakeFiles/bench_ext_ble.dir/bench_ext_ble.cpp.o.d"
+  "bench_ext_ble"
+  "bench_ext_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

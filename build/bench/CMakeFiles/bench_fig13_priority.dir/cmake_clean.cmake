@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_priority.dir/bench_fig13_priority.cpp.o"
+  "CMakeFiles/bench_fig13_priority.dir/bench_fig13_priority.cpp.o.d"
+  "bench_fig13_priority"
+  "bench_fig13_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_iterations.dir/bench_fig8_iterations.cpp.o"
+  "CMakeFiles/bench_fig8_iterations.dir/bench_fig8_iterations.cpp.o.d"
+  "bench_fig8_iterations"
+  "bench_fig8_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_ctc.dir/bench_motivation_ctc.cpp.o"
+  "CMakeFiles/bench_motivation_ctc.dir/bench_motivation_ctc.cpp.o.d"
+  "bench_motivation_ctc"
+  "bench_motivation_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

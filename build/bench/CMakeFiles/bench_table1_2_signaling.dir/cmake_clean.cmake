@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_2_signaling.dir/bench_table1_2_signaling.cpp.o"
+  "CMakeFiles/bench_table1_2_signaling.dir/bench_table1_2_signaling.cpp.o.d"
+  "bench_table1_2_signaling"
+  "bench_table1_2_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_2_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

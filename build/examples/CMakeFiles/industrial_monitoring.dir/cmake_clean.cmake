@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_monitoring.dir/industrial_monitoring.cpp.o"
+  "CMakeFiles/industrial_monitoring.dir/industrial_monitoring.cpp.o.d"
+  "industrial_monitoring"
+  "industrial_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signaling_demo.dir/signaling_demo.cpp.o"
+  "CMakeFiles/signaling_demo.dir/signaling_demo.cpp.o.d"
+  "signaling_demo"
+  "signaling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signaling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_ble.dir/ble_bicord.cpp.o"
+  "CMakeFiles/bicord_ble.dir/ble_bicord.cpp.o.d"
+  "CMakeFiles/bicord_ble.dir/ble_link.cpp.o"
+  "CMakeFiles/bicord_ble.dir/ble_link.cpp.o.d"
+  "CMakeFiles/bicord_ble.dir/ble_zigbee_agent.cpp.o"
+  "CMakeFiles/bicord_ble.dir/ble_zigbee_agent.cpp.o.d"
+  "libbicord_ble.a"
+  "libbicord_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

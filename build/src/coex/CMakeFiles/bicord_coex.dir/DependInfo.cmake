@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coex/cti_training.cpp" "src/coex/CMakeFiles/bicord_coex.dir/cti_training.cpp.o" "gcc" "src/coex/CMakeFiles/bicord_coex.dir/cti_training.cpp.o.d"
+  "/root/repo/src/coex/experiment.cpp" "src/coex/CMakeFiles/bicord_coex.dir/experiment.cpp.o" "gcc" "src/coex/CMakeFiles/bicord_coex.dir/experiment.cpp.o.d"
+  "/root/repo/src/coex/metrics.cpp" "src/coex/CMakeFiles/bicord_coex.dir/metrics.cpp.o" "gcc" "src/coex/CMakeFiles/bicord_coex.dir/metrics.cpp.o.d"
+  "/root/repo/src/coex/scenario.cpp" "src/coex/CMakeFiles/bicord_coex.dir/scenario.cpp.o" "gcc" "src/coex/CMakeFiles/bicord_coex.dir/scenario.cpp.o.d"
+  "/root/repo/src/coex/signaling_experiment.cpp" "src/coex/CMakeFiles/bicord_coex.dir/signaling_experiment.cpp.o" "gcc" "src/coex/CMakeFiles/bicord_coex.dir/signaling_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/bicord_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/bicord_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/bicord_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/bicord_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/interferers/CMakeFiles/bicord_interferers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bicord_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

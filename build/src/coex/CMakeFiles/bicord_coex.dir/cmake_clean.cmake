@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_coex.dir/cti_training.cpp.o"
+  "CMakeFiles/bicord_coex.dir/cti_training.cpp.o.d"
+  "CMakeFiles/bicord_coex.dir/experiment.cpp.o"
+  "CMakeFiles/bicord_coex.dir/experiment.cpp.o.d"
+  "CMakeFiles/bicord_coex.dir/metrics.cpp.o"
+  "CMakeFiles/bicord_coex.dir/metrics.cpp.o.d"
+  "CMakeFiles/bicord_coex.dir/scenario.cpp.o"
+  "CMakeFiles/bicord_coex.dir/scenario.cpp.o.d"
+  "CMakeFiles/bicord_coex.dir/signaling_experiment.cpp.o"
+  "CMakeFiles/bicord_coex.dir/signaling_experiment.cpp.o.d"
+  "libbicord_coex.a"
+  "libbicord_coex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_coex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

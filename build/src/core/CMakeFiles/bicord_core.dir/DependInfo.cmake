@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bicord_wifi.cpp" "src/core/CMakeFiles/bicord_core.dir/bicord_wifi.cpp.o" "gcc" "src/core/CMakeFiles/bicord_core.dir/bicord_wifi.cpp.o.d"
+  "/root/repo/src/core/bicord_zigbee.cpp" "src/core/CMakeFiles/bicord_core.dir/bicord_zigbee.cpp.o" "gcc" "src/core/CMakeFiles/bicord_core.dir/bicord_zigbee.cpp.o.d"
+  "/root/repo/src/core/ecc.cpp" "src/core/CMakeFiles/bicord_core.dir/ecc.cpp.o" "gcc" "src/core/CMakeFiles/bicord_core.dir/ecc.cpp.o.d"
+  "/root/repo/src/core/whitespace.cpp" "src/core/CMakeFiles/bicord_core.dir/whitespace.cpp.o" "gcc" "src/core/CMakeFiles/bicord_core.dir/whitespace.cpp.o.d"
+  "/root/repo/src/core/zigbee_agent.cpp" "src/core/CMakeFiles/bicord_core.dir/zigbee_agent.cpp.o" "gcc" "src/core/CMakeFiles/bicord_core.dir/zigbee_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/bicord_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/bicord_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/bicord_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/bicord_detect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_core.dir/bicord_wifi.cpp.o"
+  "CMakeFiles/bicord_core.dir/bicord_wifi.cpp.o.d"
+  "CMakeFiles/bicord_core.dir/bicord_zigbee.cpp.o"
+  "CMakeFiles/bicord_core.dir/bicord_zigbee.cpp.o.d"
+  "CMakeFiles/bicord_core.dir/ecc.cpp.o"
+  "CMakeFiles/bicord_core.dir/ecc.cpp.o.d"
+  "CMakeFiles/bicord_core.dir/whitespace.cpp.o"
+  "CMakeFiles/bicord_core.dir/whitespace.cpp.o.d"
+  "CMakeFiles/bicord_core.dir/zigbee_agent.cpp.o"
+  "CMakeFiles/bicord_core.dir/zigbee_agent.cpp.o.d"
+  "libbicord_core.a"
+  "libbicord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

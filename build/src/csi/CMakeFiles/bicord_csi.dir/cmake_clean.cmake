@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_csi.dir/csi_detector.cpp.o"
+  "CMakeFiles/bicord_csi.dir/csi_detector.cpp.o.d"
+  "CMakeFiles/bicord_csi.dir/csi_model.cpp.o"
+  "CMakeFiles/bicord_csi.dir/csi_model.cpp.o.d"
+  "libbicord_csi.a"
+  "libbicord_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctc/packet_level.cpp" "src/ctc/CMakeFiles/bicord_ctc.dir/packet_level.cpp.o" "gcc" "src/ctc/CMakeFiles/bicord_ctc.dir/packet_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/bicord_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/bicord_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/bicord_csi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_ctc.dir/packet_level.cpp.o"
+  "CMakeFiles/bicord_ctc.dir/packet_level.cpp.o.d"
+  "libbicord_ctc.a"
+  "libbicord_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/classifier.cpp" "src/detect/CMakeFiles/bicord_detect.dir/classifier.cpp.o" "gcc" "src/detect/CMakeFiles/bicord_detect.dir/classifier.cpp.o.d"
+  "/root/repo/src/detect/decision_tree.cpp" "src/detect/CMakeFiles/bicord_detect.dir/decision_tree.cpp.o" "gcc" "src/detect/CMakeFiles/bicord_detect.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/detect/features.cpp" "src/detect/CMakeFiles/bicord_detect.dir/features.cpp.o" "gcc" "src/detect/CMakeFiles/bicord_detect.dir/features.cpp.o.d"
+  "/root/repo/src/detect/kmeans.cpp" "src/detect/CMakeFiles/bicord_detect.dir/kmeans.cpp.o" "gcc" "src/detect/CMakeFiles/bicord_detect.dir/kmeans.cpp.o.d"
+  "/root/repo/src/detect/rssi_sampler.cpp" "src/detect/CMakeFiles/bicord_detect.dir/rssi_sampler.cpp.o" "gcc" "src/detect/CMakeFiles/bicord_detect.dir/rssi_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

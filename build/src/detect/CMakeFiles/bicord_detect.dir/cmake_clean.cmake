@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_detect.dir/classifier.cpp.o"
+  "CMakeFiles/bicord_detect.dir/classifier.cpp.o.d"
+  "CMakeFiles/bicord_detect.dir/decision_tree.cpp.o"
+  "CMakeFiles/bicord_detect.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/bicord_detect.dir/features.cpp.o"
+  "CMakeFiles/bicord_detect.dir/features.cpp.o.d"
+  "CMakeFiles/bicord_detect.dir/kmeans.cpp.o"
+  "CMakeFiles/bicord_detect.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bicord_detect.dir/rssi_sampler.cpp.o"
+  "CMakeFiles/bicord_detect.dir/rssi_sampler.cpp.o.d"
+  "libbicord_detect.a"
+  "libbicord_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interferers/bluetooth.cpp" "src/interferers/CMakeFiles/bicord_interferers.dir/bluetooth.cpp.o" "gcc" "src/interferers/CMakeFiles/bicord_interferers.dir/bluetooth.cpp.o.d"
+  "/root/repo/src/interferers/microwave.cpp" "src/interferers/CMakeFiles/bicord_interferers.dir/microwave.cpp.o" "gcc" "src/interferers/CMakeFiles/bicord_interferers.dir/microwave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

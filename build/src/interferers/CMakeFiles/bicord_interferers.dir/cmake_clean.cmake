@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_interferers.dir/bluetooth.cpp.o"
+  "CMakeFiles/bicord_interferers.dir/bluetooth.cpp.o.d"
+  "CMakeFiles/bicord_interferers.dir/microwave.cpp.o"
+  "CMakeFiles/bicord_interferers.dir/microwave.cpp.o.d"
+  "libbicord_interferers.a"
+  "libbicord_interferers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_interferers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

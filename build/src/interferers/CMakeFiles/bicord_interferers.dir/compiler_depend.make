@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bicord_interferers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bicord_interferers.
+# This may be replaced when dependencies are built.

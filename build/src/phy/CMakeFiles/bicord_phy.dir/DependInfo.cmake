@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/medium.cpp" "src/phy/CMakeFiles/bicord_phy.dir/medium.cpp.o" "gcc" "src/phy/CMakeFiles/bicord_phy.dir/medium.cpp.o.d"
+  "/root/repo/src/phy/path_loss.cpp" "src/phy/CMakeFiles/bicord_phy.dir/path_loss.cpp.o" "gcc" "src/phy/CMakeFiles/bicord_phy.dir/path_loss.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/phy/CMakeFiles/bicord_phy.dir/radio.cpp.o" "gcc" "src/phy/CMakeFiles/bicord_phy.dir/radio.cpp.o.d"
+  "/root/repo/src/phy/spectrum.cpp" "src/phy/CMakeFiles/bicord_phy.dir/spectrum.cpp.o" "gcc" "src/phy/CMakeFiles/bicord_phy.dir/spectrum.cpp.o.d"
+  "/root/repo/src/phy/tracer.cpp" "src/phy/CMakeFiles/bicord_phy.dir/tracer.cpp.o" "gcc" "src/phy/CMakeFiles/bicord_phy.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_phy.dir/medium.cpp.o"
+  "CMakeFiles/bicord_phy.dir/medium.cpp.o.d"
+  "CMakeFiles/bicord_phy.dir/path_loss.cpp.o"
+  "CMakeFiles/bicord_phy.dir/path_loss.cpp.o.d"
+  "CMakeFiles/bicord_phy.dir/radio.cpp.o"
+  "CMakeFiles/bicord_phy.dir/radio.cpp.o.d"
+  "CMakeFiles/bicord_phy.dir/spectrum.cpp.o"
+  "CMakeFiles/bicord_phy.dir/spectrum.cpp.o.d"
+  "CMakeFiles/bicord_phy.dir/tracer.cpp.o"
+  "CMakeFiles/bicord_phy.dir/tracer.cpp.o.d"
+  "libbicord_phy.a"
+  "libbicord_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

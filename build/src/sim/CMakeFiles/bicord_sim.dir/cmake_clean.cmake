@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bicord_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/bicord_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bicord_sim.dir/simulator.cpp.o.d"
+  "libbicord_sim.a"
+  "libbicord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_util.dir/flags.cpp.o"
+  "CMakeFiles/bicord_util.dir/flags.cpp.o.d"
+  "CMakeFiles/bicord_util.dir/logging.cpp.o"
+  "CMakeFiles/bicord_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bicord_util.dir/rng.cpp.o"
+  "CMakeFiles/bicord_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bicord_util.dir/stats.cpp.o"
+  "CMakeFiles/bicord_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bicord_util.dir/table.cpp.o"
+  "CMakeFiles/bicord_util.dir/table.cpp.o.d"
+  "CMakeFiles/bicord_util.dir/time.cpp.o"
+  "CMakeFiles/bicord_util.dir/time.cpp.o.d"
+  "libbicord_util.a"
+  "libbicord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbicord_util.a"
+)

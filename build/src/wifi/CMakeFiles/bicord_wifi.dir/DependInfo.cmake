@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/traffic.cpp" "src/wifi/CMakeFiles/bicord_wifi.dir/traffic.cpp.o" "gcc" "src/wifi/CMakeFiles/bicord_wifi.dir/traffic.cpp.o.d"
+  "/root/repo/src/wifi/wifi_mac.cpp" "src/wifi/CMakeFiles/bicord_wifi.dir/wifi_mac.cpp.o" "gcc" "src/wifi/CMakeFiles/bicord_wifi.dir/wifi_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

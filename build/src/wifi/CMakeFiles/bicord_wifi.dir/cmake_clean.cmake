@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_wifi.dir/traffic.cpp.o"
+  "CMakeFiles/bicord_wifi.dir/traffic.cpp.o.d"
+  "CMakeFiles/bicord_wifi.dir/wifi_mac.cpp.o"
+  "CMakeFiles/bicord_wifi.dir/wifi_mac.cpp.o.d"
+  "libbicord_wifi.a"
+  "libbicord_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

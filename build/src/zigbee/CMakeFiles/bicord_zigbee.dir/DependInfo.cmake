@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zigbee/duty_cycle.cpp" "src/zigbee/CMakeFiles/bicord_zigbee.dir/duty_cycle.cpp.o" "gcc" "src/zigbee/CMakeFiles/bicord_zigbee.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/zigbee/energy.cpp" "src/zigbee/CMakeFiles/bicord_zigbee.dir/energy.cpp.o" "gcc" "src/zigbee/CMakeFiles/bicord_zigbee.dir/energy.cpp.o.d"
+  "/root/repo/src/zigbee/traffic.cpp" "src/zigbee/CMakeFiles/bicord_zigbee.dir/traffic.cpp.o" "gcc" "src/zigbee/CMakeFiles/bicord_zigbee.dir/traffic.cpp.o.d"
+  "/root/repo/src/zigbee/zigbee_mac.cpp" "src/zigbee/CMakeFiles/bicord_zigbee.dir/zigbee_mac.cpp.o" "gcc" "src/zigbee/CMakeFiles/bicord_zigbee.dir/zigbee_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bicord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bicord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bicord_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

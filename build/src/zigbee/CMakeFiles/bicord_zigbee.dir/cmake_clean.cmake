@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicord_zigbee.dir/duty_cycle.cpp.o"
+  "CMakeFiles/bicord_zigbee.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/bicord_zigbee.dir/energy.cpp.o"
+  "CMakeFiles/bicord_zigbee.dir/energy.cpp.o.d"
+  "CMakeFiles/bicord_zigbee.dir/traffic.cpp.o"
+  "CMakeFiles/bicord_zigbee.dir/traffic.cpp.o.d"
+  "CMakeFiles/bicord_zigbee.dir/zigbee_mac.cpp.o"
+  "CMakeFiles/bicord_zigbee.dir/zigbee_mac.cpp.o.d"
+  "libbicord_zigbee.a"
+  "libbicord_zigbee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicord_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_tests.dir/ble/ble_test.cpp.o"
+  "CMakeFiles/ble_tests.dir/ble/ble_test.cpp.o.d"
+  "ble_tests"
+  "ble_tests.pdb"
+  "ble_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coex_tests.dir/coex/cti_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/cti_test.cpp.o.d"
+  "CMakeFiles/coex_tests.dir/coex/experiment_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/experiment_test.cpp.o.d"
+  "CMakeFiles/coex_tests.dir/coex/invariants_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/invariants_test.cpp.o.d"
+  "CMakeFiles/coex_tests.dir/coex/multinode_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/multinode_test.cpp.o.d"
+  "CMakeFiles/coex_tests.dir/coex/scenario_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/scenario_test.cpp.o.d"
+  "CMakeFiles/coex_tests.dir/coex/signaling_experiment_test.cpp.o"
+  "CMakeFiles/coex_tests.dir/coex/signaling_experiment_test.cpp.o.d"
+  "coex_tests"
+  "coex_tests.pdb"
+  "coex_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coex_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

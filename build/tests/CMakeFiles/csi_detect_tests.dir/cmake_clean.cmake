@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_detect_tests.dir/csi/csi_detector_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/csi/csi_detector_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/csi/csi_model_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/csi/csi_model_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/detect/decision_tree_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/detect/decision_tree_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/detect/features_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/detect/features_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/detect/interferers_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/detect/interferers_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/detect/kmeans_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/detect/kmeans_test.cpp.o.d"
+  "CMakeFiles/csi_detect_tests.dir/detect/rssi_sampler_test.cpp.o"
+  "CMakeFiles/csi_detect_tests.dir/detect/rssi_sampler_test.cpp.o.d"
+  "csi_detect_tests"
+  "csi_detect_tests.pdb"
+  "csi_detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_tests.dir/ctc/packet_level_test.cpp.o"
+  "CMakeFiles/ctc_tests.dir/ctc/packet_level_test.cpp.o.d"
+  "ctc_tests"
+  "ctc_tests.pdb"
+  "ctc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/duty_cycle_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/duty_cycle_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/energy_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/energy_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/wifi_mac_edge_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/wifi_mac_edge_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/wifi_mac_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/wifi_mac_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/wifi_phy_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/wifi_phy_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/zigbee_mac_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/zigbee_mac_test.cpp.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

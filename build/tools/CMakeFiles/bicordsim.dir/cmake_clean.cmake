@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicordsim.dir/bicordsim.cpp.o"
+  "CMakeFiles/bicordsim.dir/bicordsim.cpp.o.d"
+  "bicordsim"
+  "bicordsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicordsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
