@@ -1,15 +1,28 @@
 #pragma once
 // Shared helpers for the reproduction benches.
 //
-// Every bench accepts an optional first argument scaling the workload
+// Every bench accepts an optional positional argument scaling the workload
 // (trials / packets / repetitions) so `for b in build/bench/*; do $b; done`
-// finishes quickly while full paper-scale runs remain one flag away.
+// finishes quickly while full paper-scale runs remain one flag away, plus
+// the shared `--jobs N` flag selecting how many worker threads multi-seed
+// sweeps fan out over (0 = BICORD_JOBS env, else all hardware threads).
+// Thread count never changes the reported numbers: trials are merged in
+// seed order (see runner/parallel_runner.hpp). Set BICORD_PROGRESS=1 for a
+// live per-trial ticker on stderr during long sweeps.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "coex/scenario.hpp"
+#include "runner/parallel_runner.hpp"
+#include "runner/trial_pool.hpp"
+#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
@@ -17,12 +30,56 @@
 namespace bicord::bench {
 
 /// Parses argv[1] as a positive integer scale knob, else `fallback`.
+/// Garbage fails loudly (exit 2) instead of silently running the default.
 inline int arg_or(int argc, char** argv, int fallback) {
   if (argc > 1) {
-    const int v = std::atoi(argv[1]);
-    if (v > 0) return v;
+    const auto v = parse_positive_int(argv[1]);
+    if (!v) {
+      std::fprintf(stderr,
+                   "error: expected a positive integer scale argument, got '%s'\n",
+                   argv[1]);
+      std::exit(2);
+    }
+    return *v;
   }
   return fallback;
+}
+
+/// Parsed CLI of a parallel bench.
+struct BenchArgs {
+  int scale = 0;  ///< positional workload knob (or the bench's fallback)
+  int jobs = 0;   ///< resolved worker count, always >= 1
+};
+
+/// Parses `[scale] [--jobs N]`; exits loudly on garbage or unknown flags.
+inline BenchArgs parse_args(int argc, char** argv, int fallback_scale) {
+  Flags flags(
+      "bicord reproduction bench — optional positional argument scales the "
+      "workload (trials / packets / repetitions)");
+  add_jobs_flag(flags);
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", flags.error().c_str(),
+                 flags.usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage(argv[0]).c_str());
+    std::exit(0);
+  }
+  BenchArgs args;
+  args.scale = fallback_scale;
+  if (!flags.positional().empty()) {
+    const auto v = parse_positive_int(flags.positional().front());
+    if (!v) {
+      std::fprintf(stderr,
+                   "error: expected a positive integer scale argument, got '%s'\n",
+                   flags.positional().front().c_str());
+      std::exit(2);
+    }
+    args.scale = *v;
+  }
+  args.jobs = runner::resolve_jobs(static_cast<int>(flags.get_int("jobs")));
+  return args;
 }
 
 inline void print_header(const char* id, const char* paper_ref, std::uint64_t seed) {
@@ -40,6 +97,37 @@ inline void warm_and_measure(coex::Scenario& scenario, Duration warmup,
   scenario.run_for(warmup);
   scenario.start_measurement();
   scenario.run_for(measure);
+}
+
+/// Fans `trials` independent cells out over `jobs` workers and returns the
+/// results in cell order (so downstream table assembly is deterministic).
+/// Prints the sweep's throughput line and, with BICORD_PROGRESS=1, a live
+/// per-trial counter on stderr.
+template <typename R>
+[[nodiscard]] std::vector<R> sweep(const char* label, std::size_t trials, int jobs,
+                                   const std::function<R(std::size_t)>& fn) {
+  const int effective =
+      std::min(runner::resolve_jobs(jobs),
+               static_cast<int>(std::max<std::size_t>(trials, 1)));
+  const char* ticker_env = std::getenv("BICORD_PROGRESS");
+  const bool ticker = ticker_env != nullptr && ticker_env[0] != '\0' &&
+                      ticker_env[0] != '0';
+  std::atomic<std::size_t> done{0};
+  const auto start = std::chrono::steady_clock::now();
+  auto out = runner::parallel_map<R>(trials, effective, [&](std::size_t i) {
+    R r = fn(i);
+    const std::size_t d = done.fetch_add(1) + 1;
+    if (ticker) std::fprintf(stderr, "\r[%s] %zu/%zu trials", label, d, trials);
+    return r;
+  });
+  if (ticker) std::fprintf(stderr, "\n");
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::printf("[%s] %zu trials in %.2f s (%.1f trials/s, jobs=%d)\n\n", label,
+              trials, seconds,
+              seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0,
+              effective);
+  return out;
 }
 
 }  // namespace bicord::bench

@@ -58,13 +58,32 @@ EnergyRow run_one(std::uint64_t seed, coex::Coordination scheme, bool wifi_activ
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = 1515 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  const BenchArgs args = parse_args(argc, argv, 0);  // scale shifts the seed
+  const std::uint64_t seed = 1515 + static_cast<std::uint64_t>(args.scale);
   print_header("bench_energy", "Sec. VII-B (energy cost of BiCord)", seed);
 
-  const EnergyRow clear = run_one(seed, coex::Coordination::Csma, false);
-  const EnergyRow bicord = run_one(seed + 1, coex::Coordination::BiCord, true);
-  const EnergyRow csma = run_one(seed + 2, coex::Coordination::Csma, true);
-  const EnergyRow bicord_dc = run_one(seed + 1, coex::Coordination::BiCord, true, true);
+  // The four regimes are independent runs; fan them out over the workers.
+  struct Regime {
+    std::uint64_t seed;
+    coex::Coordination scheme;
+    bool wifi_active;
+    bool duty_cycle;
+  };
+  const Regime regimes[] = {
+      {seed, coex::Coordination::Csma, false, false},
+      {seed + 1, coex::Coordination::BiCord, true, false},
+      {seed + 2, coex::Coordination::Csma, true, false},
+      {seed + 1, coex::Coordination::BiCord, true, true}};
+  const std::vector<EnergyRow> rows = sweep<EnergyRow>(
+      "energy sweep", std::size(regimes), args.jobs, [&](std::size_t t) {
+        const Regime& regime = regimes[t];
+        return run_one(regime.seed, regime.scheme, regime.wifi_active,
+                       regime.duty_cycle);
+      });
+  const EnergyRow& clear = rows[0];
+  const EnergyRow& bicord = rows[1];
+  const EnergyRow& csma = rows[2];
+  const EnergyRow& bicord_dc = rows[3];
 
   AsciiTable table;
   table.set_header({"regime", "active mJ (tx+rx)", "total mJ", "delivered", "generated",

@@ -53,7 +53,8 @@ Row run_one(std::uint64_t seed, coex::Coordination scheme, Duration interval,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int packets = arg_or(argc, argv, 250);  // paper: 1000
+  const BenchArgs args = parse_args(argc, argv, 250);  // paper: 1000
+  const int packets = args.scale;
   const std::uint64_t seed = 1010;
   print_header("bench_fig10_comparison",
                "Fig. 10(a,b,c) — BiCord vs ECC-20/30/40", seed);
@@ -75,6 +76,18 @@ int main(int argc, char** argv) {
                                 {"ECC-30ms", coex::Coordination::Ecc, 30_ms},
                                 {"ECC-40ms", coex::Coordination::Ecc, 40_ms}};
 
+  // One trial per (scheme, interval) cell; results land in cell order so the
+  // tables below are identical for any --jobs value.
+  const std::size_t n_intervals = std::size(intervals);
+  const std::vector<Row> rows = sweep<Row>(
+      "fig10 sweep", std::size(schemes) * n_intervals, args.jobs,
+      [&](std::size_t t) {
+        const auto& scheme = schemes[t / n_intervals];
+        const std::size_t i = t % n_intervals;
+        return run_one(seed + i * 17, scheme.coordination, intervals[i].second,
+                       scheme.ecc_ws, packets);
+      });
+
   AsciiTable util("Fig. 10(a): total channel utilization");
   AsciiTable delay("Fig. 10(b): mean ZigBee transmission delay (ms)");
   AsciiTable tput("Fig. 10(c): ZigBee goodput (kbit/s)  [delivery ratio]");
@@ -90,13 +103,13 @@ int main(int argc, char** argv) {
   double ecc_delay_sum = 0.0;
   int ecc_delay_cells = 0;
 
-  for (const auto& scheme : schemes) {
+  for (std::size_t s = 0; s < std::size(schemes); ++s) {
+    const auto& scheme = schemes[s];
     std::vector<std::string> urow{scheme.name};
     std::vector<std::string> drow{scheme.name};
     std::vector<std::string> trow{scheme.name};
     for (std::size_t i = 0; i < std::size(intervals); ++i) {
-      const Row r = run_one(seed + i * 17, scheme.coordination, intervals[i].second,
-                            scheme.ecc_ws, packets);
+      const Row& r = rows[s * n_intervals + i];
       urow.push_back(AsciiTable::percent(r.util.total));
       drow.push_back(AsciiTable::cell(r.delay_ms, 1));
       trow.push_back(AsciiTable::cell(r.goodput_kbps, 2) + " [" +

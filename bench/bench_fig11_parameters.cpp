@@ -42,33 +42,55 @@ void add(AsciiTable& t, const std::string& label, const Row& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = 1111 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  const BenchArgs args = parse_args(argc, argv, 0);  // scale shifts the seed
+  const std::uint64_t seed = 1111 + static_cast<std::uint64_t>(args.scale);
   print_header("bench_fig11_parameters", "Fig. 11(a-d) — parameter impact", seed);
+
+  // All 12 cells of the three sub-figures as one trial list (cell order ==
+  // table order, so --jobs never changes the output).
+  struct Cell {
+    std::string label;
+    std::uint64_t seed;
+    coex::ZigbeeLocation loc;
+    int packets;
+    std::uint32_t payload;
+  };
+  std::vector<Cell> cells;
+  for (std::uint32_t payload : {25u, 50u, 75u, 100u}) {
+    cells.push_back({std::to_string(payload) + "B", seed, coex::ZigbeeLocation::A, 5,
+                     payload});
+  }
+  for (int packets : {3, 5, 8, 12}) {
+    cells.push_back({std::to_string(packets) + " pkts", seed + 13,
+                     coex::ZigbeeLocation::A, packets, 50});
+  }
+  for (auto loc : {coex::ZigbeeLocation::A, coex::ZigbeeLocation::B,
+                   coex::ZigbeeLocation::C, coex::ZigbeeLocation::D}) {
+    cells.push_back({coex::to_string(loc), seed + 29, loc, 5, 50});
+  }
+  const std::vector<Row> rows = sweep<Row>(
+      "fig11 sweep", cells.size(), args.jobs, [&](std::size_t t) {
+        const Cell& cell = cells[t];
+        return run_one(cell.seed, cell.loc, cell.packets, cell.payload);
+      });
 
   const std::vector<std::string> header{"setting", "total util", "wifi util",
                                         "zigbee util", "mean delay (ms)"};
+  std::size_t next = 0;
 
   AsciiTable a("Fig. 11(a): packet length (bursts of 5, location A)");
   a.set_header(header);
-  for (std::uint32_t payload : {25u, 50u, 75u, 100u}) {
-    add(a, std::to_string(payload) + "B", run_one(seed, coex::ZigbeeLocation::A, 5, payload));
-  }
+  for (int i = 0; i < 4; ++i, ++next) add(a, cells[next].label, rows[next]);
   std::printf("%s\n", a.render().c_str());
 
   AsciiTable b("Fig. 11(b)+(d): packets per burst (50 B, location A)");
   b.set_header(header);
-  for (int packets : {3, 5, 8, 12}) {
-    add(b, std::to_string(packets) + " pkts",
-        run_one(seed + 13, coex::ZigbeeLocation::A, packets, 50));
-  }
+  for (int i = 0; i < 4; ++i, ++next) add(b, cells[next].label, rows[next]);
   std::printf("%s\n", b.render().c_str());
 
   AsciiTable c("Fig. 11(c)+(d): ZigBee sender location (5 x 50 B)");
   c.set_header(header);
-  for (auto loc : {coex::ZigbeeLocation::A, coex::ZigbeeLocation::B,
-                   coex::ZigbeeLocation::C, coex::ZigbeeLocation::D}) {
-    add(c, coex::to_string(loc), run_one(seed + 29, loc, 5, 50));
-  }
+  for (int i = 0; i < 4; ++i, ++next) add(c, cells[next].label, rows[next]);
   std::printf("%s\n", c.render().c_str());
 
   std::printf("paper anchors: ZigBee share grows with burst duration, total ~80%%;\n"

@@ -40,17 +40,38 @@ Row run_one(std::uint64_t seed, bool person, bool device, Duration interval) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = 1212 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  const BenchArgs args = parse_args(argc, argv, 0);  // scale shifts the seed
+  const std::uint64_t seed = 1212 + static_cast<std::uint64_t>(args.scale);
   print_header("bench_fig12_mobility", "Fig. 12 — mobile scenarios", seed);
+
+  // (interval, mobility-variant) cells in table order.
+  const std::pair<const char*, Duration> intervals[] = {{"200ms", 200_ms}, {"1s", 1_sec}};
+  struct Cell {
+    std::uint64_t seed;
+    bool person;
+    bool device;
+    Duration interval;
+  };
+  std::vector<Cell> cells;
+  for (const auto& [iname, interval] : intervals) {
+    cells.push_back({seed, false, false, interval});
+    cells.push_back({seed + 3, true, false, interval});
+    cells.push_back({seed + 5, false, true, interval});
+  }
+  const std::vector<Row> rows = sweep<Row>(
+      "fig12 sweep", cells.size(), args.jobs, [&](std::size_t t) {
+        const Cell& cell = cells[t];
+        return run_one(cell.seed, cell.person, cell.device, cell.interval);
+      });
 
   AsciiTable table;
   table.set_header({"scenario", "burst interval", "total util", "zb delay (ms)",
                     "zb delivery"});
-  const std::pair<const char*, Duration> intervals[] = {{"200ms", 200_ms}, {"1s", 1_sec}};
+  std::size_t next = 0;
   for (const auto& [iname, interval] : intervals) {
-    const Row stat = run_one(seed, false, false, interval);
-    const Row person = run_one(seed + 3, true, false, interval);
-    const Row device = run_one(seed + 5, false, true, interval);
+    const Row& stat = rows[next++];
+    const Row& person = rows[next++];
+    const Row& device = rows[next++];
     table.add_row({"static", iname, AsciiTable::percent(stat.util.total),
                    AsciiTable::cell(stat.delay_ms, 1), AsciiTable::percent(stat.delivery)});
     table.add_row({"person mobility", iname, AsciiTable::percent(person.util.total),

@@ -45,7 +45,8 @@ Row run_one(std::uint64_t seed, coex::Coordination scheme, Duration ecc_ws,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = 1313 + static_cast<std::uint64_t>(arg_or(argc, argv, 0));
+  const BenchArgs args = parse_args(argc, argv, 0);  // scale shifts the seed
+  const std::uint64_t seed = 1313 + static_cast<std::uint64_t>(args.scale);
   print_header("bench_fig13_priority", "Fig. 13 — prioritized Wi-Fi traffic", seed);
 
   struct SchemeSpec {
@@ -66,13 +67,23 @@ int main(int argc, char** argv) {
   util.set_header(header);
   delay.set_header(header);
 
-  for (const auto& scheme : schemes) {
+  // One trial per (scheme, share) cell, assembled in cell order below.
+  const double shares[] = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::size_t n_shares = std::size(shares);
+  const std::vector<Row> rows = sweep<Row>(
+      "fig13 sweep", std::size(schemes) * n_shares, args.jobs,
+      [&](std::size_t t) {
+        const auto& scheme = schemes[t / n_shares];
+        const std::size_t i = t % n_shares;
+        return run_one(seed + i * 11, scheme.coordination, scheme.ecc_ws, shares[i]);
+      });
+
+  for (std::size_t s = 0; s < std::size(schemes); ++s) {
+    const auto& scheme = schemes[s];
     std::vector<std::string> urow{scheme.name};
     std::vector<std::string> drow{scheme.name};
-    int i = 0;
-    for (double share : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-      const Row r = run_one(seed + static_cast<std::uint64_t>(i++) * 11,
-                            scheme.coordination, scheme.ecc_ws, share);
+    for (std::size_t i = 0; i < n_shares; ++i) {
+      const Row& r = rows[s * n_shares + i];
       urow.push_back(AsciiTable::percent(r.util.total) + " [" +
                      AsciiTable::percent(r.util.zigbee) + "]");
       drow.push_back(AsciiTable::cell(r.low_delay_ms, 1) + " [" +

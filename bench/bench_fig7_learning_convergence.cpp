@@ -10,7 +10,10 @@ using namespace bicord::bench;
 using namespace bicord::time_literals;
 
 int main(int argc, char** argv) {
-  const int seconds = arg_or(argc, argv, 6);
+  // Fig. 7 traces a single learning episode (one scenario, one seed), so
+  // --jobs is accepted for CLI uniformity but there is nothing to fan out.
+  const BenchArgs args = parse_args(argc, argv, 6);
+  const int seconds = args.scale;
   const std::uint64_t seed = 77;
   print_header("bench_fig7_learning_convergence",
                "Fig. 7 (white-space length per iteration, learning phase)", seed);

@@ -35,22 +35,48 @@ double measure_iterations(std::uint64_t seed, coex::ZigbeeLocation loc, int pack
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = arg_or(argc, argv, 10);  // paper: 30
+  const BenchArgs args = parse_args(argc, argv, 10);  // paper: 30
+  const int reps = args.scale;
   const std::uint64_t seed = 88;
   print_header("bench_fig8_iterations",
                "Fig. 8 (iterations to adjust the white space)", seed);
   std::printf("repetitions per cell: %d (paper used 30)\n\n", reps);
 
+  // Flatten every (location, packets, rep, step) run into one trial list;
+  // per-cell stats below are accumulated in rep order, so the table is
+  // bitwise identical for any --jobs value.
+  struct Trial {
+    coex::ZigbeeLocation loc;
+    int packets;
+    Duration step;
+    std::uint64_t seed;
+  };
+  std::vector<Trial> trials;
+  for (auto loc : {coex::ZigbeeLocation::A, coex::ZigbeeLocation::B}) {
+    for (int packets : {5, 10, 15}) {
+      for (int rep = 0; rep < reps; ++rep) {
+        const std::uint64_t rep_seed = seed + static_cast<std::uint64_t>(rep) * 1000;
+        trials.push_back({loc, packets, 30_ms, rep_seed});
+        trials.push_back({loc, packets, 40_ms, rep_seed + 7});
+      }
+    }
+  }
+  const std::vector<double> iterations = sweep<double>(
+      "fig8 sweep", trials.size(), args.jobs, [&](std::size_t t) {
+        const Trial& trial = trials[t];
+        return measure_iterations(trial.seed, trial.loc, trial.packets, trial.step);
+      });
+
   AsciiTable table;
   table.set_header({"location", "packets/burst", "step 30ms", "step 40ms"});
+  std::size_t next = 0;
   for (auto loc : {coex::ZigbeeLocation::A, coex::ZigbeeLocation::B}) {
     for (int packets : {5, 10, 15}) {
       RunningStats s30;
       RunningStats s40;
       for (int rep = 0; rep < reps; ++rep) {
-        const std::uint64_t rep_seed = seed + static_cast<std::uint64_t>(rep) * 1000;
-        s30.add(measure_iterations(rep_seed, loc, packets, 30_ms));
-        s40.add(measure_iterations(rep_seed + 7, loc, packets, 40_ms));
+        s30.add(iterations[next++]);
+        s40.add(iterations[next++]);
       }
       table.add_row({coex::to_string(loc), AsciiTable::cell(std::int64_t{packets}),
                      AsciiTable::cell(s30.mean(), 1) + " +/- " +

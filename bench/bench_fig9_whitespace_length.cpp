@@ -32,21 +32,43 @@ Duration converged_whitespace(std::uint64_t seed, int packets, Duration step) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = arg_or(argc, argv, 8);
+  const BenchArgs args = parse_args(argc, argv, 8);
+  const int reps = args.scale;
   const std::uint64_t seed = 99;
   print_header("bench_fig9_whitespace_length",
                "Fig. 9 (white space generated after the adjustment phase)", seed);
 
+  // Trial list in (packets, rep, step) order; aggregation below replays the
+  // same order, so --jobs never changes the table.
+  struct Trial {
+    int packets;
+    Duration step;
+    std::uint64_t seed;
+  };
+  std::vector<Trial> trials;
+  for (int packets : {5, 10, 15}) {
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto rep_seed = seed + static_cast<std::uint64_t>(rep) * 313;
+      trials.push_back({packets, 30_ms, rep_seed});
+      trials.push_back({packets, 40_ms, rep_seed + 3});
+    }
+  }
+  const std::vector<double> widths = sweep<double>(
+      "fig9 sweep", trials.size(), args.jobs, [&](std::size_t t) {
+        const Trial& trial = trials[t];
+        return converged_whitespace(trial.seed, trial.packets, trial.step).ms();
+      });
+
   AsciiTable table;
   table.set_header({"packets", "burst need (ms)", "ws @30ms step", "ws @40ms step",
                     "over-prov @30", "over-prov @40"});
+  std::size_t next = 0;
   for (int packets : {5, 10, 15}) {
     RunningStats ws30;
     RunningStats ws40;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto rep_seed = seed + static_cast<std::uint64_t>(rep) * 313;
-      ws30.add(converged_whitespace(rep_seed, packets, 30_ms).ms());
-      ws40.add(converged_whitespace(rep_seed + 3, packets, 40_ms).ms());
+      ws30.add(widths[next++]);
+      ws40.add(widths[next++]);
     }
     // Requirement: signaling lead plus the burst itself. This substrate's
     // measured per-packet cycle (CSMA + 50 B data + ACK + pacing) is

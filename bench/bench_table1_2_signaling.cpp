@@ -14,7 +14,8 @@ using namespace bicord;
 using namespace bicord::bench;
 
 int main(int argc, char** argv) {
-  const int trials = arg_or(argc, argv, 300);  // paper: 600
+  const BenchArgs args = parse_args(argc, argv, 300);  // paper: 600
+  const int trials = args.scale;
   const std::uint64_t seed = 20210705;
   print_header("bench_table1_2_signaling", "Tables I and II", seed);
   std::printf("trials per cell: %d (pass an argument to change; paper used 600)\n\n",
@@ -39,11 +40,10 @@ int main(int argc, char** argv) {
   precision.set_header(header);
   recall.set_header(header);
 
-  double min_wifi_impact = 1.0;
-  double max_wifi_impact = 0.0;
+  // 36 experiment cells (location x power x packet count) fan out across
+  // the workers; rows are assembled in cell order afterwards.
+  std::vector<coex::SignalingExperimentConfig> cells;
   for (auto loc : locations) {
-    std::vector<std::string> prow{coex::to_string(loc)};
-    std::vector<std::string> rrow{coex::to_string(loc)};
     for (double p : powers) {
       for (int k : packet_counts) {
         coex::SignalingExperimentConfig cfg;
@@ -52,13 +52,30 @@ int main(int argc, char** argv) {
         cfg.power_dbm = p;
         cfg.control_packets = k;
         cfg.trials = trials;
-        const auto r = coex::run_signaling_experiment(cfg);
-        prow.push_back(AsciiTable::cell(r.precision(), 4));
-        rrow.push_back(AsciiTable::cell(r.recall(), 4));
-        const double impact = r.wifi_prr_baseline - r.wifi_prr;
-        min_wifi_impact = std::min(min_wifi_impact, impact);
-        max_wifi_impact = std::max(max_wifi_impact, impact);
+        cells.push_back(cfg);
       }
+    }
+  }
+  const std::vector<coex::SignalingResult> results =
+      sweep<coex::SignalingResult>("tables sweep", cells.size(), args.jobs,
+                                   [&](std::size_t t) {
+                                     return coex::run_signaling_experiment(cells[t]);
+                                   });
+
+  double min_wifi_impact = 1.0;
+  double max_wifi_impact = 0.0;
+  const std::size_t cells_per_location = std::size(powers) * std::size(packet_counts);
+  std::size_t next = 0;
+  for (auto loc : locations) {
+    std::vector<std::string> prow{coex::to_string(loc)};
+    std::vector<std::string> rrow{coex::to_string(loc)};
+    for (std::size_t c = 0; c < cells_per_location; ++c) {
+      const auto& r = results[next++];
+      prow.push_back(AsciiTable::cell(r.precision(), 4));
+      rrow.push_back(AsciiTable::cell(r.recall(), 4));
+      const double impact = r.wifi_prr_baseline - r.wifi_prr;
+      min_wifi_impact = std::min(min_wifi_impact, impact);
+      max_wifi_impact = std::max(max_wifi_impact, impact);
     }
     precision.add_row(prow);
     recall.add_row(rrow);

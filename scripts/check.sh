@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full correctness gate: plain build + tests, then the runner tests under
+# ThreadSanitizer (data races in the trial executor), then the whole suite
+# under ASan+UBSan. Each sanitizer gets its own build directory so the
+# builds never contaminate each other.
+#
+# Usage:  scripts/check.sh [fast]
+#   default — plain + TSAN + ASan/UBSan
+#   fast    — plain build + tests only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== plain build + tests =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "$MODE" = "fast" ]; then
+  echo "OK (fast)"
+  exit 0
+fi
+
+echo
+echo "== ThreadSanitizer: runner tests =="
+cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$JOBS" --target runner_tests
+./build-tsan/tests/runner_tests
+
+echo
+echo "== ASan + UBSan: full suite =="
+cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo
+echo "OK: plain, TSAN (runner), ASan/UBSan all green"

@@ -1,17 +1,11 @@
 #include "coex/experiment.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
 
 namespace bicord::coex {
-
-std::string MetricSummary::to_string(int precision) const {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", precision, stats.mean(), precision,
-                ci95());
-  return buf;
-}
 
 ExperimentRunner::ExperimentRunner(ScenarioConfig base, Duration warmup,
                                    Duration measure)
@@ -26,27 +20,39 @@ void ExperimentRunner::add_metric(std::string name, Metric metric) {
   metrics_.emplace_back(std::move(name), std::move(metric));
 }
 
+std::uint64_t ExperimentRunner::trial_seed(std::size_t rep) const {
+  // Independent per-trial stream: SplitMix64-derived from (base seed, rep)
+  // without consuming any draws from the base stream.
+  return Rng(base_.seed).split(rep)();
+}
+
 std::vector<MetricSummary> ExperimentRunner::run(int repetitions) {
   if (repetitions < 1) throw std::invalid_argument("ExperimentRunner: repetitions < 1");
   if (metrics_.empty()) throw std::logic_error("ExperimentRunner: no metrics registered");
 
-  std::vector<MetricSummary> summaries;
-  summaries.reserve(metrics_.size());
-  for (const auto& [name, metric] : metrics_) {
-    summaries.push_back(MetricSummary{name, {}});
-  }
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) names.push_back(name);
 
-  for (int rep = 0; rep < repetitions; ++rep) {
-    ScenarioConfig cfg = base_;
-    cfg.seed = base_.seed + static_cast<std::uint64_t>(rep) * 7919;
-    Scenario scenario(cfg);
-    scenario.run_for(warmup_);
-    scenario.start_measurement();
-    scenario.run_for(measure_);
-    for (std::size_t m = 0; m < metrics_.size(); ++m) {
-      summaries[m].stats.add(metrics_[m].second(scenario));
-    }
-  }
+  runner::ParallelExperimentRunner engine(
+      std::move(names), [this](std::size_t rep) {
+        ScenarioConfig cfg = base_;
+        cfg.seed = trial_seed(rep);
+        Scenario scenario(cfg);
+        scenario.run_for(warmup_);
+        scenario.start_measurement();
+        scenario.run_for(measure_);
+        std::vector<double> values;
+        values.reserve(metrics_.size());
+        for (const auto& [name, metric] : metrics_) {
+          values.push_back(metric(scenario));
+        }
+        return values;
+      });
+  engine.set_jobs(jobs_);
+  if (progress_) engine.set_progress(progress_);
+  auto summaries = engine.run(repetitions);
+  report_ = engine.last_report();
   return summaries;
 }
 

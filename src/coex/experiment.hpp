@@ -2,6 +2,11 @@
 // Multi-seed experiment runner: repeat a scenario over independent seeds and
 // aggregate any scalar metric with a confidence interval. Benches use this
 // to report mean +/- CI instead of single-run numbers.
+//
+// Execution is delegated to runner::ParallelExperimentRunner: repetitions
+// fan out across worker threads (set_jobs / --jobs / BICORD_JOBS) while the
+// per-trial metric vectors are merged in seed order, so the aggregated
+// numbers are bitwise identical for any thread count.
 
 #include <cstdint>
 #include <functional>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "coex/scenario.hpp"
+#include "runner/parallel_runner.hpp"
 #include "util/stats.hpp"
 
 namespace bicord::coex {
@@ -16,35 +22,42 @@ namespace bicord::coex {
 /// A scalar extracted from a finished scenario run.
 using Metric = std::function<double(Scenario&)>;
 
-struct MetricSummary {
-  std::string name;
-  RunningStats stats;
-
-  /// Half-width of the ~95 % confidence interval (normal approximation).
-  [[nodiscard]] double ci95() const {
-    if (stats.count() < 2) return 0.0;
-    return 1.96 * stats.stddev() /
-           std::sqrt(static_cast<double>(stats.count()));
-  }
-  [[nodiscard]] std::string to_string(int precision = 2) const;
-};
+/// Aggregate of one metric across repetitions (shared with the runner
+/// layer so benches can mix Scenario and non-Scenario trials).
+using runner::MetricSummary;
 
 class ExperimentRunner {
  public:
-  /// `base` is copied per repetition with the seed replaced.
+  /// `base` is copied per repetition with the seed replaced by an
+  /// independent SplitMix64-derived stream seed (Rng::split).
   ExperimentRunner(ScenarioConfig base, Duration warmup, Duration measure);
 
   void add_metric(std::string name, Metric metric);
 
-  /// Runs `repetitions` independent scenarios (seeds base.seed + k) and
-  /// aggregates every registered metric.
+  /// Worker threads for run(); <= 0 (the default) selects BICORD_JOBS or
+  /// all hardware threads. The thread count never changes the results.
+  void set_jobs(int jobs) { jobs_ = jobs; }
+  /// Optional per-trial completion callback for long sweeps.
+  void set_progress(runner::ProgressFn progress) { progress_ = std::move(progress); }
+
+  /// Runs `repetitions` independent scenarios and aggregates every
+  /// registered metric in seed order.
   [[nodiscard]] std::vector<MetricSummary> run(int repetitions);
+
+  /// Timing/throughput of the most recent run().
+  [[nodiscard]] const runner::RunReport& last_report() const { return report_; }
+
+  /// The seed the k-th repetition runs with (exposed for determinism tests).
+  [[nodiscard]] std::uint64_t trial_seed(std::size_t rep) const;
 
  private:
   ScenarioConfig base_;
   Duration warmup_;
   Duration measure_;
   std::vector<std::pair<std::string, Metric>> metrics_;
+  int jobs_ = 0;
+  runner::ProgressFn progress_;
+  runner::RunReport report_;
 };
 
 // Ready-made metrics for the paper's quantities.

@@ -1,6 +1,8 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -164,6 +166,23 @@ bool Flags::get_bool(const std::string& name) const {
 bool Flags::provided(const std::string& name) const {
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.provided;
+}
+
+std::optional<int> parse_positive_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;  // junk / trailing
+  if (errno == ERANGE) return std::nullopt;                   // out of long range
+  if (v < 1 || v > std::numeric_limits<int>::max()) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+void add_jobs_flag(Flags& flags) {
+  flags.add_int("jobs", 0,
+                "worker threads for multi-seed runs "
+                "(0 = BICORD_JOBS env, else all hardware threads)");
 }
 
 std::string Flags::usage(const std::string& program_name) const {

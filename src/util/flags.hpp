@@ -63,4 +63,15 @@ class Flags {
   std::string error_;
 };
 
+/// Strict base-10 parse of a whole string as a positive int. Returns
+/// nullopt on empty input, sign-only/garbage/trailing characters,
+/// non-positive values, and overflow — callers can then fail loudly
+/// instead of silently running with a default.
+[[nodiscard]] std::optional<int> parse_positive_int(const std::string& s);
+
+/// Registers the shared `--jobs` flag every parallel executable exposes
+/// (0 = auto: the BICORD_JOBS environment variable, else all hardware
+/// threads). Resolution happens in runner::resolve_jobs.
+void add_jobs_flag(Flags& flags);
+
 }  // namespace bicord

@@ -113,4 +113,42 @@ Duration Rng::uniform_duration(Duration lo, Duration hi) {
 
 Rng Rng::split() { return Rng{next()}; }
 
+Rng Rng::split(std::uint64_t k) const {
+  // Fold the stream index and the four state words through a SplitMix64
+  // chain; the child's 64-bit seed is then expanded to full state by the
+  // constructor. The parent state is only read, never written.
+  std::uint64_t x = k;
+  std::uint64_t seed = splitmix64(x);
+  for (const std::uint64_t w : s_) {
+    x ^= w;
+    seed ^= splitmix64(x);
+  }
+  return Rng{seed};
+}
+
+void Rng::jump() {
+  // Canonical xoshiro256++ jump polynomial (Blackman & Vigna): equivalent
+  // to 2^128 calls to next().
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                            0xD5A61266F0C9392CULL,
+                                            0xA9582618E03FC9AAULL,
+                                            0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 }  // namespace bicord

@@ -61,7 +61,19 @@ class Rng {
   Duration uniform_duration(Duration lo, Duration hi);
 
   /// Derives an independent child generator (for per-device streams).
+  /// Advances the parent by one draw.
   [[nodiscard]] Rng split();
+
+  /// Derives the k-th child stream as a pure function of the current state
+  /// and k, WITHOUT advancing the parent. Sibling streams (distinct k) and
+  /// the parent's own continuation are decorrelated through SplitMix64.
+  /// This is the per-trial stream API: `Rng(seed).split(trial)` gives every
+  /// trial of an experiment an independent, reproducible generator.
+  [[nodiscard]] Rng split(std::uint64_t k) const;
+
+  /// Advances 2^128 steps (the canonical xoshiro256++ jump), yielding a
+  /// stream that cannot overlap the un-jumped one for 2^128 draws.
+  void jump();
 
  private:
   std::uint64_t s_[4] = {};

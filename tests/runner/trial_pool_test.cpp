@@ -1,0 +1,124 @@
+#include "runner/trial_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bicord::runner {
+namespace {
+
+TEST(TrialPoolTest, RunsEveryTrialExactlyOnce) {
+  TrialPool pool(4);
+  constexpr std::size_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  pool.run(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "trial " << i;
+}
+
+TEST(TrialPoolTest, MapReturnsResultsInSubmissionOrder) {
+  TrialPool pool(4);
+  const auto out = pool.map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TrialPoolTest, PropagatesLowestIndexedException) {
+  TrialPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  auto fn = [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (i == 7 || i == 3 || i == 50) {
+      throw std::runtime_error("trial " + std::to_string(i));
+    }
+  };
+  try {
+    pool.run(64, fn);
+    FAIL() << "expected the trial exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 3");  // lowest index, not first-to-fail
+  }
+  // A failing trial must not abort its siblings: every trial still ran.
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1) << "trial " << i;
+}
+
+TEST(TrialPoolTest, MoreJobsThanTrialsDoesNotHang) {
+  TrialPool pool(8);
+  const auto out = pool.map<std::size_t>(3, [](std::size_t i) { return i; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TrialPoolTest, ZeroTrialsReturnsImmediately) {
+  TrialPool pool(4);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TrialPoolTest, SingleJobRunsInline) {
+  TrialPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.run(8, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(TrialPoolTest, PoolIsReusableAcrossBatches) {
+  TrialPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto out = pool.map<int>(20, [batch](std::size_t i) {
+      return batch * 100 + static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], batch * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(TrialPoolTest, RecoversAfterAFailedBatch) {
+  TrialPool pool(2);
+  EXPECT_THROW(pool.run(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  const auto out = pool.map<std::size_t>(4, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(TrialPoolTest, ParallelMapConvenience) {
+  const auto out = parallel_map<int>(50, 4, [](std::size_t i) {
+    return static_cast<int>(i) * 2;
+  });
+  int sum = std::accumulate(out.begin(), out.end(), 0);
+  EXPECT_EQ(sum, 2 * (49 * 50 / 2));
+}
+
+TEST(ResolveJobsTest, HonorsExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(5), 5);
+}
+
+TEST(ResolveJobsTest, FallsBackToEnvThenHardware) {
+  const char* saved = std::getenv("BICORD_JOBS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::setenv("BICORD_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(0), 3);
+  EXPECT_EQ(resolve_jobs(2), 2);  // explicit request still wins
+
+  ::setenv("BICORD_JOBS", "not-a-number", 1);
+  EXPECT_GE(resolve_jobs(0), 1);  // garbage env -> hardware fallback
+
+  ::unsetenv("BICORD_JOBS");
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-7), 1);
+
+  if (saved != nullptr) ::setenv("BICORD_JOBS", saved_value.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace bicord::runner

@@ -1,0 +1,43 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace bicord {
+namespace {
+
+TEST(ParsePositiveIntTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_positive_int("1"), 1);
+  EXPECT_EQ(parse_positive_int("42"), 42);
+  EXPECT_EQ(parse_positive_int("600"), 600);
+  EXPECT_EQ(parse_positive_int("2147483647"), std::numeric_limits<int>::max());
+}
+
+TEST(ParsePositiveIntTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_positive_int("").has_value());
+  EXPECT_FALSE(parse_positive_int("garbage").has_value());
+  EXPECT_FALSE(parse_positive_int("abc123").has_value());
+}
+
+TEST(ParsePositiveIntTest, RejectsTrailingJunk) {
+  // The std::atoi it replaced would have silently returned 12 here.
+  EXPECT_FALSE(parse_positive_int("12abc").has_value());
+  EXPECT_FALSE(parse_positive_int("3.5").has_value());
+  EXPECT_FALSE(parse_positive_int("7 ").has_value());
+}
+
+TEST(ParsePositiveIntTest, RejectsNonPositive) {
+  EXPECT_FALSE(parse_positive_int("0").has_value());
+  EXPECT_FALSE(parse_positive_int("-5").has_value());
+}
+
+TEST(ParsePositiveIntTest, RejectsOutOfRange) {
+  // One past INT_MAX, and far past long range.
+  EXPECT_FALSE(parse_positive_int("2147483648").has_value());
+  EXPECT_FALSE(parse_positive_int("99999999999999999999999999").has_value());
+}
+
+}  // namespace
+}  // namespace bicord

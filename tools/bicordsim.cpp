@@ -13,6 +13,7 @@
 #include <fstream>
 #include <memory>
 
+#include "coex/experiment.hpp"
 #include "coex/scenario.hpp"
 #include "phy/tracer.hpp"
 #include "util/flags.hpp"
@@ -69,6 +70,11 @@ int main(int argc, char** argv) {
   flags.add_int("seconds", 10, "measured simulation time");
   flags.add_int("warmup-seconds", 1, "warm-up before measurement");
   flags.add_int("seed", 1, "RNG seed (runs are bit-reproducible)");
+  flags.add_int("repeat", 1,
+                "independent repetitions (> 1 reports mean +/- 95% CI over "
+                "per-trial seed streams instead of one run's numbers)");
+  add_jobs_flag(flags);
+  flags.add_bool("progress", false, "print per-trial progress to stderr");
   flags.add_string("trace-file", "", "write a JSONL transmission trace to this path");
   flags.add_bool("timeline", false, "print an ASCII timeline of the final 300 ms");
 
@@ -115,6 +121,50 @@ int main(int argc, char** argv) {
   cfg.allocator.initial_whitespace = Duration::from_ms_f(flags.get_double("step-ms"));
   cfg.person_mobility = flags.get_bool("person-mobility");
   cfg.device_mobility = flags.get_bool("device-mobility");
+
+  const int repeat = static_cast<int>(flags.get_int("repeat"));
+  if (repeat < 1) {
+    std::fprintf(stderr, "error: --repeat must be >= 1 (got %d)\n", repeat);
+    return 2;
+  }
+  if (repeat > 1) {
+    if (!flags.get_string("trace-file").empty() || flags.get_bool("timeline")) {
+      std::fprintf(stderr,
+                   "error: --trace-file/--timeline record a single run; "
+                   "drop --repeat to use them\n");
+      return 2;
+    }
+    coex::ExperimentRunner runner(cfg,
+                                  Duration::from_sec(flags.get_int("warmup-seconds")),
+                                  Duration::from_sec(flags.get_int("seconds")));
+    runner.set_jobs(static_cast<int>(flags.get_int("jobs")));
+    if (flags.get_bool("progress")) {
+      runner.set_progress([](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r[bicordsim] %zu/%zu trials", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      });
+    }
+    runner.add_metric("channel utilization (total)", coex::metric_total_utilization());
+    runner.add_metric("zigbee utilization", coex::metric_zigbee_utilization());
+    runner.add_metric("zigbee delivery ratio", coex::metric_zigbee_delivery());
+    runner.add_metric("zigbee mean delay (ms)", coex::metric_zigbee_mean_delay_ms());
+    runner.add_metric("zigbee goodput (kbit/s)", coex::metric_zigbee_goodput_kbps());
+    const auto summaries = runner.run(repeat);
+
+    std::printf("bicordsim: scheme=%s location=%s base-seed=%llu, %d x %llds measured\n\n",
+                coex::to_string(cfg.coordination), coex::to_string(cfg.location),
+                static_cast<unsigned long long>(cfg.seed), repeat,
+                static_cast<long long>(flags.get_int("seconds")));
+    AsciiTable table;
+    table.set_header({"metric", "mean", "+/- 95% CI"});
+    for (const auto& s : summaries) {
+      table.add_row({s.name, AsciiTable::cell(s.stats.mean(), 4),
+                     AsciiTable::cell(s.ci95(), 4)});
+    }
+    std::printf("%s\n%s\n", table.render().c_str(),
+                runner.last_report().to_string().c_str());
+    return 0;
+  }
 
   coex::Scenario scenario(cfg);
   std::unique_ptr<phy::MediumTracer> tracer;
