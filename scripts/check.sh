@@ -4,15 +4,40 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast]
+# Usage:  scripts/check.sh [fast|chaos]
 #   default — plain + TSAN + ASan/UBSan
 #   fast    — plain build + tests only
+#   chaos   — chaos soak (fixed seed): fault tests under ASan/UBSan and the
+#             parallel soak under TSAN, plus a mixed-plan bicordsim run whose
+#             invariant checker gates the exit code
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [ "$MODE" = "chaos" ]; then
+  echo "== chaos soak: ASan + UBSan, fault tests =="
+  cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$JOBS" --target fault_tests bicordsim
+  ./build-asan/tests/fault_tests
+
+  echo
+  echo "== chaos soak: TSAN, parallel soak + runner tests =="
+  cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target fault_tests runner_tests
+  ./build-tsan/tests/fault_tests --gtest_filter='ChaosSoakTest.*'
+  ./build-tsan/tests/runner_tests
+
+  echo
+  echo "== chaos soak: bicordsim --fault-plan mixed (invariants gate exit) =="
+  ./build-asan/tools/bicordsim --fault-plan mixed --seconds 8 --seed 7
+
+  echo
+  echo "OK: chaos soak green (ASan/UBSan + TSAN, seed 7)"
+  exit 0
+fi
 
 echo "== plain build + tests =="
 cmake -B build -S . > /dev/null

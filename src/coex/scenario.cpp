@@ -73,6 +73,7 @@ Scenario::Scenario(ScenarioConfig config)
   build_coordination();
   build_extra_zigbee();
   build_mobility();
+  build_faults();
   probe_.start(sim_->now());
   measure_start_ = sim_->now();
 }
@@ -292,6 +293,36 @@ void Scenario::build_mobility() {
         });
     device_mover_->start();
   }
+}
+
+void Scenario::build_faults() {
+  if (config_.fault_plan.empty()) return;
+  fault_injector_ = std::make_unique<fault::FaultInjector>(*sim_, config_.fault_plan);
+  fault_injector_->attach_medium(*medium_);
+  if (bicord_wifi_ != nullptr) fault_injector_->attach_wifi_agent(*bicord_wifi_);
+  if (auto* zb = bicord_zigbee()) fault_injector_->attach_zigbee_agent(*zb);
+
+  fault_injector_->set_burst_shift_handler([this](int packets, Duration interval) {
+    auto cfg = burst_source_->config();
+    if (packets > 0) cfg.packets_per_burst = packets;
+    if (interval > Duration::zero()) cfg.mean_interval = interval;
+    burst_source_->set_config(cfg);
+  });
+  fault_injector_->set_node_handler([this](int link, bool join) {
+    zigbee::BurstSource* source = nullptr;
+    if (link == 0) {
+      source = burst_source_.get();
+    } else if (static_cast<std::size_t>(link - 1) < extras_.size()) {
+      source = extras_[static_cast<std::size_t>(link - 1)].source.get();
+    }
+    if (source == nullptr) return;
+    if (join && !source->running()) {
+      source->start();
+    } else if (!join && source->running()) {
+      source->stop();
+    }
+  });
+  fault_injector_->arm();
 }
 
 void Scenario::run_for(Duration d) { sim_->run_for(d); }

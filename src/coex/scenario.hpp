@@ -15,6 +15,7 @@
 #include "core/bicord_wifi.hpp"
 #include "core/bicord_zigbee.hpp"
 #include "core/ecc.hpp"
+#include "fault/fault_injector.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -104,6 +105,13 @@ struct ScenarioConfig {
   /// Duty-cycle the primary ZigBee sender's radio (sleep when idle) — the
   /// battery-operation mode the paper's energy analysis assumes.
   bool zigbee_duty_cycle = false;
+
+  // --- fault injection -------------------------------------------------------
+  /// Adversarial-channel faults applied during the run. Part of the config
+  /// value so ExperimentRunner trials replay the same plan per seed. Empty
+  /// by default: no injector is built and behaviour is byte-identical to a
+  /// plan-free scenario.
+  fault::FaultPlan fault_plan;
 };
 
 class Scenario {
@@ -148,6 +156,8 @@ class Scenario {
   [[nodiscard]] wifi::PriorityScheduleSource* priority_source() {
     return priority_source_.get();
   }
+  /// Non-null when the config carried a non-empty fault plan.
+  [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   // --- multi-node access ------------------------------------------------------
   /// Total ZigBee links (1 primary + extras).
@@ -171,6 +181,7 @@ class Scenario {
   void build_coordination();
   void build_extra_zigbee();
   void build_mobility();
+  void build_faults();
   std::unique_ptr<core::ZigbeeAgentBase> make_zigbee_agent(
       zigbee::ZigbeeMac& mac, phy::NodeId receiver, double data_power_dbm,
       double signaling_power_dbm, zigbee::EnergyMeter* meter);
@@ -202,6 +213,7 @@ class Scenario {
   std::unique_ptr<zigbee::DutyCycler> duty_cycler_;
   std::unique_ptr<sim::PeriodicTask> device_mover_;
   std::vector<ZigbeeEndpoint> extras_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 
   AirtimeProbe probe_;
   Samples wifi_delay_low_;

@@ -11,11 +11,13 @@
 // the same period. After resuming, 20 ms without a further detection marks
 // the end of the ZigBee burst and feeds the allocator's estimator.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <vector>
 
+#include "core/grant_history.hpp"
 #include "core/whitespace.hpp"
+#include "sim/simulator.hpp"
 #include "csi/csi_detector.hpp"
 #include "csi/csi_model.hpp"
 #include "wifi/wifi_mac.hpp"
@@ -30,6 +32,13 @@ class BiCordWifiAgent {
     csi::DetectorParams detector;
     /// Extra reservation to cover the CTS airtime + turnaround.
     Duration grant_margin = Duration::from_us(500);
+    /// Stale-grant watchdog: if the pause-end notification has not arrived
+    /// this long after the granted NAV should have elapsed, the agent assumes
+    /// the grant was lost (corrupted CTS, wedged MAC) and force-clears it.
+    Duration watchdog_slack = Duration::from_ms(20);
+    /// Most recent grants retained by grant_history() (all-time stats are
+    /// kept regardless).
+    std::size_t grant_history_capacity = 1024;
   };
 
   /// Returns true when the device is willing to grant a white space now.
@@ -37,13 +46,22 @@ class BiCordWifiAgent {
   /// Observer for every grant (start, length) — drives Fig. 7.
   using GrantObserver = std::function<void(TimePoint, Duration)>;
 
+  /// Fault hook: return true to swallow a pause-end notification (models a
+  /// lost resume interrupt). Consulted only while a grant is outstanding.
+  using PauseEndFilter = std::function<bool(TimePoint)>;
+  /// Fault hook: perturb a relative timer delay (clock jitter).
+  using TimerJitter = std::function<Duration(Duration)>;
+
   BiCordWifiAgent(wifi::WifiMac& mac, Config config);
+  ~BiCordWifiAgent();
 
   BiCordWifiAgent(const BiCordWifiAgent&) = delete;
   BiCordWifiAgent& operator=(const BiCordWifiAgent&) = delete;
 
   void set_policy(Policy policy) { policy_ = std::move(policy); }
   void set_grant_observer(GrantObserver obs) { grant_observer_ = std::move(obs); }
+  void set_pause_end_filter(PauseEndFilter filter) { pause_end_filter_ = std::move(filter); }
+  void set_timer_jitter(TimerJitter jitter) { timer_jitter_ = std::move(jitter); }
 
   [[nodiscard]] const WhitespaceAllocator& allocator() const { return allocator_; }
   [[nodiscard]] csi::CsiStream& csi_stream() { return csi_; }
@@ -52,13 +70,23 @@ class BiCordWifiAgent {
   [[nodiscard]] std::uint64_t requests_detected() const { return requests_; }
   [[nodiscard]] std::uint64_t whitespaces_granted() const { return grants_; }
   [[nodiscard]] std::uint64_t requests_ignored() const { return ignored_; }
-  /// Every grant issued, in order (length only; timing via the observer).
-  [[nodiscard]] const std::vector<Duration>& grant_history() const { return grant_history_; }
+  /// Recent grants in order (capped window; all-time stats via total()/sum()).
+  [[nodiscard]] const GrantHistory& grant_history() const { return grant_history_; }
+
+  /// True while a CTS is queued or the granted white space is running.
+  [[nodiscard]] bool grant_outstanding() const { return grant_outstanding_; }
+  [[nodiscard]] TimePoint grant_started() const { return grant_started_; }
+  /// Times the stale-grant watchdog had to force-clear a wedged grant.
+  [[nodiscard]] std::uint64_t watchdog_recoveries() const { return watchdog_recoveries_; }
 
  private:
   void on_detection(TimePoint t);
   void on_pause_end(TimePoint t);
   void end_of_burst_check(TimePoint resume_time);
+  void arm_watchdog(TimePoint deadline);
+  void disarm_watchdog();
+  void on_watchdog();
+  [[nodiscard]] Duration jittered(Duration d) const;
 
   wifi::WifiMac& mac_;
   sim::Simulator& sim_;
@@ -68,14 +96,19 @@ class BiCordWifiAgent {
   csi::CsiDetector detector_;
   Policy policy_;
   GrantObserver grant_observer_;
+  PauseEndFilter pause_end_filter_;
+  TimerJitter timer_jitter_;
 
   bool grant_outstanding_ = false;  ///< CTS queued or white space running
+  TimePoint grant_started_;
   TimePoint last_detection_;
+  sim::EventId watchdog_event_ = sim::kInvalidEventId;
 
   std::uint64_t requests_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t ignored_ = 0;
-  std::vector<Duration> grant_history_;
+  std::uint64_t watchdog_recoveries_ = 0;
+  GrantHistory grant_history_;
 };
 
 }  // namespace bicord::core

@@ -10,13 +10,33 @@ BiCordZigbeeAgent::BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receive
                                      Config config)
     : ZigbeeAgentBase(mac, receiver),
       config_(config),
+      // const split(k): derives a dedicated jitter stream without advancing
+      // the parent RNG, so adding it does not perturb any existing stream.
+      rng_(mac.medium().simulator().rng().split(0xB1C0FDULL ^ mac.node())),
       sampler_(mac.medium(), mac.node(), mac.radio().band()) {
   max_attempts_ = 50;  // reliability first: BiCord keeps requesting channel
 }
 
+Duration BiCordZigbeeAgent::jittered(Duration d) {
+  if (config_.backoff_jitter > 0.0) {
+    const double f =
+        rng_.uniform(1.0 - config_.backoff_jitter, 1.0 + config_.backoff_jitter);
+    d = Duration::from_us(std::max<std::int64_t>(
+        100, static_cast<std::int64_t>(static_cast<double>(d.us()) * f)));
+  }
+  if (timer_jitter_) {
+    const Duration j = timer_jitter_(d);
+    d = j > Duration::zero() ? j : Duration::from_us(1);
+  }
+  return d;
+}
+
 void BiCordZigbeeAgent::kick() {
   if (queue_empty()) {
-    if (state_ == State::Draining || state_ == State::Idle) state_ = State::Idle;
+    if (state_ == State::Draining || state_ == State::Idle ||
+        state_ == State::CsmaFallback) {
+      state_ = State::Idle;
+    }
     return;
   }
   // Asynchronous phases complete on their own; Backoff has a pending event,
@@ -24,6 +44,17 @@ void BiCordZigbeeAgent::kick() {
   if (state_ == State::Sampling || state_ == State::Signaling ||
       state_ == State::Backoff || pumping()) {
     return;
+  }
+  if (state_ == State::CsmaFallback) {
+    if (sim_.now() < csma_deadline_) {
+      pump_head(config_.data_power_dbm);  // plain CSMA, no signaling
+      return;
+    }
+    // Fallback window over: return to normal coordination with a clean
+    // slate (the Wi-Fi device may be willing to grant again).
+    state_ = State::Idle;
+    consecutive_ignored_ = 0;
+    ignored_streak_ = 0;
   }
   if (have_channel_) {
     state_ = State::Draining;
@@ -103,7 +134,23 @@ void BiCordZigbeeAgent::signal_step() {
     // control packets.
     ++ignored_requests_;
     consecutive_ignored_ = std::min(consecutive_ignored_ + 1, 4);
+    ++ignored_streak_;
     have_channel_ = false;
+    if (config_.give_up_after_ignored > 0 &&
+        ignored_streak_ >= config_.give_up_after_ignored) {
+      // Bounded give-up: signaling is clearly not being answered. Stop
+      // burning control packets and drain what we can via plain CSMA.
+      ++give_ups_;
+      state_ = State::CsmaFallback;
+      csma_deadline_ = sim_.now() + config_.csma_fallback_period;
+      ignored_streak_ = 0;
+      BICORD_LOG(Warn, sim_.now(), "fault.recovery",
+                 "zigbee giving up after " << config_.give_up_after_ignored
+                                           << " ignored rounds; CSMA fallback for "
+                                           << config_.csma_fallback_period);
+      pump_head(config_.data_power_dbm);
+      return;
+    }
     enter_backoff(config_.signaling.ignored_backoff * (1 << consecutive_ignored_));
     return;
   }
@@ -147,15 +194,27 @@ void BiCordZigbeeAgent::gap_poll(int polls, int idle_streak, int busy_streak) {
     signal_step();
     return;
   }
-  sim_.after(Duration::from_us(300), [this, polls, idle_streak, busy_streak] {
+  Duration spacing = Duration::from_us(300);
+  if (timer_jitter_) {
+    const Duration j = timer_jitter_(spacing);
+    spacing = j > Duration::zero() ? j : Duration::from_us(1);
+  }
+  sim_.after(spacing, [this, polls, idle_streak, busy_streak] {
     gap_poll(polls + 1, idle_streak, busy_streak);
   });
 }
 
 void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+  if (state_ == State::CsmaFallback) {
+    // Plain CSMA during the fallback window: a delivery is not a grant, so
+    // only the base accounting (and its kick) applies.
+    ZigbeeAgentBase::on_head_outcome(outcome);
+    return;
+  }
   const bool was_signaling = state_ == State::Signaling;
   if (outcome.delivered) {
     consecutive_ignored_ = 0;
+    ignored_streak_ = 0;
     have_channel_ = true;
     state_ = State::Draining;
   } else {
@@ -171,7 +230,7 @@ void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& ou
 void BiCordZigbeeAgent::enter_backoff(Duration d) {
   state_ = State::Backoff;
   if (backoff_event_ != sim::kInvalidEventId) sim_.cancel(backoff_event_);
-  backoff_event_ = sim_.after(d, [this] {
+  backoff_event_ = sim_.after(jittered(d), [this] {
     backoff_event_ = sim::kInvalidEventId;
     if (state_ == State::Backoff) state_ = State::Idle;
     kick();

@@ -19,12 +19,14 @@
 //      falls back to step 3 (classification results are cached).
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "core/protocol_params.hpp"
 #include "core/zigbee_agent.hpp"
 #include "detect/classifier.hpp"
 #include "detect/rssi_sampler.hpp"
+#include "util/rng.hpp"
 #include "zigbee/energy.hpp"
 
 namespace bicord::core {
@@ -45,10 +47,24 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
     Duration cti_cache = Duration::from_sec(2);
     /// Retry delay when the interferer is not Wi-Fi.
     Duration non_wifi_backoff = Duration::from_ms(20);
+    /// Multiplicative jitter on every backoff (d * U(1-j, 1+j)), so repeated
+    /// refusals from several nodes do not re-synchronise their retries.
+    /// Drawn from a dedicated split RNG stream: deterministic per seed.
+    double backoff_jitter = 0.25;
+    /// Bounded give-up: after this many consecutive ignored signaling rounds
+    /// the agent stops burning control packets and drains via plain CSMA for
+    /// `csma_fallback_period` before trying to coordinate again. 0 disables.
+    int give_up_after_ignored = 6;
+    Duration csma_fallback_period = Duration::from_ms(400);
     detect::FeatureParams features;
   };
 
-  enum class State : std::uint8_t { Idle, Sampling, Signaling, Draining, Backoff };
+  enum class State : std::uint8_t {
+    Idle, Sampling, Signaling, Draining, Backoff, CsmaFallback
+  };
+
+  /// Fault hook: perturb a relative timer delay (clock jitter).
+  using TimerJitter = std::function<Duration(Duration)>;
 
   BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
 
@@ -61,6 +77,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   }
   void set_power_map(detect::PowerMap map) { power_map_ = std::move(map); }
   void set_energy_meter(zigbee::EnergyMeter* meter) { meter_ = meter; }
+  void set_timer_jitter(TimerJitter jitter) { timer_jitter_ = std::move(jitter); }
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] std::uint64_t control_packets_sent() const { return control_packets_; }
@@ -68,6 +85,10 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   [[nodiscard]] std::uint64_t ignored_requests() const { return ignored_requests_; }
   [[nodiscard]] std::uint64_t non_wifi_detections() const { return non_wifi_; }
   [[nodiscard]] std::uint64_t cti_samples_taken() const { return cti_samples_; }
+  /// Times the agent gave up signaling and fell back to plain CSMA.
+  [[nodiscard]] std::uint64_t give_ups() const { return give_ups_; }
+  /// The RSSI sampler feeding CTI detection (exposed for fault injection).
+  [[nodiscard]] detect::RssiSampler& sampler() { return sampler_; }
 
  protected:
   void kick() override;
@@ -82,10 +103,13 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   /// sustained silence, sends the next control on sustained activity.
   void gap_poll(int polls, int idle_streak, int busy_streak);
   void enter_backoff(Duration d);
+  [[nodiscard]] Duration jittered(Duration d);
 
   Config config_;
   State state_ = State::Idle;
   bool have_channel_ = false;
+  Rng rng_;  ///< jitter draws only; split off a dedicated stream
+  TimerJitter timer_jitter_;
 
   const detect::InterferenceClassifier* classifier_ = nullptr;
   const detect::DeviceIdentifier* identifier_ = nullptr;
@@ -95,7 +119,9 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
 
   double signaling_power_dbm_ = 0.0;
   int controls_this_round_ = 0;
-  int consecutive_ignored_ = 0;
+  int consecutive_ignored_ = 0;  ///< capped; exponent of the backoff
+  int ignored_streak_ = 0;       ///< uncapped; drives the give-up bound
+  TimePoint csma_deadline_;      ///< end of the current CSMA fallback window
   sim::EventId backoff_event_ = sim::kInvalidEventId;
   std::optional<double> cached_wifi_power_;
   TimePoint cache_valid_until_;
@@ -105,6 +131,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   std::uint64_t ignored_requests_ = 0;
   std::uint64_t non_wifi_ = 0;
   std::uint64_t cti_samples_ = 0;
+  std::uint64_t give_ups_ = 0;
 };
 
 }  // namespace bicord::core

@@ -1,0 +1,72 @@
+#pragma once
+// Capped history of white-space grant lengths.
+//
+// BiCordWifiAgent records every grant it issues. An unbounded vector is fine
+// for a 10 s run but not for chaos soaks or long --repeat sweeps, so the
+// history keeps only the most recent `capacity` grants while maintaining
+// running all-time summary statistics (count, sum, min, max) that cover every
+// grant ever pushed, not just the retained window.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/time.hpp"
+
+namespace bicord::core {
+
+class GrantHistory {
+ public:
+  explicit GrantHistory(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(Duration grant) {
+    if (recent_.size() == capacity_) recent_.pop_front();
+    recent_.push_back(grant);
+    ++total_;
+    sum_ += grant;
+    if (total_ == 1) {
+      min_ = max_ = grant;
+    } else {
+      min_ = std::min(min_, grant);
+      max_ = std::max(max_, grant);
+    }
+  }
+
+  // --- retained window (most recent `capacity` grants) ----------------------
+
+  [[nodiscard]] std::size_t size() const { return recent_.size(); }
+  [[nodiscard]] bool empty() const { return recent_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] Duration operator[](std::size_t i) const { return recent_[i]; }
+  [[nodiscard]] auto begin() const { return recent_.begin(); }
+  [[nodiscard]] auto end() const { return recent_.end(); }
+  [[nodiscard]] Duration back() const { return recent_.back(); }
+
+  // --- all-time summary (never forgets) -------------------------------------
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] Duration sum() const { return sum_; }
+  [[nodiscard]] Duration min() const { return min_; }
+  [[nodiscard]] Duration max() const { return max_; }
+  [[nodiscard]] double mean_ms() const {
+    return total_ == 0 ? 0.0 : sum_.ms() / static_cast<double>(total_);
+  }
+
+  void clear() {
+    recent_.clear();
+    total_ = 0;
+    sum_ = min_ = max_ = Duration::zero();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Duration> recent_;
+  std::uint64_t total_ = 0;
+  Duration sum_;
+  Duration min_;
+  Duration max_;
+};
+
+}  // namespace bicord::core

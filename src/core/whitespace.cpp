@@ -21,7 +21,10 @@ Duration WhitespaceAllocator::on_request(TimePoint now) {
   if (phase_ == AllocatorPhase::Learning) {
     grant = params_.initial_whitespace;
   } else if (rounds_this_burst_ == 1) {
-    grant = estimate_;
+    // Sanity clamp: contradictory event orderings (e.g. a fault-swallowed
+    // burst end leaving a stale zero/negative estimate) must never produce
+    // an unusable grant — fall back to the learning-step length.
+    grant = estimate_ > Duration::zero() ? estimate_ : params_.initial_whitespace;
   } else {
     // The adjusted estimate fell short: serve the remainder with a
     // supplemental short white space. Whether the estimate itself grows is
@@ -38,7 +41,9 @@ void WhitespaceAllocator::on_burst_end(TimePoint /*now*/) {
   int shortfall = rounds_this_burst_ - 1;
   if (phase_ == AllocatorPhase::Learning) {
     // Conservative estimate: subtract 2 T_c of signaling overhead per round.
-    estimate_ = per_round_credit() * rounds_this_burst_;
+    // Clamped: a fault-stretched learning burst (lost CTS forcing dozens of
+    // rounds) must not ratchet the reservation past the configured cap.
+    estimate_ = std::min(per_round_credit() * rounds_this_burst_, params_.max_whitespace);
     phase_ = AllocatorPhase::Adjusted;
     shortfall = 0;  // learning rounds are expected, not a shortfall signal
   } else if (shortfall == 0) {

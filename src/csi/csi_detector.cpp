@@ -37,15 +37,34 @@ void CsiDetector::add_sample(const CsiSample& sample) {
 }
 
 void CsiDetector::fire(TimePoint t) {
+  if (t < suppress_until_) {
+    // Fault injection: the detector "misses" this one (false negative).
+    ++suppressed_;
+    recent_high_.clear();
+    return;
+  }
   ++detections_;
   quiet_until_ = t + params_.refractory;
   if (callback_) callback_(t);
 }
 
+void CsiDetector::inject_detection(TimePoint t) {
+  ++injected_;
+  ++detections_;
+  quiet_until_ = t + params_.refractory;
+  recent_high_.clear();
+  if (callback_) callback_(t);
+}
+
+void CsiDetector::suppress_until(TimePoint t) {
+  if (t > suppress_until_) suppress_until_ = t;
+}
+
 void CsiDetector::reset() {
   recent_high_.clear();
   quiet_until_ = TimePoint::origin();
-  seen_ = high_ = detections_ = 0;
+  suppress_until_ = TimePoint::origin();
+  seen_ = high_ = detections_ = injected_ = suppressed_ = 0;
 }
 
 }  // namespace bicord::csi

@@ -50,6 +50,17 @@ class CsiDetector {
   [[nodiscard]] std::uint64_t high_samples() const { return high_; }
   [[nodiscard]] std::uint64_t detections() const { return detections_; }
 
+  // --- fault injection -------------------------------------------------------
+
+  /// Forces a detection at `t` as if the continuity rule had fired (counts
+  /// toward detections(), honours nothing — used to model false positives).
+  void inject_detection(TimePoint t);
+  /// Swallows every would-be detection until `t` (models false negatives).
+  void suppress_until(TimePoint t);
+
+  [[nodiscard]] std::uint64_t injected_detections() const { return injected_; }
+  [[nodiscard]] std::uint64_t suppressed_detections() const { return suppressed_; }
+
   void reset();
 
  private:
@@ -59,10 +70,13 @@ class CsiDetector {
   DetectionCallback callback_;
   std::deque<TimePoint> recent_high_;
   TimePoint quiet_until_;
+  TimePoint suppress_until_;
   bool amplitude_only_ = false;
   std::uint64_t seen_ = 0;
   std::uint64_t high_ = 0;
   std::uint64_t detections_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t suppressed_ = 0;
 };
 
 }  // namespace bicord::csi

@@ -27,7 +27,17 @@ bool CsiStream::mobility_active() {
   return fade_start_ <= now;
 }
 
+void CsiStream::drop_until(TimePoint t) {
+  if (t > drop_until_) drop_until_ = t;
+}
+
 void CsiStream::on_frame(const phy::RxResult& rx) {
+  if (sim_.now() < drop_until_) {
+    // Fault injection: the CSI pipeline is stalled; this frame yields no
+    // sample and (like any reception gap) lets the estimator tail settle.
+    ++dropped_;
+    return;
+  }
   // A long reception gap (white space, idle link) lets the channel
   // estimator settle: stale disturbance does not leak across pauses.
   if (sim_.now() - last_frame_ > params_.tail_reset_gap) tail_prob_ = 0.0;

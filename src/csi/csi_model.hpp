@@ -78,7 +78,12 @@ class CsiStream {
   /// Enables/disables the person-mobility disturbance process.
   void set_mobility(double event_rate_hz);
 
+  /// Fault injection: discard every incoming frame (no CsiSample emitted)
+  /// until `t` — models the CSI extraction pipeline stalling.
+  void drop_until(TimePoint t);
+
   [[nodiscard]] std::uint64_t samples_emitted() const { return samples_; }
+  [[nodiscard]] std::uint64_t samples_dropped() const { return dropped_; }
 
  private:
   [[nodiscard]] bool mobility_active();
@@ -93,7 +98,9 @@ class CsiStream {
   TimePoint last_frame_;
   TimePoint fade_start_;  ///< current-or-next mobility fade window
   TimePoint fade_until_;
+  TimePoint drop_until_;  ///< fault injection: stream dead until here
   std::uint64_t samples_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace bicord::csi

@@ -34,9 +34,18 @@ void RssiSampler::capture(std::size_t samples, Duration period, SegmentCallback 
   tick();
 }
 
+void RssiSampler::inject_offset(double offset_db, TimePoint until) {
+  glitch_offset_db_ = offset_db;
+  glitch_until_ = until;
+}
+
 void RssiSampler::tick() {
   double v = medium_.energy_dbm(node_, band_, node_) + capture_offset_db_;
   if (per_sample_sigma_db_ > 0.0) v += rng_.normal(0.0, per_sample_sigma_db_);
+  if (sim_.now() < glitch_until_) {
+    v += glitch_offset_db_;
+    ++glitched_;
+  }
   current_.dbm.push_back(v);
   if (--remaining_ == 0) {
     in_flight_ = false;

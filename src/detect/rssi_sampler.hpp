@@ -49,6 +49,11 @@ class RssiSampler {
   /// Total radio-on time spent sampling (for the energy analysis).
   [[nodiscard]] Duration listen_time() const { return listen_time_; }
 
+  /// Fault injection: adds `offset_db` to every sample read before `until`
+  /// (a stuck AGC / saturated front end). Replaces any previous glitch.
+  void inject_offset(double offset_db, TimePoint until);
+  [[nodiscard]] std::uint64_t glitched_samples() const { return glitched_; }
+
  private:
   void tick();
 
@@ -66,6 +71,9 @@ class RssiSampler {
   RssiSegment current_;
   SegmentCallback done_;
   Duration listen_time_;
+  double glitch_offset_db_ = 0.0;
+  TimePoint glitch_until_;
+  std::uint64_t glitched_ = 0;
 };
 
 }  // namespace bicord::detect

@@ -1,0 +1,170 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace bicord::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      // const split: derives the fault stream without advancing the parent,
+      // so an armed injector never shifts the scenario's other RNG streams.
+      rng_(sim.rng().split(0xFA017EC7ULL)) {}
+
+FaultInjector::~FaultInjector() {
+  if (medium_ != nullptr) medium_->set_tx_interceptor(nullptr);
+}
+
+void FaultInjector::attach_medium(phy::Medium& medium) {
+  medium_ = &medium;
+  medium.set_tx_interceptor(this);
+}
+
+void FaultInjector::attach_wifi_agent(core::BiCordWifiAgent& agent) {
+  wifi_ = &agent;
+  agent.set_pause_end_filter([this](TimePoint t) { return swallow_pause_end(t); });
+  agent.set_timer_jitter([this](Duration d) { return jitter(d); });
+}
+
+void FaultInjector::attach_zigbee_agent(core::BiCordZigbeeAgent& agent) {
+  zigbee_ = &agent;
+  agent.set_timer_jitter([this](Duration d) { return jitter(d); });
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+  armed_ = true;
+  for (const auto& ev : plan_.events()) {
+    if (ev.at <= sim_.now()) {
+      activate(ev);
+    } else {
+      sim_.at(ev.at, [this, ev] { activate(ev); });
+    }
+  }
+}
+
+void FaultInjector::activate(const FaultEvent& ev) {
+  const TimePoint now = sim_.now();
+  BICORD_LOG(Warn, now, "fault.inject", "activating " << to_string(ev.kind));
+  switch (ev.kind) {
+    case FaultKind::CtsLoss:
+      cts_loss_budget_ += std::max(ev.count, 0);
+      break;
+    case FaultKind::ControlDeaf:
+      control_deaf_budget_ += std::max(ev.count, 0);
+      break;
+    case FaultKind::PauseEndLoss:
+      pause_end_budget_ += std::max(ev.count, 0);
+      break;
+    case FaultKind::FrameCorrupt:
+      corrupt_windows_.push_back(
+          CorruptWindow{now + ev.window, ev.probability, ev.tech});
+      break;
+    case FaultKind::CsiDropout:
+      if (wifi_ != nullptr) {
+        wifi_->csi_stream().drop_until(now + ev.window);
+        ++counters_.csi_dropout_windows;
+      }
+      break;
+    case FaultKind::DetectorFalsePositive:
+      if (wifi_ != nullptr) {
+        ++counters_.detector_false_positives;
+        wifi_->detector().inject_detection(now);
+      }
+      break;
+    case FaultKind::DetectorFalseNegative:
+      if (wifi_ != nullptr) {
+        wifi_->detector().suppress_until(now + ev.window);
+        ++counters_.detector_fn_windows;
+      }
+      break;
+    case FaultKind::RssiGlitch:
+      if (zigbee_ != nullptr) {
+        zigbee_->sampler().inject_offset(ev.magnitude, now + ev.window);
+        ++counters_.rssi_glitch_windows;
+      }
+      break;
+    case FaultKind::ClockJitter:
+      jitter_window_ = JitterWindow{now + ev.window, ev.magnitude};
+      ++counters_.clock_jitter_windows;
+      break;
+    case FaultKind::BurstShift:
+      if (burst_shift_) {
+        burst_shift_(ev.burst_packets, ev.burst_interval);
+        ++counters_.burst_shifts;
+      }
+      break;
+    case FaultKind::NodeLeave:
+      if (node_) {
+        node_(ev.link, /*join=*/false);
+        ++counters_.node_leaves;
+      }
+      break;
+    case FaultKind::NodeJoin:
+      if (node_) {
+        node_(ev.link, /*join=*/true);
+        ++counters_.node_joins;
+      }
+      break;
+  }
+}
+
+phy::TxVerdict FaultInjector::intercept(const phy::ActiveTransmission& tx) {
+  const TimePoint now = sim_.now();
+  if (tx.frame.kind == phy::FrameKind::Cts && cts_loss_budget_ > 0) {
+    --cts_loss_budget_;
+    ++counters_.cts_corrupted;
+    BICORD_LOG(Warn, now, "fault.inject",
+               "corrupting CTS from node " << tx.frame.src << " ("
+                                           << cts_loss_budget_ << " left)");
+    return phy::TxVerdict::Corrupt;
+  }
+  if (tx.frame.kind == phy::FrameKind::Control &&
+      tx.frame.tech == phy::Technology::ZigBee && control_deaf_budget_ > 0) {
+    --control_deaf_budget_;
+    ++counters_.controls_dropped;
+    BICORD_LOG(Warn, now, "fault.inject",
+               "dropping control packet from node " << tx.frame.src << " ("
+                                                    << control_deaf_budget_ << " left)");
+    return phy::TxVerdict::Drop;
+  }
+  if (!corrupt_windows_.empty()) {
+    corrupt_windows_.erase(
+        std::remove_if(corrupt_windows_.begin(), corrupt_windows_.end(),
+                       [now](const CorruptWindow& w) { return now >= w.until; }),
+        corrupt_windows_.end());
+    for (const auto& w : corrupt_windows_) {
+      if (tx.frame.tech != w.tech) continue;
+      if (!rng_.bernoulli(w.probability)) continue;
+      ++counters_.frames_corrupted;
+      BICORD_LOG(Warn, now, "fault.inject",
+                 "corrupting " << phy::to_string(tx.frame.kind) << " frame from node "
+                               << tx.frame.src);
+      return phy::TxVerdict::Corrupt;
+    }
+  }
+  return phy::TxVerdict::Deliver;
+}
+
+bool FaultInjector::swallow_pause_end(TimePoint t) {
+  if (pause_end_budget_ <= 0) return false;
+  --pause_end_budget_;
+  ++counters_.pause_ends_swallowed;
+  BICORD_LOG(Warn, t, "fault.inject",
+             "swallowing pause-end notification (" << pause_end_budget_ << " left)");
+  return true;
+}
+
+Duration FaultInjector::jitter(Duration d) {
+  if (sim_.now() >= jitter_window_.until || jitter_window_.magnitude <= 0.0) return d;
+  const double f = rng_.uniform(1.0 - jitter_window_.magnitude,
+                                1.0 + jitter_window_.magnitude);
+  const auto us =
+      static_cast<std::int64_t>(static_cast<double>(d.us()) * std::max(f, 0.0));
+  return Duration::from_us(std::max<std::int64_t>(us, 1));
+}
+
+}  // namespace bicord::fault

@@ -1,0 +1,119 @@
+#pragma once
+// Applies a FaultPlan to a running scenario, deterministically.
+//
+// The injector is the single place where fault randomness lives: every draw
+// (probabilistic frame corruption, clock jitter) comes off one dedicated RNG
+// stream derived with the *const* Rng::split(key) — the parent stream is not
+// advanced, so attaching an injector never perturbs the existing per-device
+// streams and two runs with the same seed stay bitwise identical whether or
+// not --jobs parallelism is in play (PR 1's determinism contract).
+//
+// Wiring (done by coex::Scenario::build_faults, or by hand in tests):
+//   * attach_medium     — installs the TxInterceptor for frame drop/corrupt
+//   * attach_wifi_agent — pause-end filter, clock jitter, detector/CSI hooks
+//   * attach_zigbee_agent — clock jitter, RSSI-sampler glitches
+//   * set_burst_shift_handler / set_node_handler — traffic-source faults
+// then arm() schedules one activation event per FaultEvent.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/bicord_wifi.hpp"
+#include "core/bicord_zigbee.hpp"
+#include "fault/fault_plan.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace bicord::fault {
+
+class FaultInjector final : public phy::TxInterceptor {
+ public:
+  /// Everything the injector actually did, for soak assertions and the
+  /// bicordsim fault report.
+  struct Counters {
+    std::uint64_t cts_corrupted = 0;
+    std::uint64_t controls_dropped = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t pause_ends_swallowed = 0;
+    std::uint64_t detector_false_positives = 0;
+    std::uint64_t detector_fn_windows = 0;
+    std::uint64_t csi_dropout_windows = 0;
+    std::uint64_t rssi_glitch_windows = 0;
+    std::uint64_t clock_jitter_windows = 0;
+    std::uint64_t burst_shifts = 0;
+    std::uint64_t node_leaves = 0;
+    std::uint64_t node_joins = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+      return cts_corrupted + controls_dropped + frames_corrupted + pause_ends_swallowed +
+             detector_false_positives + detector_fn_windows + csi_dropout_windows +
+             rssi_glitch_windows + clock_jitter_windows + burst_shifts + node_leaves +
+             node_joins;
+    }
+  };
+
+  /// Handler for BurstShift events: (packets_per_burst, mean_interval).
+  using BurstShiftHandler = std::function<void(int, Duration)>;
+  /// Handler for NodeLeave/NodeJoin events: (link index, join?).
+  using NodeHandler = std::function<void(int, bool)>;
+
+  FaultInjector(sim::Simulator& sim, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void attach_medium(phy::Medium& medium);
+  void attach_wifi_agent(core::BiCordWifiAgent& agent);
+  void attach_zigbee_agent(core::BiCordZigbeeAgent& agent);
+  void set_burst_shift_handler(BurstShiftHandler handler) {
+    burst_shift_ = std::move(handler);
+  }
+  void set_node_handler(NodeHandler handler) { node_ = std::move(handler); }
+
+  /// Schedules one activation event per FaultEvent. Call once, after the
+  /// attach_* wiring; events whose time already passed are applied now.
+  void arm();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // phy::TxInterceptor
+  phy::TxVerdict intercept(const phy::ActiveTransmission& tx) override;
+
+ private:
+  struct CorruptWindow {
+    TimePoint until;
+    double probability = 1.0;
+    phy::Technology tech = phy::Technology::ZigBee;
+  };
+  struct JitterWindow {
+    TimePoint until;
+    double magnitude = 0.0;
+  };
+
+  void activate(const FaultEvent& ev);
+  [[nodiscard]] bool swallow_pause_end(TimePoint t);
+  [[nodiscard]] Duration jitter(Duration d);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  Rng rng_;  ///< dedicated stream; every fault draw comes from here
+  Counters counters_;
+
+  phy::Medium* medium_ = nullptr;
+  core::BiCordWifiAgent* wifi_ = nullptr;
+  core::BiCordZigbeeAgent* zigbee_ = nullptr;
+  BurstShiftHandler burst_shift_;
+  NodeHandler node_;
+
+  int cts_loss_budget_ = 0;
+  int control_deaf_budget_ = 0;
+  int pause_end_budget_ = 0;
+  std::vector<CorruptWindow> corrupt_windows_;
+  JitterWindow jitter_window_;
+  bool armed_ = false;
+};
+
+}  // namespace bicord::fault

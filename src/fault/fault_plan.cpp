@@ -1,0 +1,277 @@
+#include "fault/fault_plan.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace bicord::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::CtsLoss: return "cts-loss";
+    case FaultKind::ControlDeaf: return "control-deaf";
+    case FaultKind::FrameCorrupt: return "frame-corrupt";
+    case FaultKind::PauseEndLoss: return "pause-end-loss";
+    case FaultKind::CsiDropout: return "csi-dropout";
+    case FaultKind::DetectorFalsePositive: return "detector-fp";
+    case FaultKind::DetectorFalseNegative: return "detector-fn";
+    case FaultKind::RssiGlitch: return "rssi-glitch";
+    case FaultKind::ClockJitter: return "clock-jitter";
+    case FaultKind::BurstShift: return "burst-shift";
+    case FaultKind::NodeLeave: return "node-leave";
+    case FaultKind::NodeJoin: return "node-join";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<FaultKind> parse_kind(const std::string& word) {
+  for (const FaultKind k :
+       {FaultKind::CtsLoss, FaultKind::ControlDeaf, FaultKind::FrameCorrupt,
+        FaultKind::PauseEndLoss, FaultKind::CsiDropout, FaultKind::DetectorFalsePositive,
+        FaultKind::DetectorFalseNegative, FaultKind::RssiGlitch, FaultKind::ClockJitter,
+        FaultKind::BurstShift, FaultKind::NodeLeave, FaultKind::NodeJoin}) {
+    if (word == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<phy::Technology> parse_tech(const std::string& word) {
+  if (word == "wifi") return phy::Technology::WiFi;
+  if (word == "zigbee") return phy::Technology::ZigBee;
+  if (word == "bluetooth") return phy::Technology::Bluetooth;
+  if (word == "microwave") return phy::Technology::Microwave;
+  return std::nullopt;
+}
+
+/// "250us" / "30ms" / "2s" / "1.5s" -> Duration.
+std::optional<Duration> parse_duration(const std::string& word) {
+  std::size_t unit = 0;
+  while (unit < word.size() &&
+         (std::isdigit(static_cast<unsigned char>(word[unit])) != 0 ||
+          word[unit] == '.' || word[unit] == '-')) {
+    ++unit;
+  }
+  if (unit == 0 || unit == word.size()) return std::nullopt;
+  double value = 0.0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stod(word.substr(0, unit), &consumed);
+    if (consumed != unit) return std::nullopt;
+  } catch (...) {
+    return std::nullopt;
+  }
+  const std::string suffix = word.substr(unit);
+  if (suffix == "us") return Duration::from_us(static_cast<std::int64_t>(value));
+  if (suffix == "ms") return Duration::from_ms_f(value);
+  if (suffix == "s") return Duration::from_sec_f(value);
+  return std::nullopt;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_event_line(const std::string& line, int line_no, FaultEvent* out,
+                      bool* blank, std::string* error) {
+  std::istringstream in(line);
+  std::string word;
+  *blank = true;
+  if (!(in >> word) || word[0] == '#') return true;  // blank / comment line
+  *blank = false;
+
+  const auto kind = parse_kind(word);
+  if (!kind) {
+    return fail(error, "line " + std::to_string(line_no) + ": unknown fault kind '" +
+                           word + "'");
+  }
+  FaultEvent ev;
+  ev.kind = *kind;
+  bool have_at = false;
+  while (in >> word) {
+    if (word[0] == '#') break;
+    const auto eq = word.find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "line " + std::to_string(line_no) + ": expected key=value, got '" +
+                             word + "'");
+    }
+    const std::string key = word.substr(0, eq);
+    const std::string value = word.substr(eq + 1);
+    const auto bad_value = [&] {
+      return fail(error, "line " + std::to_string(line_no) + ": bad value for '" + key +
+                             "': '" + value + "'");
+    };
+    if (key == "at") {
+      const auto d = parse_duration(value);
+      if (!d) return bad_value();
+      ev.at = TimePoint::origin() + *d;
+      have_at = true;
+    } else if (key == "window") {
+      const auto d = parse_duration(value);
+      if (!d) return bad_value();
+      ev.window = *d;
+    } else if (key == "interval") {
+      const auto d = parse_duration(value);
+      if (!d) return bad_value();
+      ev.burst_interval = *d;
+    } else if (key == "count") {
+      try {
+        ev.count = std::stoi(value);
+      } catch (...) {
+        return bad_value();
+      }
+    } else if (key == "packets") {
+      try {
+        ev.burst_packets = std::stoi(value);
+      } catch (...) {
+        return bad_value();
+      }
+    } else if (key == "link") {
+      try {
+        ev.link = std::stoi(value);
+      } catch (...) {
+        return bad_value();
+      }
+    } else if (key == "prob") {
+      try {
+        ev.probability = std::stod(value);
+      } catch (...) {
+        return bad_value();
+      }
+    } else if (key == "mag") {
+      try {
+        ev.magnitude = std::stod(value);
+      } catch (...) {
+        return bad_value();
+      }
+    } else if (key == "tech") {
+      const auto t = parse_tech(value);
+      if (!t) return bad_value();
+      ev.tech = *t;
+    } else {
+      return fail(error, "line " + std::to_string(line_no) + ": unknown key '" + key + "'");
+    }
+  }
+  if (!have_at) {
+    return fail(error, "line " + std::to_string(line_no) + ": missing at=<time>");
+  }
+  *out = ev;
+  return true;
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const auto& ev : events_) {
+    os << to_string(ev.kind) << " at=" << ev.at.to_string();
+    switch (ev.kind) {
+      case FaultKind::CtsLoss:
+      case FaultKind::ControlDeaf:
+      case FaultKind::PauseEndLoss:
+        os << " count=" << ev.count;
+        break;
+      case FaultKind::FrameCorrupt:
+        os << " window=" << ev.window << " prob=" << ev.probability << " tech="
+           << (ev.tech == phy::Technology::WiFi ? "wifi" : "zigbee");
+        break;
+      case FaultKind::CsiDropout:
+      case FaultKind::DetectorFalseNegative:
+        os << " window=" << ev.window;
+        break;
+      case FaultKind::DetectorFalsePositive:
+        break;
+      case FaultKind::RssiGlitch:
+        os << " window=" << ev.window << " mag=" << ev.magnitude << "dB";
+        break;
+      case FaultKind::ClockJitter:
+        os << " window=" << ev.window << " mag=" << ev.magnitude;
+        break;
+      case FaultKind::BurstShift:
+        os << " packets=" << ev.burst_packets << " interval=" << ev.burst_interval;
+        break;
+      case FaultKind::NodeLeave:
+      case FaultKind::NodeJoin:
+        os << " link=" << ev.link;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text, std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    FaultEvent ev;
+    bool blank = false;
+    if (!parse_event_line(line, line_no, &ev, &blank, error)) return std::nullopt;
+    if (!blank) plan.add(ev);
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::preset(const std::string& name) {
+  using namespace time_literals;
+  const auto at = [](Duration d) { return TimePoint::origin() + d; };
+
+  FaultPlan plan;
+  if (name == "cts-loss") {
+    plan.add({.kind = FaultKind::CtsLoss, .at = at(1_sec), .count = 2})
+        .add({.kind = FaultKind::PauseEndLoss, .at = at(2200_ms), .count = 1})
+        .add({.kind = FaultKind::CtsLoss, .at = at(3500_ms), .count = 3});
+    return plan;
+  }
+  if (name == "detector") {
+    plan.add({.kind = FaultKind::CsiDropout, .at = at(1_sec), .window = 250_ms})
+        .add({.kind = FaultKind::DetectorFalseNegative, .at = at(2_sec), .window = 400_ms})
+        .add({.kind = FaultKind::DetectorFalsePositive, .at = at(3_sec)})
+        .add({.kind = FaultKind::DetectorFalsePositive, .at = at(3200_ms)})
+        .add({.kind = FaultKind::CsiDropout, .at = at(4_sec), .window = 150_ms});
+    return plan;
+  }
+  if (name == "rssi") {
+    plan.add({.kind = FaultKind::RssiGlitch, .at = at(1_sec), .window = 400_ms,
+              .magnitude = 25.0})
+        .add({.kind = FaultKind::RssiGlitch, .at = at(2500_ms), .window = 400_ms,
+              .magnitude = -30.0});
+    return plan;
+  }
+  if (name == "burst-shift") {
+    plan.add({.kind = FaultKind::BurstShift, .at = at(1500_ms), .burst_packets = 12,
+              .burst_interval = 120_ms})
+        .add({.kind = FaultKind::NodeLeave, .at = at(3_sec), .link = 0})
+        .add({.kind = FaultKind::NodeJoin, .at = at(3800_ms), .link = 0})
+        .add({.kind = FaultKind::BurstShift, .at = at(4500_ms), .burst_packets = 3,
+              .burst_interval = 300_ms});
+    return plan;
+  }
+  if (name == "frame-loss") {
+    plan.add({.kind = FaultKind::FrameCorrupt, .at = at(800_ms), .window = 1500_ms,
+              .probability = 0.25, .tech = phy::Technology::ZigBee})
+        .add({.kind = FaultKind::FrameCorrupt, .at = at(3_sec), .window = 1_sec,
+              .probability = 0.15, .tech = phy::Technology::WiFi});
+    return plan;
+  }
+  if (name == "clock-jitter") {
+    plan.add({.kind = FaultKind::ClockJitter, .at = at(500_ms), .window = 5_sec,
+              .magnitude = 0.2});
+    return plan;
+  }
+  if (name == "mixed") {
+    for (const char* part : {"cts-loss", "detector", "rssi", "burst-shift", "frame-loss",
+                             "clock-jitter"}) {
+      const auto sub = preset(part);
+      for (const auto& ev : sub->events()) plan.add(ev);
+    }
+    return plan;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bicord::fault

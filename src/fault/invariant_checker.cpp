@@ -1,0 +1,102 @@
+#include "fault/invariant_checker.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace bicord::fault {
+
+InvariantChecker::InvariantChecker(sim::Simulator& sim, InvariantLimits limits)
+    : sim_(sim), limits_(limits) {}
+
+void InvariantChecker::start() {
+  if (task_ != nullptr) return;
+  last_zigbee_change_ = sim_.now();
+  task_ = std::make_unique<sim::PeriodicTask>(sim_, limits_.period, [this] { tick(); });
+  task_->start();
+}
+
+void InvariantChecker::violate(const std::string& what) {
+  violations_.push_back("[" + sim_.now().to_string() + "] " + what);
+  BICORD_LOG(Error, sim_.now(), "fault.invariant", what);
+}
+
+std::uint64_t InvariantChecker::zigbee_progress_counter() const {
+  const auto& st = zigbee_->stats();
+  return st.delivered + st.dropped + zigbee_->control_packets_sent() +
+         zigbee_->cti_samples_taken() + zigbee_->give_ups() +
+         zigbee_->ignored_requests();
+}
+
+void InvariantChecker::tick() {
+  ++checks_;
+  const TimePoint now = sim_.now();
+
+  if (wifi_ != nullptr) {
+    if (wifi_->grant_outstanding() &&
+        now - wifi_->grant_started() > limits_.max_grant_hold) {
+      violate("wifi grant outstanding since " + wifi_->grant_started().to_string() +
+              " exceeds max_grant_hold");
+    }
+    const Duration est = wifi_->allocator().estimate();
+    const Duration cap = wifi_->allocator().params().max_whitespace;
+    if (est < Duration::zero() || est > cap) {
+      violate("allocator estimate " + est.to_string() + " outside [0, " +
+              cap.to_string() + "]");
+    }
+  }
+
+  if (zigbee_ != nullptr) {
+    const std::uint64_t progress = zigbee_progress_counter();
+    const bool idle = zigbee_->state() == core::BiCordZigbeeAgent::State::Idle;
+    if (progress != last_zigbee_progress_ || idle) {
+      last_zigbee_progress_ = progress;
+      last_zigbee_change_ = now;
+    } else if (now - last_zigbee_change_ > limits_.max_stall) {
+      violate("zigbee agent wedged: non-idle with no progress since " +
+              last_zigbee_change_.to_string());
+      last_zigbee_change_ = now;  // report once per stall, not per tick
+    }
+    if (zigbee_->backlog() > limits_.max_backlog) {
+      violate("zigbee backlog " + std::to_string(zigbee_->backlog()) +
+              " exceeds max_backlog " + std::to_string(limits_.max_backlog));
+    }
+  }
+
+  if (sim_.pending_events() > limits_.max_pending_events) {
+    violate("event queue " + std::to_string(sim_.pending_events()) +
+            " exceeds max_pending_events");
+  }
+}
+
+void InvariantChecker::finish(const FaultInjector* injector) {
+  const TimePoint now = sim_.now();
+  if (wifi_ != nullptr && wifi_->grant_outstanding() &&
+      now - wifi_->grant_started() > limits_.max_grant_hold) {
+    violate("at finish: wifi grant still outstanding past max_grant_hold");
+  }
+  if (zigbee_ != nullptr &&
+      zigbee_->state() != core::BiCordZigbeeAgent::State::Idle &&
+      zigbee_progress_counter() == last_zigbee_progress_ &&
+      now - last_zigbee_change_ > limits_.max_stall) {
+    violate("at finish: zigbee agent non-idle and stalled");
+  }
+  if (injector != nullptr && wifi_ != nullptr) {
+    // Every swallowed pause-end must have been answered by a watchdog
+    // recovery — recovery or explicit give-up, never a silent wedge.
+    const auto swallowed = injector->counters().pause_ends_swallowed;
+    if (wifi_->watchdog_recoveries() < swallowed) {
+      violate("at finish: " + std::to_string(swallowed) +
+              " pause-ends swallowed but only " +
+              std::to_string(wifi_->watchdog_recoveries()) + " watchdog recoveries");
+    }
+  }
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  for (const auto& v : violations_) os << v << "\n";
+  return os.str();
+}
+
+}  // namespace bicord::fault

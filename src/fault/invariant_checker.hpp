@@ -1,0 +1,80 @@
+#pragma once
+// Always-on invariant checker for chaos soaks.
+//
+// Samples the watched agents on a fixed period and records a violation line
+// whenever a protocol invariant is broken:
+//   * the Wi-Fi agent holds a grant longer than any legitimate white space
+//     plus watchdog slack (a wedged grant_outstanding_),
+//   * the allocator estimate leaves [0, max_whitespace],
+//   * the ZigBee agent sits in a non-idle state without making any progress
+//     (no delivery, drop, control packet, CTI sample, or give-up) for longer
+//     than `max_stall`,
+//   * the ZigBee backlog or the simulator event queue grows without bound.
+// finish() additionally verifies end-of-run quiescence and, given the
+// injector, that every swallowed pause-end was answered by a watchdog
+// recovery. Violations are strings so a failing soak is diagnosable from
+// the test log alone.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bicord_wifi.hpp"
+#include "core/bicord_zigbee.hpp"
+#include "fault/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace bicord::fault {
+
+struct InvariantLimits {
+  Duration period = Duration::from_ms(50);
+  /// Longest a grant may stay outstanding: covers max_whitespace + margin +
+  /// watchdog slack with headroom for CTS queueing.
+  Duration max_grant_hold = Duration::from_ms(400);
+  /// Longest the ZigBee agent may sit non-idle without any counter moving.
+  Duration max_stall = Duration::from_sec(2);
+  std::size_t max_backlog = 512;
+  std::size_t max_pending_events = 100000;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(sim::Simulator& sim, InvariantLimits limits = InvariantLimits{});
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  void watch_wifi(const core::BiCordWifiAgent& agent) { wifi_ = &agent; }
+  void watch_zigbee(const core::BiCordZigbeeAgent& agent) { zigbee_ = &agent; }
+
+  /// Starts the periodic checks (idempotent).
+  void start();
+
+  /// End-of-run checks; pass the injector to verify fault/recovery pairing.
+  void finish(const FaultInjector* injector = nullptr);
+
+  [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  /// All violations joined into one line-per-violation blob (for asserts).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void tick();
+  void violate(const std::string& what);
+  [[nodiscard]] std::uint64_t zigbee_progress_counter() const;
+
+  sim::Simulator& sim_;
+  InvariantLimits limits_;
+  const core::BiCordWifiAgent* wifi_ = nullptr;
+  const core::BiCordZigbeeAgent* zigbee_ = nullptr;
+  std::unique_ptr<sim::PeriodicTask> task_;
+
+  std::uint64_t last_zigbee_progress_ = 0;
+  TimePoint last_zigbee_change_;
+  std::uint64_t checks_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace bicord::fault

@@ -55,6 +55,18 @@ TxId Medium::begin_tx(const Frame& frame, Band band, double tx_power_dbm,
   tx.tx_power_dbm = tx_power_dbm;
   tx.start = sim_.now();
   tx.end = sim_.now() + duration;
+  if (interceptor_ != nullptr) {
+    switch (interceptor_->intercept(tx)) {
+      case TxVerdict::Deliver:
+        break;
+      case TxVerdict::Corrupt:
+        tx.fault_corrupted = true;
+        break;
+      case TxVerdict::Drop:
+        tx.fault_dropped = true;
+        break;
+    }
+  }
   active_.push_back(tx);
 
   airtime_[frame.tech] += duration;
@@ -100,6 +112,7 @@ double Medium::energy_dbm(NodeId rx, Band rx_band, NodeId exclude_src) const {
   double acc_mw = dbm_to_mw(noise_floor_dbm(rx_band));
   for (const auto& tx : active_) {
     if (tx.frame.src == rx || tx.frame.src == exclude_src) continue;
+    if (tx.fault_dropped) continue;  // invisible to every other node
     acc_mw += dbm_to_mw(rx_power_dbm(tx, rx, rx_band));
   }
   return mw_to_dbm(acc_mw);

@@ -34,6 +34,27 @@ struct ActiveTransmission {
   double tx_power_dbm = 0.0;
   TimePoint start;
   TimePoint end;
+  /// Fault injection: the frame is on the air but no receiver can decode it
+  /// (its energy is still visible to CCA/RSSI/SINR).
+  bool fault_corrupted = false;
+  /// Fault injection: the frame is invisible to every *other* node — no
+  /// energy, no lock — as if every receiver were momentarily deaf. The
+  /// sender's own tx-done path is unaffected.
+  bool fault_dropped = false;
+};
+
+/// Verdict a TxInterceptor returns for each transmission entering the air.
+enum class TxVerdict : std::uint8_t { Deliver, Corrupt, Drop };
+
+/// Fault-injection hook consulted once per begin_tx, before listeners are
+/// notified. Deterministic per seed when the implementation draws from a
+/// dedicated split RNG stream (see fault::FaultInjector).
+class TxInterceptor {
+ public:
+  virtual TxVerdict intercept(const ActiveTransmission& tx) = 0;
+
+ protected:
+  ~TxInterceptor() = default;
 };
 
 /// Implemented by radios (and passive observers such as RSSI samplers that
@@ -65,6 +86,10 @@ class Medium {
 
   void attach(MediumListener* listener);
   void detach(MediumListener* listener);
+
+  /// Installs (or clears, with nullptr) the fault-injection hook. At most one
+  /// interceptor is active; it is consulted once per begin_tx.
+  void set_tx_interceptor(TxInterceptor* interceptor) { interceptor_ = interceptor; }
 
   // --- transmission --------------------------------------------------------
 
@@ -117,6 +142,7 @@ class Medium {
   std::vector<NodeEntry> nodes_;
   std::vector<ActiveTransmission> active_;
   std::vector<MediumListener*> listeners_;
+  TxInterceptor* interceptor_ = nullptr;
   std::unordered_map<Technology, Duration> airtime_;
   std::unordered_map<NodeId, Duration> node_airtime_;
   TxId next_tx_id_ = 1;

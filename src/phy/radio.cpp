@@ -106,6 +106,7 @@ void Radio::update_rx_sinr() {
 
 void Radio::on_tx_start(const ActiveTransmission& tx) {
   if (tx.frame.src == node_) return;  // own emission
+  if (tx.fault_dropped) return;       // fault injection: deaf to this frame
 
   const double p = medium_.rx_power_dbm(tx, node_, config_.band) +
                    (config_.fading_sigma_db > 0.0
@@ -167,6 +168,7 @@ void Radio::finalize_rx(const ActiveTransmission& tx) {
                    (config_.sinr_width_db > 0.0 ? config_.sinr_width_db : 1.0);
   const double p_success = 1.0 / (1.0 + std::exp(-x));
   result.success = rng_.bernoulli(p_success);
+  if (tx.fault_corrupted) result.success = false;  // fault injection wins
   result.end = tx.end;
 
   if (result.success) {

@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace bicord {
@@ -27,6 +29,39 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string t;
+  t.reserve(text.size());
+  for (const char c : text) {
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (t == "trace") return LogLevel::Trace;
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  if (t == "off" || t == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void refresh_log_level_from_env() {
+  const char* env = std::getenv("BICORD_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const auto level = parse_log_level(env)) {
+    set_log_level(*level);
+  } else {
+    std::fprintf(stderr, "bicord: ignoring unknown BICORD_LOG_LEVEL '%s'\n", env);
+  }
+}
+
+namespace {
+// Applies BICORD_LOG_LEVEL before main() runs, mirroring BICORD_JOBS.
+[[maybe_unused]] const bool g_env_level_applied = [] {
+  refresh_log_level_from_env();
+  return true;
+}();
+}  // namespace
 
 void set_log_sink(std::function<void(const std::string&)> sink) {
   const std::lock_guard lock(g_sink_mutex);

@@ -4,6 +4,7 @@
 // message is actually emitted.
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,15 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 /// Global log threshold; messages below it are suppressed.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive). Returns nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// Re-reads the BICORD_LOG_LEVEL environment variable and applies it (no-op
+/// when unset or unparseable). Called once automatically before main(); tools
+/// and tests may call it again after mutating the environment.
+void refresh_log_level_from_env();
 
 /// Redirects log output (default: stderr). Pass nullptr to restore default.
 void set_log_sink(std::function<void(const std::string&)> sink);

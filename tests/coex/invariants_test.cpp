@@ -78,7 +78,7 @@ TEST_P(ScenarioInvariants, HoldAfterThreeSeconds) {
     auto* wifi_agent = sc.bicord_wifi();
     ASSERT_NE(wifi_agent, nullptr);
     EXPECT_LE(wifi_agent->whitespaces_granted(), wifi_agent->requests_detected());
-    EXPECT_EQ(wifi_agent->grant_history().size(), wifi_agent->whitespaces_granted());
+    EXPECT_EQ(wifi_agent->grant_history().total(), wifi_agent->whitespaces_granted());
     for (Duration g : wifi_agent->grant_history()) {
       EXPECT_GT(g, Duration::zero());
       EXPECT_LE(g, cfg.allocator.max_whitespace);

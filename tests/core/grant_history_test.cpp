@@ -1,0 +1,97 @@
+// GrantHistory: a capped ring buffer whose running statistics cover every
+// grant ever pushed, not just the retained window.
+
+#include "core/grant_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+TEST(GrantHistoryTest, StartsEmpty) {
+  GrantHistory h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.sum(), Duration::zero());
+  EXPECT_EQ(h.mean_ms(), 0.0);
+}
+
+TEST(GrantHistoryTest, RetainsInOrderBelowCapacity) {
+  GrantHistory h(4);
+  h.push(10_ms);
+  h.push(20_ms);
+  h.push(30_ms);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 10_ms);
+  EXPECT_EQ(h[1], 20_ms);
+  EXPECT_EQ(h[2], 30_ms);
+  EXPECT_EQ(h.back(), 30_ms);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.sum(), 60_ms);
+}
+
+TEST(GrantHistoryTest, EvictsOldestAtCapacityButKeepsAllTimeStats) {
+  GrantHistory h(2);
+  h.push(10_ms);
+  h.push(20_ms);
+  h.push(40_ms);  // evicts the 10 ms entry
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 20_ms);
+  EXPECT_EQ(h[1], 40_ms);
+
+  // All-time stats still cover the evicted grant.
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.sum(), 70_ms);
+  EXPECT_EQ(h.min(), 10_ms);
+  EXPECT_EQ(h.max(), 40_ms);
+  EXPECT_NEAR(h.mean_ms(), 70.0 / 3.0, 1e-9);
+}
+
+TEST(GrantHistoryTest, BoundedMemoryUnderLongRuns) {
+  GrantHistory h(8);
+  for (int i = 1; i <= 10000; ++i) {
+    h.push(Duration::from_ms(i % 50 + 1));
+  }
+  EXPECT_EQ(h.size(), 8u);
+  EXPECT_EQ(h.capacity(), 8u);
+  EXPECT_EQ(h.total(), 10000u);
+  EXPECT_EQ(h.min(), 1_ms);
+  EXPECT_EQ(h.max(), 50_ms);
+}
+
+TEST(GrantHistoryTest, ZeroCapacityIsCoercedToOne) {
+  GrantHistory h(0);
+  h.push(5_ms);
+  h.push(7_ms);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.back(), 7_ms);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(GrantHistoryTest, ClearResetsEverything) {
+  GrantHistory h(4);
+  h.push(10_ms);
+  h.push(20_ms);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.sum(), Duration::zero());
+  h.push(30_ms);
+  EXPECT_EQ(h.min(), 30_ms);
+  EXPECT_EQ(h.max(), 30_ms);
+}
+
+TEST(GrantHistoryTest, RangeForIterationWorks) {
+  GrantHistory h(4);
+  h.push(1_ms);
+  h.push(2_ms);
+  Duration sum = Duration::zero();
+  for (Duration d : h) sum = sum + d;
+  EXPECT_EQ(sum, 3_ms);
+}
+
+}  // namespace
+}  // namespace bicord::core

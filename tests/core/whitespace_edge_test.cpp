@@ -1,0 +1,150 @@
+// WhitespaceAllocator edge cases: expiry exactly on the boundary, reset()
+// racing an in-progress burst, burst-end events with no preceding request,
+// and the sanity clamps added for adversarial-channel hardening.
+
+#include "core/whitespace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+AllocatorParams edge_params() {
+  AllocatorParams p;
+  p.initial_whitespace = 30_ms;
+  p.control_duration = 5_ms;  // per-round credit = 30 - 2*5 = 20 ms
+  p.end_of_burst_gap = 20_ms;
+  p.reestimate_period = Duration::from_sec(10);
+  p.max_whitespace = 250_ms;
+  return p;
+}
+
+TimePoint at(Duration d) { return TimePoint::origin() + d; }
+
+TEST(WhitespaceEdgeTest, RequestExactlyAtExpiryBoundaryReestimates) {
+  WhitespaceAllocator alloc(edge_params());
+  EXPECT_EQ(alloc.on_request(at(1_sec)), 30_ms);
+  alloc.on_burst_end(at(1050_ms));
+  ASSERT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+  ASSERT_EQ(alloc.estimate(), 20_ms);
+
+  // now - last_reset == reestimate_period exactly: the >= comparison must
+  // fire, dropping back to learning instead of serving the stale estimate.
+  EXPECT_EQ(alloc.on_request(at(Duration::from_sec(10))), 30_ms);
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.estimate(), Duration::zero());
+}
+
+TEST(WhitespaceEdgeTest, RequestOneMicrosecondBeforeExpiryKeepsEstimate) {
+  WhitespaceAllocator alloc(edge_params());
+  (void)alloc.on_request(at(1_sec));
+  alloc.on_burst_end(at(1050_ms));
+
+  const TimePoint just_before = at(Duration::from_sec(10) - Duration::from_us(1));
+  EXPECT_EQ(alloc.on_request(just_before), 20_ms);
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+}
+
+TEST(WhitespaceEdgeTest, ExpiryNeverFiresMidBurst) {
+  WhitespaceAllocator alloc(edge_params());
+  (void)alloc.on_request(at(1_sec));
+  // Second round of the same burst, far past the re-estimate period: the
+  // in-burst guard must win and this must be a supplemental grant, not a
+  // learning restart.
+  EXPECT_EQ(alloc.on_request(at(Duration::from_sec(12))), 30_ms);
+  EXPECT_EQ(alloc.rounds_this_burst(), 2);
+
+  alloc.on_burst_end(at(Duration::from_sec(12) + 50_ms));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Adjusted);
+  EXPECT_EQ(alloc.estimate(), 40_ms);  // 2 rounds * 20 ms credit
+}
+
+TEST(WhitespaceEdgeTest, ResetRacingInProgressBurstIsSafe) {
+  WhitespaceAllocator alloc(edge_params());
+  (void)alloc.on_request(at(1_sec));
+  alloc.reset(at(1010_ms));  // pattern change mid-burst
+
+  // The burst-end for the abandoned burst arrives afterwards: it must be a
+  // no-op, not a bogus estimate from zero recorded rounds.
+  alloc.on_burst_end(at(1020_ms));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.estimate(), Duration::zero());
+  EXPECT_EQ(alloc.rounds_this_burst(), 0);
+
+  // And the allocator still works normally afterwards.
+  EXPECT_EQ(alloc.on_request(at(1100_ms)), 30_ms);
+  alloc.on_burst_end(at(1150_ms));
+  EXPECT_EQ(alloc.estimate(), 20_ms);
+}
+
+TEST(WhitespaceEdgeTest, BurstEndWithoutRequestIsANoOp) {
+  WhitespaceAllocator alloc(edge_params());
+  alloc.on_burst_end(at(1_sec));
+  EXPECT_EQ(alloc.phase(), AllocatorPhase::Learning);
+  EXPECT_EQ(alloc.estimate(), Duration::zero());
+  EXPECT_FALSE(alloc.converged());
+
+  // Two in a row (fault-duplicated end event) are equally harmless.
+  alloc.on_burst_end(at(1100_ms));
+  EXPECT_EQ(alloc.on_request(at(1200_ms)), 30_ms);
+}
+
+TEST(WhitespaceEdgeTest, LearningEstimateIsClampedToMaxWhitespace) {
+  auto params = edge_params();
+  params.max_whitespace = 100_ms;
+  WhitespaceAllocator alloc(params);
+
+  // A fault-stretched learning burst: 10 rounds * 20 ms credit = 200 ms,
+  // which must clamp to the 100 ms cap.
+  for (int i = 0; i < 10; ++i) {
+    (void)alloc.on_request(at(1_sec + Duration::from_ms(i * 40)));
+  }
+  alloc.on_burst_end(at(2_sec));
+  EXPECT_EQ(alloc.estimate(), 100_ms);
+  EXPECT_EQ(alloc.on_request(at(2100_ms)), 100_ms);
+}
+
+TEST(WhitespaceEdgeTest, SingleGrantNeverExceedsMaxWhitespace) {
+  auto params = edge_params();
+  params.initial_whitespace = 300_ms;  // misconfigured past the cap
+  params.max_whitespace = 250_ms;
+  WhitespaceAllocator alloc(params);
+  EXPECT_EQ(alloc.on_request(at(1_sec)), 250_ms);
+}
+
+TEST(WhitespaceEdgeTest, AdversarialEventOrderingsAlwaysGrantUsableWhitespace) {
+  // Replay a storm of contradictory orderings (the kind a fault plan
+  // produces) and require every grant to stay within (0, max].
+  WhitespaceAllocator alloc(edge_params());
+  Duration t = 1_sec;
+  for (int i = 0; i < 200; ++i) {
+    t = t + Duration::from_ms(37);
+    switch (i % 7) {
+      case 0:
+      case 1:
+      case 3: {
+        const Duration grant = alloc.on_request(at(t));
+        EXPECT_GT(grant, Duration::zero()) << "iteration " << i;
+        EXPECT_LE(grant, edge_params().max_whitespace) << "iteration " << i;
+        break;
+      }
+      case 2:
+      case 5:
+        alloc.on_burst_end(at(t));
+        break;
+      case 4:
+        alloc.reset(at(t));
+        break;
+      default:
+        alloc.on_burst_end(at(t));  // duplicated end event
+        break;
+    }
+    EXPECT_GE(alloc.estimate(), Duration::zero());
+    EXPECT_LE(alloc.estimate(), edge_params().max_whitespace);
+  }
+}
+
+}  // namespace
+}  // namespace bicord::core

@@ -1,0 +1,141 @@
+// Chaos soak: the "mixed" preset throws every fault family at a full BiCord
+// scenario while the always-on InvariantChecker watches for wedged agents,
+// runaway queues, and unanswered faults. This is the short tier-1 variant of
+// the soak that `scripts/check.sh chaos` runs under ASan/UBSan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coex/experiment.hpp"
+#include "coex/scenario.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
+
+namespace bicord::fault {
+namespace {
+
+using namespace bicord::time_literals;
+using coex::Coordination;
+using coex::Scenario;
+using coex::ScenarioConfig;
+
+ScenarioConfig soak_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = Coordination::BiCord;
+  cfg.location = coex::ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 60;
+  cfg.burst.mean_interval = 200_ms;
+  cfg.fault_plan = *FaultPlan::preset("mixed");
+  return cfg;
+}
+
+TEST(ChaosSoakTest, MixedPresetEveryFaultIsAbsorbed) {
+  Scenario sc(soak_config(42));
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  ASSERT_NE(sc.bicord_zigbee(), nullptr);
+
+  InvariantChecker checker(sc.simulator());
+  checker.watch_wifi(*sc.bicord_wifi());
+  checker.watch_zigbee(*sc.bicord_zigbee());
+  checker.start();
+
+  // The mixed preset's last activation is at 4.5 s; run past it, then drain.
+  sc.run_for(6_sec);
+  sc.burst_source().stop();
+  sc.run_for(1500_ms);
+
+  checker.finish(sc.fault_injector());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks_run(), 0u);
+
+  // Every fault family in the preset actually fired.
+  const auto& c = sc.fault_injector()->counters();
+  EXPECT_GE(c.cts_corrupted, 1u);
+  EXPECT_EQ(c.pause_ends_swallowed, 1u);
+  EXPECT_GE(c.detector_false_positives, 2u);
+  EXPECT_EQ(c.detector_fn_windows, 1u);
+  EXPECT_EQ(c.csi_dropout_windows, 2u);
+  EXPECT_EQ(c.rssi_glitch_windows, 2u);
+  EXPECT_GT(c.frames_corrupted, 0u);
+  EXPECT_EQ(c.clock_jitter_windows, 1u);
+  EXPECT_EQ(c.burst_shifts, 2u);
+  EXPECT_EQ(c.node_leaves, 1u);
+  EXPECT_EQ(c.node_joins, 1u);
+
+  // Recovery pairing: every swallowed pause-end answered by the watchdog,
+  // no grant left outstanding, the ZigBee link fully drained.
+  EXPECT_GE(sc.bicord_wifi()->watchdog_recoveries(), c.pause_ends_swallowed);
+  EXPECT_FALSE(sc.bicord_wifi()->grant_outstanding());
+  EXPECT_EQ(sc.zigbee_agent().backlog(), 0u);
+  const auto& zb = sc.zigbee_stats();
+  EXPECT_EQ(zb.generated, zb.delivered + zb.dropped);
+  EXPECT_GT(zb.delivered, 0u);
+}
+
+TEST(ChaosSoakTest, SameSeedRunsAreBitwiseIdentical) {
+  auto soak = [](std::uint64_t seed) {
+    Scenario sc(soak_config(seed));
+    sc.start_measurement();
+    sc.run_for(6_sec);
+    const auto util = sc.utilization();
+    const auto& c = sc.fault_injector()->counters();
+    auto* wifi = sc.bicord_wifi();
+    return std::tuple{
+        sc.zigbee_stats().generated,  sc.zigbee_stats().delivered,
+        sc.zigbee_stats().dropped,    util.total,
+        util.wifi,                    util.zigbee,
+        c.total(),                    c.frames_corrupted,
+        wifi->whitespaces_granted(),  wifi->watchdog_recoveries(),
+        wifi->grant_history().mean_ms(), sc.bicord_zigbee()->give_ups()};
+  };
+  EXPECT_EQ(soak(7), soak(7));
+}
+
+TEST(ChaosSoakTest, JobsCountDoesNotChangeAggregates) {
+  auto run_with_jobs = [](int jobs) {
+    coex::ExperimentRunner runner(soak_config(1), 500_ms, 2_sec);
+    runner.add_metric("delivery", coex::metric_zigbee_delivery());
+    runner.add_metric("util", coex::metric_total_utilization());
+    runner.set_jobs(jobs);
+    return runner.run(4);
+  };
+  const auto serial = run_with_jobs(1);
+  const auto threaded = run_with_jobs(3);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].stats.count(), threaded[i].stats.count());
+    EXPECT_EQ(serial[i].stats.mean(), threaded[i].stats.mean()) << serial[i].name;
+    EXPECT_EQ(serial[i].stats.stddev(), threaded[i].stats.stddev()) << serial[i].name;
+  }
+}
+
+TEST(ChaosSoakTest, SoakUnderIgnorePolicyStaysBounded) {
+  // Faults while the Wi-Fi side ignores every request: the give-up path and
+  // the invariant checker must both hold.
+  auto cfg = soak_config(9);
+  cfg.wifi_grants_requests = false;
+  Scenario sc(cfg);
+  ASSERT_NE(sc.bicord_zigbee(), nullptr);
+
+  InvariantChecker checker(sc.simulator());
+  checker.watch_zigbee(*sc.bicord_zigbee());
+  checker.start();
+
+  sc.run_for(6_sec);
+  sc.burst_source().stop();
+  sc.run_for(2_sec);
+
+  checker.finish(sc.fault_injector());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GE(sc.bicord_zigbee()->give_ups(), 1u);
+  // Saturated Wi-Fi + ignore policy means the backlog need not drain; the
+  // guarantee is exact accounting with no wedged agent (checker above).
+  const auto& zb = sc.zigbee_stats();
+  EXPECT_EQ(zb.generated, zb.delivered + zb.dropped + sc.zigbee_agent().backlog());
+}
+
+}  // namespace
+}  // namespace bicord::fault

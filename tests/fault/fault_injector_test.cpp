@@ -1,0 +1,220 @@
+// FaultInjector behavior, one fault kind at a time, through the full
+// Scenario wiring: every injected fault must show up in the counters and the
+// protocol must absorb it (recover or give up in a bounded way).
+
+#include <gtest/gtest.h>
+
+#include "coex/scenario.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace bicord::fault {
+namespace {
+
+using namespace bicord::time_literals;
+using coex::Coordination;
+using coex::Scenario;
+using coex::ScenarioConfig;
+using coex::ZigbeeLocation;
+
+ScenarioConfig base_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.coordination = Coordination::BiCord;
+  cfg.location = ZigbeeLocation::A;
+  cfg.burst.packets_per_burst = 5;
+  cfg.burst.payload_bytes = 60;
+  cfg.burst.mean_interval = 200_ms;
+  return cfg;
+}
+
+FaultPlan plan_from(const std::string& text) {
+  std::string error;
+  auto plan = FaultPlan::parse(text, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return plan.value_or(FaultPlan{});
+}
+
+TEST(FaultInjectorTest, EmptyPlanBuildsNoInjector) {
+  Scenario sc(base_config(11));
+  EXPECT_EQ(sc.fault_injector(), nullptr);
+}
+
+TEST(FaultInjectorTest, CtsLossCorruptsGrantsAndAgentRecovers) {
+  auto cfg = base_config(12);
+  cfg.fault_plan = plan_from("cts-loss at=500ms count=2");
+  Scenario sc(cfg);
+  sc.run_for(3_sec);
+
+  ASSERT_NE(sc.fault_injector(), nullptr);
+  EXPECT_EQ(sc.fault_injector()->counters().cts_corrupted, 2u);
+
+  // Drain: with the workload stopped, no grant may stay outstanding.
+  sc.burst_source().stop();
+  sc.run_for(1_sec);
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  EXPECT_FALSE(sc.bicord_wifi()->grant_outstanding());
+  // Life goes on: packets still flowed despite the corrupted grants.
+  EXPECT_GT(sc.zigbee_stats().delivered, 0u);
+}
+
+TEST(FaultInjectorTest, PauseEndLossIsRescuedByWatchdog) {
+  auto cfg = base_config(13);
+  cfg.fault_plan = plan_from("pause-end-loss at=1s count=1");
+  Scenario sc(cfg);
+  sc.run_for(4_sec);
+
+  const auto& counters = sc.fault_injector()->counters();
+  EXPECT_EQ(counters.pause_ends_swallowed, 1u);
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  EXPECT_GE(sc.bicord_wifi()->watchdog_recoveries(), counters.pause_ends_swallowed);
+  EXPECT_FALSE(sc.bicord_wifi()->grant_outstanding());
+}
+
+TEST(FaultInjectorTest, ControlDeafDropsControlPackets) {
+  auto cfg = base_config(14);
+  cfg.fault_plan = plan_from("control-deaf at=500ms count=4");
+  Scenario sc(cfg);
+  sc.run_for(4_sec);
+
+  EXPECT_EQ(sc.fault_injector()->counters().controls_dropped, 4u);
+  // Bounded retries + backoff keep the link alive afterwards.
+  EXPECT_GT(sc.zigbee_stats().delivered, 0u);
+}
+
+TEST(FaultInjectorTest, DetectorFalsePositiveForcesADetection) {
+  auto cfg = base_config(15);
+  // Keep organic traffic out of the way: one packet every 30 s.
+  cfg.burst.packets_per_burst = 1;
+  cfg.burst.mean_interval = Duration::from_sec(30);
+  cfg.fault_plan = plan_from("detector-fp at=700ms");
+  Scenario sc(cfg);
+  sc.run_for(2_sec);
+
+  EXPECT_EQ(sc.fault_injector()->counters().detector_false_positives, 1u);
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  EXPECT_EQ(sc.bicord_wifi()->detector().injected_detections(), 1u);
+  EXPECT_GE(sc.bicord_wifi()->requests_detected(), 1u);
+  // The spurious grant must clear like a real one.
+  EXPECT_FALSE(sc.bicord_wifi()->grant_outstanding());
+}
+
+TEST(FaultInjectorTest, DetectorFalseNegativeSuppressesDetections) {
+  auto cfg = base_config(16);
+  cfg.fault_plan = plan_from("detector-fn at=500ms window=2s");
+  Scenario sc(cfg);
+  sc.run_for(4_sec);
+
+  EXPECT_EQ(sc.fault_injector()->counters().detector_fn_windows, 1u);
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  EXPECT_GT(sc.bicord_wifi()->detector().suppressed_detections(), 0u);
+  // The ZigBee side must survive being ignored: bounded retries, then CSMA.
+  EXPECT_GT(sc.zigbee_stats().delivered + sc.zigbee_stats().dropped, 0u);
+}
+
+TEST(FaultInjectorTest, CsiDropoutStallsTheSampleStream) {
+  auto cfg = base_config(17);
+  cfg.fault_plan = plan_from("csi-dropout at=500ms window=500ms");
+  Scenario sc(cfg);
+  sc.run_for(2_sec);
+
+  EXPECT_EQ(sc.fault_injector()->counters().csi_dropout_windows, 1u);
+  ASSERT_NE(sc.bicord_wifi(), nullptr);
+  EXPECT_GT(sc.bicord_wifi()->csi_stream().samples_dropped(), 0u);
+}
+
+TEST(FaultInjectorTest, FrameCorruptWindowCorruptsFrames) {
+  auto cfg = base_config(18);
+  cfg.fault_plan = plan_from("frame-corrupt at=500ms window=2s prob=0.5 tech=zigbee");
+  Scenario sc(cfg);
+  sc.run_for(4_sec);
+
+  EXPECT_GT(sc.fault_injector()->counters().frames_corrupted, 0u);
+  // Retransmissions bound the damage: the link keeps delivering.
+  EXPECT_GT(sc.zigbee_stats().delivered, 0u);
+}
+
+TEST(FaultInjectorTest, RssiGlitchAndClockJitterWindowsActivate) {
+  auto cfg = base_config(19);
+  cfg.fault_plan = plan_from(
+      "rssi-glitch at=500ms window=400ms mag=25\n"
+      "clock-jitter at=500ms window=2s mag=0.2\n");
+  Scenario sc(cfg);
+  sc.run_for(3_sec);
+
+  const auto& counters = sc.fault_injector()->counters();
+  EXPECT_EQ(counters.rssi_glitch_windows, 1u);
+  EXPECT_EQ(counters.clock_jitter_windows, 1u);
+  // Jittered timers must not break delivery accounting.
+  const auto& zb = sc.zigbee_stats();
+  EXPECT_EQ(zb.generated, zb.delivered + zb.dropped + sc.zigbee_agent().backlog());
+}
+
+TEST(FaultInjectorTest, BurstShiftReconfiguresTheSource) {
+  auto cfg = base_config(20);
+  cfg.fault_plan = plan_from("burst-shift at=500ms packets=9 interval=77ms");
+  Scenario sc(cfg);
+  sc.run_for(1_sec);
+
+  EXPECT_EQ(sc.fault_injector()->counters().burst_shifts, 1u);
+  EXPECT_EQ(sc.burst_source().config().packets_per_burst, 9);
+  EXPECT_EQ(sc.burst_source().config().mean_interval, 77_ms);
+}
+
+TEST(FaultInjectorTest, NodeLeaveThenJoinTogglesTheSource) {
+  auto cfg = base_config(21);
+  cfg.fault_plan = plan_from(
+      "node-leave at=500ms link=0\n"
+      "node-join at=1500ms link=0\n");
+  Scenario sc(cfg);
+
+  sc.run_for(1_sec);
+  EXPECT_FALSE(sc.burst_source().running());
+  sc.run_for(1_sec);
+  EXPECT_TRUE(sc.burst_source().running());
+
+  const auto& counters = sc.fault_injector()->counters();
+  EXPECT_EQ(counters.node_leaves, 1u);
+  EXPECT_EQ(counters.node_joins, 1u);
+}
+
+TEST(FaultInjectorTest, IgnoredRequestsTriggerBoundedGiveUp) {
+  // Not a fault plan at all: the grant-ignoring Wi-Fi policy must drive the
+  // hardened ZigBee agent into its bounded give-up -> CSMA fallback path.
+  auto cfg = base_config(22);
+  cfg.wifi_grants_requests = false;
+  Scenario sc(cfg);
+  sc.run_for(5_sec);
+
+  ASSERT_NE(sc.bicord_zigbee(), nullptr);
+  EXPECT_GE(sc.bicord_zigbee()->give_ups(), 1u);
+
+  // Under saturated Wi-Fi plus the ignore policy, CSMA fallback delivers
+  // almost nothing — the backlog may stay non-empty. What hardening
+  // guarantees is *progress*, not throughput: packets keep being attempted
+  // (delivered or dropped after bounded retries) and accounting stays exact.
+  sc.burst_source().stop();
+  const auto before = sc.zigbee_stats().delivered + sc.zigbee_stats().dropped;
+  sc.run_for(2_sec);
+  const auto& zb = sc.zigbee_stats();
+  EXPECT_GT(zb.delivered + zb.dropped, before);
+  EXPECT_EQ(zb.generated, zb.delivered + zb.dropped + sc.zigbee_agent().backlog());
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultsSameResult) {
+  auto run = [](std::uint64_t seed) {
+    auto cfg = base_config(seed);
+    cfg.fault_plan = *FaultPlan::preset("mixed");
+    Scenario sc(cfg);
+    sc.run_for(5_sec);
+    const auto& c = sc.fault_injector()->counters();
+    return std::tuple{sc.zigbee_stats().generated, sc.zigbee_stats().delivered,
+                      sc.zigbee_stats().dropped, c.total(), c.frames_corrupted,
+                      sc.bicord_wifi()->whitespaces_granted(),
+                      sc.bicord_wifi()->watchdog_recoveries()};
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));  // the plan reacts to the seed, not a constant
+}
+
+}  // namespace
+}  // namespace bicord::fault

@@ -1,0 +1,108 @@
+// FaultPlan: presets, the text DSL, and describe().
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bicord::fault {
+namespace {
+
+using namespace bicord::time_literals;
+
+TEST(FaultPlanTest, PresetsExistAndAreNonEmpty) {
+  for (const char* name : {"cts-loss", "detector", "rssi", "burst-shift", "frame-loss",
+                           "clock-jitter", "mixed"}) {
+    const auto plan = FaultPlan::preset(name);
+    ASSERT_TRUE(plan.has_value()) << name;
+    EXPECT_FALSE(plan->empty()) << name;
+  }
+  EXPECT_FALSE(FaultPlan::preset("no-such-plan").has_value());
+}
+
+TEST(FaultPlanTest, MixedPresetConcatenatesAllParts) {
+  const auto mixed = FaultPlan::preset("mixed");
+  std::size_t parts_total = 0;
+  for (const char* name : {"cts-loss", "detector", "rssi", "burst-shift", "frame-loss",
+                           "clock-jitter"}) {
+    parts_total += FaultPlan::preset(name)->size();
+  }
+  EXPECT_EQ(mixed->size(), parts_total);
+}
+
+TEST(FaultPlanTest, ParsesTheDsl) {
+  const std::string text =
+      "# chaos plan\n"
+      "cts-loss at=1s count=2\n"
+      "\n"
+      "frame-corrupt at=800ms window=1.5s prob=0.25 tech=zigbee\n"
+      "rssi-glitch at=2500ms window=400ms mag=-30\n"
+      "burst-shift at=1500ms packets=12 interval=120ms\n"
+      "node-leave at=3s link=1\n";
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->size(), 5u);
+
+  const auto& ev = plan->events();
+  EXPECT_EQ(ev[0].kind, FaultKind::CtsLoss);
+  EXPECT_EQ(ev[0].at, TimePoint::origin() + 1_sec);
+  EXPECT_EQ(ev[0].count, 2);
+  EXPECT_EQ(ev[1].kind, FaultKind::FrameCorrupt);
+  EXPECT_EQ(ev[1].window, 1500_ms);
+  EXPECT_DOUBLE_EQ(ev[1].probability, 0.25);
+  EXPECT_EQ(ev[1].tech, phy::Technology::ZigBee);
+  EXPECT_EQ(ev[2].kind, FaultKind::RssiGlitch);
+  EXPECT_DOUBLE_EQ(ev[2].magnitude, -30.0);
+  EXPECT_EQ(ev[3].kind, FaultKind::BurstShift);
+  EXPECT_EQ(ev[3].burst_packets, 12);
+  EXPECT_EQ(ev[3].burst_interval, 120_ms);
+  EXPECT_EQ(ev[4].kind, FaultKind::NodeLeave);
+  EXPECT_EQ(ev[4].link, 1);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("frob at=1s", &error).has_value());
+  EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+
+  EXPECT_FALSE(FaultPlan::parse("cts-loss count=2", &error).has_value());
+  EXPECT_NE(error.find("missing at="), std::string::npos);
+
+  EXPECT_FALSE(FaultPlan::parse("cts-loss at=fast", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("cts-loss at=1s count=two", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("cts-loss at=1s bogus=1", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("frame-corrupt at=1s tech=lte", &error).has_value());
+}
+
+TEST(FaultPlanTest, ParseAcceptsCommentsAndBlankLines) {
+  const auto plan = FaultPlan::parse("\n# nothing but comments\n\n");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanTest, DescribeMentionsEveryEvent) {
+  const auto plan = FaultPlan::preset("mixed");
+  const std::string text = plan->describe();
+  for (const char* token : {"cts-loss", "pause-end-loss", "csi-dropout", "detector-fp",
+                            "detector-fn", "rssi-glitch", "burst-shift", "node-leave",
+                            "node-join", "frame-corrupt", "clock-jitter"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(FaultPlanTest, DescribeRoundTripsThroughParse) {
+  // describe() output is not the DSL (times print as timestamps), but every
+  // preset must survive a manual DSL round trip of its own fields.
+  const std::string text =
+      "pause-end-loss at=2200ms count=1\n"
+      "detector-fp at=3s\n"
+      "clock-jitter at=500ms window=5s mag=0.2\n";
+  const auto plan = FaultPlan::parse(text);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 3u);
+  EXPECT_EQ(plan->events()[2].kind, FaultKind::ClockJitter);
+  EXPECT_DOUBLE_EQ(plan->events()[2].magnitude, 0.2);
+}
+
+}  // namespace
+}  // namespace bicord::fault

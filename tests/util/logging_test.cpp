@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 namespace bicord {
@@ -53,6 +54,37 @@ TEST(LoggingTest, LevelRoundTrip) {
   EXPECT_EQ(log_level(), LogLevel::Debug);
   set_log_level(LogLevel::Warn);
   EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsAllSpellings) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("loud"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LoggingTest, RefreshFromEnvAppliesBicordLogLevel) {
+  LogCapture capture;  // restores Warn on teardown
+  ASSERT_EQ(setenv("BICORD_LOG_LEVEL", "debug", 1), 0);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+
+  // An unknown value must leave the level untouched (and not crash).
+  ASSERT_EQ(setenv("BICORD_LOG_LEVEL", "shouty", 1), 0);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+
+  // An unset variable is a no-op too.
+  ASSERT_EQ(unsetenv("BICORD_LOG_LEVEL"), 0);
+  set_log_level(LogLevel::Error);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Error);
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // bicordsim — run a configurable coexistence simulation from the shell.
 //
-//   bicordsim --scheme bicord --location A --burst-packets 5 \
+//   bicordsim --scheme bicord --location A --burst-packets 5
 //             --burst-interval-ms 200 --seconds 10 --seed 7
 //
 // Prints the paper's metrics (channel utilization, ZigBee delay
@@ -11,10 +11,13 @@
 #include <string>
 
 #include <fstream>
+#include <iterator>
 #include <memory>
 
 #include "coex/experiment.hpp"
 #include "coex/scenario.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
 #include "phy/tracer.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -49,6 +52,39 @@ bool parse_location(const std::string& s, coex::ZigbeeLocation& out) {
   }
   return true;
 }
+
+bool load_fault_plan(const std::string& spec, fault::FaultPlan& out) {
+  if (spec.empty()) return true;
+  if (spec[0] == '@') {
+    const std::string path = spec.substr(1);
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open fault plan file '%s'\n", path.c_str());
+      return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(text, &error);
+    if (!plan) {
+      std::fprintf(stderr, "error: bad fault plan '%s': %s\n", path.c_str(),
+                   error.c_str());
+      return false;
+    }
+    out = *plan;
+    return true;
+  }
+  const auto plan = fault::FaultPlan::preset(spec);
+  if (!plan) {
+    std::fprintf(stderr,
+                 "error: unknown fault preset '%s' (try cts-loss, detector, rssi, "
+                 "burst-shift, frame-loss, clock-jitter, mixed, or @file)\n",
+                 spec.c_str());
+    return false;
+  }
+  out = *plan;
+  return true;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +113,9 @@ int main(int argc, char** argv) {
   flags.add_bool("progress", false, "print per-trial progress to stderr");
   flags.add_string("trace-file", "", "write a JSONL transmission trace to this path");
   flags.add_bool("timeline", false, "print an ASCII timeline of the final 300 ms");
+  flags.add_string("fault-plan", "",
+                   "inject faults: a preset (cts-loss | detector | rssi | burst-shift | "
+                   "frame-loss | clock-jitter | mixed) or @file with one event per line");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n\n%s", flags.error().c_str(),
@@ -121,6 +160,7 @@ int main(int argc, char** argv) {
   cfg.allocator.initial_whitespace = Duration::from_ms_f(flags.get_double("step-ms"));
   cfg.person_mobility = flags.get_bool("person-mobility");
   cfg.device_mobility = flags.get_bool("device-mobility");
+  if (!load_fault_plan(flags.get_string("fault-plan"), cfg.fault_plan)) return 2;
 
   const int repeat = static_cast<int>(flags.get_int("repeat"));
   if (repeat < 1) {
@@ -171,9 +211,19 @@ int main(int argc, char** argv) {
   if (!flags.get_string("trace-file").empty() || flags.get_bool("timeline")) {
     tracer = std::make_unique<phy::MediumTracer>(scenario.medium(), 1 << 16);
   }
+  std::unique_ptr<fault::InvariantChecker> checker;
+  if (scenario.fault_injector() != nullptr) {
+    std::printf("fault plan (%zu events):\n%s\n", cfg.fault_plan.size(),
+                cfg.fault_plan.describe().c_str());
+    checker = std::make_unique<fault::InvariantChecker>(scenario.simulator());
+    if (auto* wifi_agent = scenario.bicord_wifi()) checker->watch_wifi(*wifi_agent);
+    if (auto* zb_agent = scenario.bicord_zigbee()) checker->watch_zigbee(*zb_agent);
+    checker->start();
+  }
   scenario.run_for(Duration::from_sec(flags.get_int("warmup-seconds")));
   scenario.start_measurement();
   scenario.run_for(Duration::from_sec(flags.get_int("seconds")));
+  if (checker != nullptr) checker->finish(scenario.fault_injector());
 
   const auto util = scenario.utilization();
   const auto& zb = scenario.zigbee_stats();
@@ -213,7 +263,34 @@ int main(int argc, char** argv) {
                    AsciiTable::cell(scenario.bicord_wifi()->allocator().estimate().ms(), 1) +
                        " ms"});
   }
+  if (const auto* injector = scenario.fault_injector()) {
+    const auto& c = injector->counters();
+    table.add_row({"faults injected (total)",
+                   AsciiTable::cell(static_cast<std::int64_t>(c.total()))});
+    table.add_row({"  frames corrupted / dropped",
+                   AsciiTable::cell(static_cast<std::int64_t>(c.cts_corrupted +
+                                                              c.frames_corrupted)) +
+                       " / " +
+                       AsciiTable::cell(static_cast<std::int64_t>(c.controls_dropped))});
+    if (auto* wifi_agent = scenario.bicord_wifi()) {
+      table.add_row(
+          {"  watchdog recoveries",
+           AsciiTable::cell(static_cast<std::int64_t>(wifi_agent->watchdog_recoveries()))});
+    }
+    if (auto* zb_agent = scenario.bicord_zigbee()) {
+      table.add_row({"  zigbee give-ups (CSMA fallback)",
+                     AsciiTable::cell(static_cast<std::int64_t>(zb_agent->give_ups()))});
+    }
+    table.add_row({"invariant checks / violations",
+                   AsciiTable::cell(static_cast<std::int64_t>(checker->checks_run())) +
+                       " / " +
+                       AsciiTable::cell(static_cast<std::int64_t>(
+                           checker->violations().size()))});
+  }
   std::printf("%s", table.render().c_str());
+  if (checker != nullptr && !checker->ok()) {
+    std::fprintf(stderr, "\ninvariant violations:\n%s\n", checker->report().c_str());
+  }
 
   if (tracer != nullptr) {
     if (flags.get_bool("timeline")) {
@@ -233,5 +310,5 @@ int main(int argc, char** argv) {
                   tracer->records().size(), path.c_str());
     }
   }
-  return 0;
+  return (checker != nullptr && !checker->ok()) ? 1 : 0;
 }
