@@ -1,0 +1,162 @@
+#pragma once
+// Measurement plumbing for the google-benchmark microbench binary (separate
+// from bench_common.hpp, which serves the reproduction benches and must not
+// depend on google-benchmark):
+//
+//  * a counting replacement of the global operator new/delete, so benchmarks
+//    can assert "this loop does not allocate" (allocs_per_event counters);
+//  * a reporter that forwards to the normal console output AND writes every
+//    reported metric as one flat `"benchmark.metric": value` line of JSON,
+//    so scripts/bench.sh can diff runs with nothing but awk.
+//
+// The operator new/delete replacements below are *definitions* of the global
+// allocation functions, which the language allows in exactly one translation
+// unit per program. Include this header only from a benchmark main TU, never
+// from the library.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bicord::bench {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace detail
+
+/// Number of global operator-new calls since process start. Sample before and
+/// after a timed loop; the difference is what the loop (plus the harness's own
+/// bookkeeping, which amortizes to ~0 over many iterations) allocated.
+inline std::uint64_t allocation_count() {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace bicord::bench
+
+// --- global allocation hook (one-TU-only definitions) -----------------------
+
+void* operator new(std::size_t size) {
+  bicord::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  bicord::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  bicord::bench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace bicord::bench {
+
+/// Console output as usual, plus a machine-readable summary. Every metric is
+/// one line of the form
+///     "BM_Name.metric": 1234.5,
+/// inside a single top-level object, so shell tooling can grep a metric by
+/// name without a JSON parser. When repetitions are aggregated the median run
+/// is recorded (mean/stddev/cv are skipped); without aggregates the raw
+/// iteration run is recorded directly.
+class JsonFileReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      if (run.run_type == Run::RT_Aggregate && run.aggregate_name != "median") continue;
+      // A median aggregate arrives after the family's raw runs and simply
+      // overwrites them in the map.
+      const std::string name = run.run_name.str();
+      // GetAdjusted*Time reports in the benchmark's display unit; normalize
+      // to nanoseconds so every time metric in the file is comparable.
+      const double to_ns = [&] {
+        switch (run.time_unit) {
+          case benchmark::kNanosecond: return 1.0;
+          case benchmark::kMicrosecond: return 1e3;
+          case benchmark::kMillisecond: return 1e6;
+          case benchmark::kSecond: return 1e9;
+        }
+        return 1.0;
+      }();
+      metrics_[name + ".real_ns_per_iter"] = run.GetAdjustedRealTime() * to_ns;
+      metrics_[name + ".cpu_ns_per_iter"] = run.GetAdjustedCPUTime() * to_ns;
+      for (const auto& [counter_name, counter] : run.counters) {
+        metrics_[name + "." + counter_name] = counter.value;
+      }
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      GetErrorStream() << "bench: cannot write " << path_ << "\n";
+      return;
+    }
+    out.precision(17);
+    out << "{\n";
+    std::size_t i = 0;
+    for (const auto& [key, value] : metrics_) {
+      out << "  \"" << key << "\": " << value << (++i == metrics_.size() ? "\n" : ",\n");
+    }
+    out << "}\n";
+    GetErrorStream() << "bench: wrote " << metrics_.size() << " metrics to " << path_
+                     << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, double> metrics_;  // sorted -> stable, diffable output
+};
+
+/// Entry point for benchmark mains: console + JSON output. The JSON path
+/// comes from BICORD_BENCH_JSON; empty or unset disables the file (the
+/// benchmark still runs and prints normally).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* path = std::getenv("BICORD_BENCH_JSON");
+  JsonFileReporter reporter(path == nullptr ? std::string() : std::string(path));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bicord::bench

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Perf-regression harness around bench/bench_micro.
+#
+# Usage:  scripts/bench.sh [run|smoke|compare|refresh]
+#   run     — full measured run (5 repetitions, medians); writes the flat
+#             metric JSON to build/bench/BENCH_micro.json
+#   smoke   — one fast pass, then machine-independent assertions only
+#             (allocation-freedom of the event-queue hot path). This is what
+#             `scripts/check.sh bench` runs: it is meaningful on any machine
+#             because it never compares absolute times.
+#   compare — full run, then fail if any benchmark's median real time
+#             regressed by more than 15% against the committed baseline
+#             BENCH_micro.json (absolute times: only meaningful on the same
+#             machine/compiler that produced the baseline)
+#   refresh — full run, then overwrite the committed baseline with it
+#
+# The JSON is deliberately flat — one `"benchmark.metric": value` line per
+# metric — so this script needs nothing beyond awk.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-run}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+BASELINE="BENCH_micro.json"
+OUT="build/bench/BENCH_micro.json"
+REGRESSION_PCT=15
+
+build_bench() {
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target bench_micro > /dev/null
+}
+
+full_run() {
+  BICORD_BENCH_JSON="$PWD/$OUT" ./build/bench/bench_micro \
+    --benchmark_min_time=0.4 \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true
+}
+
+# Prints "key value" pairs from the flat metric JSON.
+metrics() {
+  awk -F'"' '/": / { val = $3; gsub(/[:, ]/, "", val); print $2, val }' "$1"
+}
+
+case "$MODE" in
+  run)
+    build_bench
+    full_run
+    echo
+    echo "metrics: $OUT"
+    ;;
+
+  smoke)
+    build_bench
+    BICORD_BENCH_JSON="$PWD/$OUT" ./build/bench/bench_micro \
+      --benchmark_min_time=0.05
+    echo
+    metrics "$OUT" | awk -v out="$OUT" '
+      $1 == "BM_EventQueueScheduleAndPop.allocs_per_event"               { alloc = $2; seen++ }
+      $1 == "BM_EventQueueScheduleAndPop.callback_heap_allocs_per_event" { cb = $2; seen++ }
+      END {
+        if (seen != 2) { print "FAIL: alloc counters missing from " out; exit 1 }
+        if (alloc + 0 >= 0.001) {
+          print "FAIL: event-queue hot path allocates (" alloc " allocs/event, want < 0.001)"
+          exit 1
+        }
+        if (cb + 0 != 0) {
+          print "FAIL: callback small-buffer overflowed to the heap (" cb " per event)"
+          exit 1
+        }
+        print "OK: event-queue hot path is allocation-free (" alloc " allocs/event," \
+              " 0 callback heap allocs)"
+      }'
+    ;;
+
+  compare)
+    [ -f "$BASELINE" ] || { echo "error: no committed baseline $BASELINE" >&2; exit 2; }
+    build_bench
+    full_run
+    echo
+    { metrics "$BASELINE" | sed 's/^/base /'; metrics "$OUT" | sed 's/^/cand /'; } |
+      awk -v pct="$REGRESSION_PCT" '
+        $2 ~ /\.real_ns_per_iter$/ && $1 == "base" { base[$2] = $3 }
+        $2 ~ /\.real_ns_per_iter$/ && $1 == "cand" { cand[$2] = $3 }
+        END {
+          fail = 0
+          for (k in base) {
+            if (!(k in cand)) { printf "MISSING  %s (in baseline, not in run)\n", k; fail = 1; continue }
+            ratio = cand[k] / base[k]
+            verdict = ratio > 1 + pct / 100 ? "REGRESS" : "ok"
+            printf "%-8s %-55s %10.1f -> %10.1f ns  (%+.1f%%)\n", \
+                   verdict, k, base[k], cand[k], (ratio - 1) * 100
+            if (verdict == "REGRESS") fail = 1
+          }
+          if (fail) { print "\nFAIL: regression beyond " pct "% against " ARGV[0]; exit 1 }
+          print "\nOK: no benchmark regressed more than " pct "%"
+        }'
+    ;;
+
+  refresh)
+    build_bench
+    full_run
+    cp "$OUT" "$BASELINE"
+    echo
+    echo "baseline refreshed: $BASELINE"
+    ;;
+
+  *)
+    echo "usage: scripts/bench.sh [run|smoke|compare|refresh]" >&2
+    exit 2
+    ;;
+esac

@@ -4,18 +4,26 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|chaos]
+# Usage:  scripts/check.sh [fast|chaos|bench]
 #   default — plain + TSAN + ASan/UBSan
 #   fast    — plain build + tests only
 #   chaos   — chaos soak (fixed seed): fault tests under ASan/UBSan and the
 #             parallel soak under TSAN, plus a mixed-plan bicordsim run whose
 #             invariant checker gates the exit code
+#   bench   — perf smoke: one fast bench_micro pass asserting the
+#             machine-independent invariants (hot path allocation-free);
+#             absolute-time comparison is opt-in via scripts/bench.sh compare
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [ "$MODE" = "bench" ]; then
+  echo "== perf smoke: bench_micro allocation invariants =="
+  exec scripts/bench.sh smoke
+fi
 
 if [ "$MODE" = "chaos" ]; then
   echo "== chaos soak: ASan + UBSan, fault tests =="

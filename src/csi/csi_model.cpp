@@ -6,7 +6,18 @@
 namespace bicord::csi {
 
 CsiStream::CsiStream(sim::Simulator& sim, CsiModelParams params)
-    : sim_(sim), params_(params), rng_(sim.rng().split()) {}
+    : sim_(sim),
+      params_(params),
+      inv_visibility_slope_(1.0 / params.visibility_slope_db),
+      rng_(sim.rng().split()) {}
+
+void CsiStream::update_visibility(const phy::RxResult& rx) {
+  if (rx.zigbee_overlap_tx == last_zigbee_tx_) return;
+  last_zigbee_tx_ = rx.zigbee_overlap_tx;
+  const double isr_db = rx.zigbee_overlap_dbm - rx.rssi_dbm;
+  const double x = (isr_db - params_.visibility_mid_db) * inv_visibility_slope_;
+  last_visible_ = rng_.bernoulli(1.0 / (1.0 + std::exp(-x)));
+}
 
 void CsiStream::set_mobility(double event_rate_hz) {
   params_.mobility_event_rate_hz = event_rate_hz;
@@ -58,12 +69,7 @@ void CsiStream::on_frame(const phy::RxResult& rx) {
     // Visibility is a per-packet channel property: drawn once per ZigBee
     // transmission, then every overlapped CSI sample of that packet is
     // disturbed with high probability.
-    if (rx.zigbee_overlap_tx != last_zigbee_tx_) {
-      last_zigbee_tx_ = rx.zigbee_overlap_tx;
-      const double isr_db = rx.zigbee_overlap_dbm - rx.rssi_dbm;
-      const double x = (isr_db - params_.visibility_mid_db) / params_.visibility_slope_db;
-      last_visible_ = rng_.bernoulli(1.0 / (1.0 + std::exp(-x)));
-    }
+    update_visibility(rx);
     if (last_visible_ && rng_.bernoulli(params_.visible_high_prob)) {
       s.amplitude = std::max(s.amplitude,
                              rng_.uniform(params_.fluct_lo, params_.fluct_hi));

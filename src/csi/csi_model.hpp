@@ -69,7 +69,10 @@ class CsiStream {
 
   void set_sample_callback(SampleCallback cb) { callback_ = std::move(cb); }
   [[nodiscard]] const CsiModelParams& params() const { return params_; }
-  void set_params(const CsiModelParams& p) { params_ = p; }
+  void set_params(const CsiModelParams& p) {
+    params_ = p;
+    inv_visibility_slope_ = 1.0 / params_.visibility_slope_db;
+  }
 
   /// Feed every completed Wi-Fi reception (the MAC rx hook) here; emits one
   /// CsiSample through the callback.
@@ -87,9 +90,13 @@ class CsiStream {
 
  private:
   [[nodiscard]] bool mobility_active();
+  /// Refreshes the cached per-packet visibility draw when `rx` overlaps a
+  /// ZigBee transmission not seen before (one Bernoulli per ZigBee packet).
+  void update_visibility(const phy::RxResult& rx);
 
   sim::Simulator& sim_;
   CsiModelParams params_;
+  double inv_visibility_slope_;  ///< 1 / params_.visibility_slope_db, cached
   Rng rng_;
   SampleCallback callback_;
   double tail_prob_ = 0.0;  ///< decaying post-overlap disturbance probability

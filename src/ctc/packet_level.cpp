@@ -69,9 +69,14 @@ void ZigfiCtcLink::send_window(std::size_t index) {
     return;
   }
   // A '1' window: fill it with back-to-back packets (presence modulation).
+  // The chain function holds only a weak reference to itself; shared
+  // ownership rides in the in-flight completion/timer captures, so the
+  // last pending hop releases the function instead of leaving a
+  // shared_ptr cycle behind (LeakSanitizer flagged the self-capture).
   auto send_chain = std::make_shared<std::function<void(int)>>();
   const TimePoint window_end = sim_.now() + config_.window;
-  *send_chain = [this, send_chain, index, window_end](int remaining) {
+  std::weak_ptr<std::function<void(int)>> weak_chain = send_chain;
+  *send_chain = [this, weak_chain, index, window_end](int remaining) {
     const Duration airtime =
         sender_.config().timings.data_airtime(config_.packet_bytes);
     if (remaining == 0 || sim_.now() + airtime > window_end) {
@@ -85,8 +90,10 @@ void ZigfiCtcLink::send_window(std::size_t index) {
     req.payload_bytes = config_.packet_bytes;
     req.kind = phy::FrameKind::Control;
     req.power_dbm_override = config_.tx_power_dbm;
-    sender_.send_raw(req, [this, send_chain, remaining] {
-      sim_.after(300_us, [send_chain, remaining] { (*send_chain)(remaining - 1); });
+    // We are being invoked through the function, so the lock cannot fail.
+    auto self = weak_chain.lock();
+    sender_.send_raw(req, [this, self, remaining] {
+      sim_.after(300_us, [self, remaining] { (*self)(remaining - 1); });
     });
   };
   (*send_chain)(kPacketsPerOneWindow);

@@ -9,7 +9,11 @@ RssiSampler::RssiSampler(phy::Medium& medium, phy::NodeId node, phy::Band band)
       sim_(medium.simulator()),
       node_(node),
       band_(band),
-      rng_(medium.simulator().rng().split()) {}
+      rng_(medium.simulator().rng().split()) {
+  medium_.attach(this);
+}
+
+RssiSampler::~RssiSampler() { medium_.detach(this); }
 
 void RssiSampler::set_measurement_noise(double per_sample_sigma_db,
                                         double per_capture_sigma_db) {
@@ -21,40 +25,77 @@ void RssiSampler::capture(std::size_t samples, Duration period, SegmentCallback 
   if (in_flight_) throw std::logic_error("RssiSampler: capture already in flight");
   if (samples == 0) throw std::invalid_argument("RssiSampler: zero samples");
   in_flight_ = true;
-  remaining_ = samples;
+  samples_ = samples;
   period_ = period;
+  start_ = sim_.now();
   current_ = RssiSegment{};
   current_.sample_period = period;
   current_.dbm.reserve(samples);
   done_ = std::move(done);
   listen_time_ += period * static_cast<std::int64_t>(samples);
+  // RNG order matches the per-tick sampler: per-capture offset first, then
+  // per-sample noise in sample order (drawn in finish()).
   capture_offset_db_ = per_capture_sigma_db_ > 0.0
                            ? rng_.normal(0.0, per_capture_sigma_db_)
                            : 0.0;
-  tick();
+  timeline_.clear();
+  timeline_.push_back(EnergyPoint{start_, medium_.energy_dbm(node_, band_, node_)});
+  glitch_timeline_.clear();
+  glitch_timeline_.push_back(GlitchPoint{start_, glitch_offset_db_, glitch_until_});
+  sim_.after(period * static_cast<std::int64_t>(samples - 1), [this] { finish(); });
 }
 
 void RssiSampler::inject_offset(double offset_db, TimePoint until) {
   glitch_offset_db_ = offset_db;
   glitch_until_ = until;
+  if (!in_flight_) return;
+  const TimePoint now = sim_.now();
+  GlitchPoint p{now, offset_db, until};
+  if (glitch_timeline_.back().time == now) {
+    glitch_timeline_.back() = p;
+  } else {
+    glitch_timeline_.push_back(p);
+  }
 }
 
-void RssiSampler::tick() {
-  double v = medium_.energy_dbm(node_, band_, node_) + capture_offset_db_;
-  if (per_sample_sigma_db_ > 0.0) v += rng_.normal(0.0, per_sample_sigma_db_);
-  if (sim_.now() < glitch_until_) {
-    v += glitch_offset_db_;
-    ++glitched_;
+void RssiSampler::on_tx_start(const phy::ActiveTransmission&) { record_edge(); }
+
+void RssiSampler::on_tx_end(const phy::ActiveTransmission&) { record_edge(); }
+
+void RssiSampler::on_position_change(phy::NodeId) { record_edge(); }
+
+void RssiSampler::record_edge() {
+  if (!in_flight_) return;
+  const TimePoint now = sim_.now();
+  const double e = medium_.energy_dbm(node_, band_, node_);
+  // Several edges at one instant collapse to the final level: a sample on
+  // that instant reads the post-edge energy.
+  if (timeline_.back().time == now) {
+    timeline_.back().dbm = e;
+  } else {
+    timeline_.push_back(EnergyPoint{now, e});
   }
-  current_.dbm.push_back(v);
-  if (--remaining_ == 0) {
-    in_flight_ = false;
-    auto done = std::move(done_);
-    done_ = nullptr;
-    if (done) done(std::move(current_));
-    return;
+}
+
+void RssiSampler::finish() {
+  std::size_t e = 0;
+  std::size_t g = 0;
+  for (std::size_t i = 0; i < samples_; ++i) {
+    const TimePoint t = start_ + period_ * static_cast<std::int64_t>(i);
+    while (e + 1 < timeline_.size() && timeline_[e + 1].time <= t) ++e;
+    while (g + 1 < glitch_timeline_.size() && glitch_timeline_[g + 1].time <= t) ++g;
+    double v = timeline_[e].dbm + capture_offset_db_;
+    if (per_sample_sigma_db_ > 0.0) v += rng_.normal(0.0, per_sample_sigma_db_);
+    if (t < glitch_timeline_[g].until) {
+      v += glitch_timeline_[g].offset_db;
+      ++glitched_;
+    }
+    current_.dbm.push_back(v);
   }
-  sim_.after(period_, [this] { tick(); });
+  in_flight_ = false;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  if (done) done(std::move(current_));
 }
 
 }  // namespace bicord::detect

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "phy/units.hpp"
@@ -13,6 +14,7 @@ Medium::Medium(sim::Simulator& sim, PathLossModel path_loss)
 
 NodeId Medium::add_node(std::string name, Position pos) {
   nodes_.push_back(NodeEntry{std::move(name), pos});
+  node_airtime_.push_back(Duration::zero());
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -24,6 +26,11 @@ const Medium::NodeEntry& Medium::node(NodeId id) const {
 void Medium::set_position(NodeId id, Position pos) {
   if (id >= nodes_.size()) throw std::out_of_range("Medium: unknown node id");
   nodes_[id].pos = pos;
+  // Distances changed: every cached link loss involving any node is suspect.
+  // Moves are rare (mobility period >> sample period), so a full flush is
+  // cheaper than per-node bookkeeping. assign() keeps the slot storage.
+  loss_cache_.assign(loss_cache_.size(), LossCacheEntry{});
+  notify([id](MediumListener* l) { l->on_position_change(id); });
 }
 
 Position Medium::position(NodeId id) const { return node(id).pos; }
@@ -36,6 +43,17 @@ void Medium::attach(MediumListener* listener) {
 }
 
 void Medium::detach(MediumListener* listener) {
+  if (notify_depth_ > 0) {
+    // Mid-notification: null-mark so the running loop skips it; the slot is
+    // compacted when the outermost notify() unwinds.
+    for (auto*& l : listeners_) {
+      if (l == listener) {
+        l = nullptr;
+        listeners_dirty_ = true;
+      }
+    }
+    return;
+  }
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
                    listeners_.end());
 }
@@ -69,12 +87,10 @@ TxId Medium::begin_tx(const Frame& frame, Band band, double tx_power_dbm,
   }
   active_.push_back(tx);
 
-  airtime_[frame.tech] += duration;
+  airtime_[static_cast<std::size_t>(frame.tech)] += duration;
   node_airtime_[frame.src] += duration;
 
-  // Snapshot listeners: callbacks may attach/detach.
-  const auto listeners = listeners_;
-  for (auto* l : listeners) l->on_tx_start(tx);
+  notify([&tx](MediumListener* l) { l->on_tx_start(tx); });
 
   const TxId id = tx.id;
   sim_.at(tx.end, [this, id] { finish_tx(id); });
@@ -87,12 +103,46 @@ void Medium::finish_tx(TxId id) {
   if (it == active_.end()) return;  // defensive: already removed
   const ActiveTransmission tx = *it;
   active_.erase(it);
-  const auto listeners = listeners_;
-  for (auto* l : listeners) l->on_tx_end(tx);
+  notify([&tx](MediumListener* l) { l->on_tx_end(tx); });
 }
 
-double Medium::rx_power_dbm(NodeId src, double tx_power_dbm, Band tx_band, NodeId dst,
-                            Band rx_band) const {
+namespace {
+/// 64-bit finalizer (murmur3) — spreads node ids and band bit patterns.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t band_bits(Band b) {
+  std::uint64_t c = 0;
+  std::uint64_t w = 0;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&c, &b.center_mhz, sizeof(c));
+  std::memcpy(&w, &b.width_mhz, sizeof(w));
+  // Distinct odd multipliers keep (center, width) and the two band operands
+  // from cancelling under xor; the single mix64 at the end does the real
+  // avalanche work.
+  return c * 0x9e3779b97f4a7c15ULL + w * 0xc2b2ae3d27d4eb4fULL;
+}
+}  // namespace
+
+double Medium::link_loss_db(NodeId src, Band tx_band, NodeId dst, Band rx_band) const {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    // throws for the unknown node (and dst below if src is fine)
+    static_cast<void>(node(src));
+    static_cast<void>(node(dst));
+  }
+  if (loss_cache_.empty()) loss_cache_.resize(kLossCacheSlots);
+  const std::uint64_t h =
+      mix64(((static_cast<std::uint64_t>(src) << 32) | dst) ^ band_bits(tx_band) ^
+            (band_bits(rx_band) << 1));
+  const std::uint64_t tag = h | 1;  // low bit set: 0 stays the empty marker
+  LossCacheEntry& e = loss_cache_[(h >> 1) & (kLossCacheSlots - 1)];
+  if (e.tag == tag) return e.loss_db;
   const double d = distance(node(src).pos, node(dst).pos);
   // Link key is direction-independent so A->B and B->A shadow identically.
   const std::uint64_t lo = std::min(src, dst);
@@ -100,7 +150,13 @@ double Medium::rx_power_dbm(NodeId src, double tx_power_dbm, Band tx_band, NodeI
   const std::uint64_t link_key = (lo << 32) | hi;
   const double loss = path_loss_.mean_loss_db(d) + path_loss_.shadowing_db(link_key) +
                       overlap_loss_db(tx_band, rx_band);
-  const double p = tx_power_dbm - loss;
+  e = LossCacheEntry{tag, loss};
+  return loss;
+}
+
+double Medium::rx_power_dbm(NodeId src, double tx_power_dbm, Band tx_band, NodeId dst,
+                            Band rx_band) const {
+  const double p = tx_power_dbm - link_loss_db(src, tx_band, dst, rx_band);
   return p < kFloorDbm ? kFloorDbm : p;
 }
 
@@ -108,8 +164,17 @@ double Medium::rx_power_dbm(const ActiveTransmission& tx, NodeId dst, Band rx_ba
   return rx_power_dbm(tx.frame.src, tx.tx_power_dbm, tx.band, dst, rx_band);
 }
 
+double Medium::noise_floor_mw(Band band) const {
+  for (const auto& [b, mw] : noise_mw_memo_) {
+    if (b == band) return mw;
+  }
+  const double mw = dbm_to_mw(noise_floor_dbm(band));
+  noise_mw_memo_.emplace_back(band, mw);
+  return mw;
+}
+
 double Medium::energy_dbm(NodeId rx, Band rx_band, NodeId exclude_src) const {
-  double acc_mw = dbm_to_mw(noise_floor_dbm(rx_band));
+  double acc_mw = noise_floor_mw(rx_band);
   for (const auto& tx : active_) {
     if (tx.frame.src == rx || tx.frame.src == exclude_src) continue;
     if (tx.fault_dropped) continue;  // invisible to every other node
@@ -124,13 +189,12 @@ double Medium::noise_floor_dbm(Band band) {
 }
 
 Duration Medium::airtime(Technology tech) const {
-  const auto it = airtime_.find(tech);
-  return it == airtime_.end() ? Duration::zero() : it->second;
+  const auto i = static_cast<std::size_t>(tech);
+  return i < airtime_.size() ? airtime_[i] : Duration::zero();
 }
 
 Duration Medium::airtime_of(NodeId node_id) const {
-  const auto it = node_airtime_.find(node_id);
-  return it == node_airtime_.end() ? Duration::zero() : it->second;
+  return node_id < node_airtime_.size() ? node_airtime_[node_id] : Duration::zero();
 }
 
 }  // namespace bicord::phy

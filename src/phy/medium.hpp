@@ -8,6 +8,8 @@
 // attached radios. It also accounts per-technology airtime, which the
 // metrics layer turns into the paper's "channel utilization".
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,6 +66,10 @@ class MediumListener {
  public:
   virtual void on_tx_start(const ActiveTransmission& tx) = 0;
   virtual void on_tx_end(const ActiveTransmission& tx) = 0;
+  /// A node's position changed. Received power is a pure function of medium
+  /// state between transmission edges *and* moves, so edge-driven observers
+  /// (batched RSSI capture) need this to stay exact under device mobility.
+  virtual void on_position_change(NodeId node) { (void)node; }
 
  protected:
   ~MediumListener() = default;
@@ -137,14 +143,67 @@ class Medium {
   void finish_tx(TxId id);
   [[nodiscard]] const NodeEntry& node(NodeId id) const;
 
+  /// Notifies every listener present when the loop starts, in attach order,
+  /// without copying the listener vector (the old per-begin_tx snapshot copy
+  /// was the kernel's last hot-path allocation). Listeners attached during
+  /// the loop are not notified for this event; listeners detached during the
+  /// loop are null-marked and skipped, then compacted once the outermost
+  /// notification unwinds.
+  template <typename Fn>
+  void notify(Fn&& fn) {
+    ++notify_depth_;
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (listeners_[i] != nullptr) fn(listeners_[i]);
+    }
+    if (--notify_depth_ == 0 && listeners_dirty_) {
+      listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), nullptr),
+                       listeners_.end());
+      listeners_dirty_ = false;
+    }
+  }
+
+  /// Total link loss (mean path loss + shadowing + band overlap) with a
+  /// direct-mapped cache keyed by (src, dst, band pair). A collision simply
+  /// evicts the previous entry (it is a cache of a pure function, so
+  /// recomputation is always safe), which keeps lookup to one slot compare
+  /// and the structure allocation-free after construction. The cached value
+  /// is the same double the direct computation produces — energy readings
+  /// stay bitwise identical — and the cache is flushed whenever a node moves.
+  [[nodiscard]] double link_loss_db(NodeId src, Band tx_band, NodeId dst,
+                                    Band rx_band) const;
+
+  /// Linear noise-floor memo (a run uses a handful of bands) — energy_dbm
+  /// pays a band compare instead of a log10 + pow per query.
+  [[nodiscard]] double noise_floor_mw(Band band) const;
+
+  /// 16 bytes per slot keeps the whole table L1-resident (a full-tuple entry
+  /// was 48 bytes and pushed every lookup out to L2). The tag is the full
+  /// 64-bit avalanche hash of (src, dst, band pair) with the low bit forced
+  /// to 1 (0 marks an empty slot): a false hit needs two live keys that agree
+  /// in all 63 tag bits *and* map to the same slot — vanishingly unlikely and,
+  /// being seed-independent, it could only shift one link's loss by a
+  /// deterministic constant, never break run-to-run reproducibility.
+  struct LossCacheEntry {
+    std::uint64_t tag = 0;  ///< 0 marks an empty slot
+    double loss_db = 0.0;
+  };
+  static constexpr std::size_t kLossCacheSlots = 1024;  // power of two
+
   sim::Simulator& sim_;
   PathLossModel path_loss_;
   std::vector<NodeEntry> nodes_;
   std::vector<ActiveTransmission> active_;
   std::vector<MediumListener*> listeners_;
+  int notify_depth_ = 0;
+  bool listeners_dirty_ = false;
   TxInterceptor* interceptor_ = nullptr;
-  std::unordered_map<Technology, Duration> airtime_;
-  std::unordered_map<NodeId, Duration> node_airtime_;
+  /// Airtime accumulators are dense (small enum / dense node ids): begin_tx
+  /// bumps two of them per transmission, so no hashing on that path.
+  std::array<Duration, 4> airtime_{};   ///< indexed by Technology
+  std::vector<Duration> node_airtime_;  ///< indexed by NodeId
+  mutable std::vector<LossCacheEntry> loss_cache_;
+  mutable std::vector<std::pair<Band, double>> noise_mw_memo_;
   TxId next_tx_id_ = 1;
 };
 

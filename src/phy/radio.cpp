@@ -11,7 +11,11 @@ Radio::Radio(Medium& medium, NodeId node, Config config)
     : medium_(medium),
       node_(node),
       config_(config),
-      rng_(medium.simulator().rng().split()) {
+      rng_(medium.simulator().rng().split()),
+      noise_mw_(dbm_to_mw(Medium::noise_floor_dbm(config.band))) {
+  // More concurrent foreign transmissions than this never occur in practice;
+  // reserving keeps the per-tx bookkeeping allocation-free from the start.
+  ongoing_.reserve(16);
   medium_.attach(this);
 }
 
@@ -22,6 +26,7 @@ void Radio::set_band(Band band) {
     throw std::logic_error("Radio::set_band: radio busy");
   }
   config_.band = band;
+  noise_mw_ = dbm_to_mw(Medium::noise_floor_dbm(band));
 }
 
 void Radio::enter(RadioState next) {
@@ -47,7 +52,7 @@ void Radio::transmit(const Frame& frame, double tx_power_dbm, Duration duration,
 }
 
 double Radio::energy_dbm() const {
-  return medium_.energy_dbm(node_, config_.band, node_);
+  return mw_to_dbm(foreign_mw_sum_ + noise_mw_);
 }
 
 void Radio::sleep() {
@@ -69,9 +74,9 @@ bool Radio::decodable(const ActiveTransmission& tx) const {
 
 double Radio::interference_mw(TxId exclude) const {
   double acc = 0.0;
-  for (const auto& [id, o] : ongoing_) {
-    if (id == exclude) continue;
-    acc += dbm_to_mw(o.rx_power_dbm);
+  for (const auto& o : ongoing_) {
+    if (o.id == exclude) continue;
+    acc += o.rx_power_mw;
   }
   return acc;
 }
@@ -79,24 +84,17 @@ double Radio::interference_mw(TxId exclude) const {
 void Radio::update_rx_sinr() {
   if (!rx_) return;
   auto& r = rx_->result;
-  const double noise_mw = dbm_to_mw(Medium::noise_floor_dbm(config_.band));
+  const double noise_mw = noise_mw_;
   double interf_mw = 0.0;
-  for (const auto& [id, o] : ongoing_) {
-    if (id == rx_->tx_id) continue;
-    double p = o.rx_power_dbm;
-    // Narrowband interferers are largely ridden out by coding/interleaving
-    // (SINR only — they remain fully visible to energy queries and CSI).
-    if (config_.narrowband_discount_db > 0.0 &&
-        o.band.width_mhz < config_.narrowband_ratio * config_.band.width_mhz) {
-      p -= config_.narrowband_discount_db;
-    }
-    interf_mw += dbm_to_mw(p);
+  for (const auto& o : ongoing_) {
+    if (o.id == rx_->tx_id) continue;
+    interf_mw += o.sinr_mw;
     if (o.rx_power_dbm > r.max_interference_dbm) r.max_interference_dbm = o.rx_power_dbm;
     if (o.tech == Technology::ZigBee) {
       r.zigbee_overlap = true;
       if (o.rx_power_dbm > r.zigbee_overlap_dbm) {
         r.zigbee_overlap_dbm = o.rx_power_dbm;
-        r.zigbee_overlap_tx = id;
+        r.zigbee_overlap_tx = o.id;
       }
     }
   }
@@ -112,7 +110,18 @@ void Radio::on_tx_start(const ActiveTransmission& tx) {
                    (config_.fading_sigma_db > 0.0
                         ? rng_.normal(0.0, config_.fading_sigma_db)
                         : 0.0);
-  ongoing_.emplace(tx.id, Ongoing{p, tx.frame.tech, tx.frame.kind, tx.band});
+  // Narrowband interferers are largely ridden out by coding/interleaving
+  // (SINR only — they remain fully visible to energy queries and CSI).
+  double p_sinr = p;
+  if (config_.narrowband_discount_db > 0.0 &&
+      tx.band.width_mhz < config_.narrowband_ratio * config_.band.width_mhz) {
+    p_sinr -= config_.narrowband_discount_db;
+  }
+  const double p_mw = dbm_to_mw(p);
+  const double sinr_mw = p_sinr == p ? p_mw : dbm_to_mw(p_sinr);
+  ongoing_.push_back(
+      Ongoing{tx.id, p, p_mw, sinr_mw, tx.frame.tech, tx.frame.kind, tx.band});
+  foreign_mw_sum_ += p_mw;
 
   if (state_ == RadioState::Sleep) return;
 
@@ -152,7 +161,14 @@ void Radio::on_tx_end(const ActiveTransmission& tx) {
   update_rx_sinr();
 
   const bool was_locked = rx_ && rx_->tx_id == tx.id;
-  ongoing_.erase(tx.id);
+  for (auto it = ongoing_.begin(); it != ongoing_.end(); ++it) {
+    if (it->id == tx.id) {
+      foreign_mw_sum_ -= it->rx_power_mw;
+      ongoing_.erase(it);
+      break;
+    }
+  }
+  if (ongoing_.empty()) foreign_mw_sum_ = 0.0;
 
   if (was_locked) finalize_rx(tx);
   if (activity_cb_) activity_cb_();

@@ -11,7 +11,7 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "phy/frame.hpp"
 #include "phy/medium.hpp"
@@ -100,7 +100,13 @@ class Radio final : public MediumListener {
                 TxDoneCallback done = {});
 
   /// In-band energy right now, excluding this node's own emissions — what a
-  /// CCA energy-detect reads.
+  /// CCA energy-detect reads. O(1): the radio keeps a running linear-power
+  /// sum of the foreign transmissions it tracks, so the per-edge CCA
+  /// re-evaluations in the MACs never re-walk the medium. The reading
+  /// includes this radio's per-transmission fading draw (the ED front end
+  /// measures the same channel the demodulator sees); like the SINR
+  /// bookkeeping, each transmission's power is fixed against the band the
+  /// radio was tuned to when the transmission appeared.
   [[nodiscard]] double energy_dbm() const;
 
   /// True if a frame this radio could decode is currently on the air and
@@ -121,8 +127,16 @@ class Radio final : public MediumListener {
   [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupted_; }
 
  private:
+  /// One foreign transmission currently on the air, with its received power
+  /// pre-converted to linear units at insertion (on_tx_start): the SINR
+  /// update runs on every medium edge and must not pay a pow() per entry.
+  /// `sinr_mw` already includes the narrowband discount, evaluated against
+  /// the radio's band at the moment the transmission appeared.
   struct Ongoing {
+    TxId id;
     double rx_power_dbm;
+    double rx_power_mw;  ///< dbm_to_mw(rx_power_dbm), cached
+    double sinr_mw;      ///< dbm_to_mw(rx_power_dbm - narrowband discount)
     Technology tech;
     FrameKind kind;
     Band band;
@@ -145,8 +159,15 @@ class Radio final : public MediumListener {
   Config config_;
   Rng rng_;
   RadioState state_ = RadioState::Idle;
+  double noise_mw_ = 0.0;  ///< dbm_to_mw(noise floor of config_.band), cached
 
-  std::unordered_map<TxId, Ongoing> ongoing_;  ///< foreign energy on the air
+  /// Foreign energy on the air. A handful of entries at most, so a flat
+  /// vector with linear search beats a node-based map (no allocation per
+  /// transmission once capacity is warm, cache-friendly SINR sweeps).
+  std::vector<Ongoing> ongoing_;
+  /// Running sum of ongoing_[i].rx_power_mw, snapped back to exactly zero
+  /// whenever the air goes quiet so incremental +/- rounding cannot drift.
+  double foreign_mw_sum_ = 0.0;
   std::optional<CurrentRx> rx_;
   RxCallback rx_cb_;
   StateCallback state_cb_;

@@ -18,6 +18,17 @@ EventId Simulator::after(Duration delay, EventCallback cb) {
   return queue_.schedule(now_ + delay, std::move(cb));
 }
 
+EventId Simulator::every(Duration initial_delay, Duration period, EventCallback cb) {
+  if (initial_delay < Duration::zero()) {
+    throw std::invalid_argument("Simulator::every: negative initial delay");
+  }
+  return queue_.schedule_periodic(now_ + initial_delay, period, std::move(cb));
+}
+
+bool Simulator::set_event_period(EventId id, Duration period) {
+  return queue_.set_period(id, period);
+}
+
 bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
 
 void Simulator::run_until(TimePoint deadline) {
@@ -75,15 +86,13 @@ void PeriodicTask::set_period(Duration period) {
     throw std::invalid_argument("PeriodicTask::set_period: period must be positive");
   }
   period_ = period;
+  // The already-armed tick keeps its time; the new period applies from the
+  // next re-arm (same semantics as the old self-rescheduling chain).
+  if (event_ != kInvalidEventId) sim_.set_event_period(event_, period_);
 }
 
 void PeriodicTask::arm(Duration delay) {
-  event_ = sim_.after(delay, [this] {
-    event_ = kInvalidEventId;
-    tick_();
-    // tick_ may have stopped or re-started the task; only re-arm when idle.
-    if (event_ == kInvalidEventId) arm(period_);
-  });
+  event_ = sim_.every(delay, period_, [this] { tick_(); });
 }
 
 }  // namespace bicord::sim

@@ -31,7 +31,16 @@ class Simulator {
   EventId at(TimePoint when, EventCallback cb);
   /// Schedules `cb` after `delay` (must be >= 0).
   EventId after(Duration delay, EventCallback cb);
+  /// Schedules `cb` to fire first after `initial_delay` and then every
+  /// `period`, reusing one queue slot across ticks (the allocation-free
+  /// repeating-timer primitive; PeriodicTask wraps it). The event re-arms
+  /// *after* each tick returns, so same-instant events the tick scheduled
+  /// fire first.
+  EventId every(Duration initial_delay, Duration period, EventCallback cb);
+  /// Changes a periodic event's period, effective at the next re-arm.
+  bool set_event_period(EventId id, Duration period);
   /// Cancels a pending event; false if it already fired or was cancelled.
+  /// Cancelling a periodic event works from inside its own tick, too.
   bool cancel(EventId id);
 
   /// Runs events until the queue empties or the clock would pass `deadline`.
@@ -55,9 +64,11 @@ class Simulator {
   std::uint64_t dispatched_ = 0;
 };
 
-/// Re-schedules itself every `period` until stop() — convenient for traffic
-/// generators, expiry timers, and samplers. Safe to destroy before the
-/// simulator (it cancels its pending event).
+/// Fires every `period` until stop() — convenient for traffic generators,
+/// expiry timers, and samplers. Safe to destroy before the simulator (it
+/// cancels its pending event). Built on Simulator::every(), so a running
+/// task occupies one reusable queue slot instead of re-scheduling a fresh
+/// event per tick.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& sim, Duration period, std::function<void()> tick);

@@ -43,7 +43,8 @@ class Rng {
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// True with probability p (clamped to [0, 1]).
   bool bernoulli(double p);
-  /// Standard normal via Box-Muller (no cached spare: stream stability).
+  /// Standard normal via inverse-CDF (Acklam); exactly one uniform draw per
+  /// variate, so the stream position never depends on call history.
   double normal();
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double stddev);

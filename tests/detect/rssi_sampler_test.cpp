@@ -72,6 +72,43 @@ TEST_F(SamplerFixture, BusyFlagAndListenTime) {
   EXPECT_EQ(sampler.listen_time(), 5_ms);
 }
 
+TEST_F(SamplerFixture, BatchedCaptureMatchesPerInstantReference) {
+  // Random traffic with edges on a 5 us grid — several land exactly on
+  // 25 us sample instants — plus a mid-capture node move. The reference
+  // probes the medium 1 us after each sample instant: energy is piecewise
+  // constant between edges and no edge can fall inside (t, t+1us], so each
+  // probe reads exactly what a sample with post-edge tie semantics must
+  // read. Values must match bitwise.
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  Rng traffic(99);
+  for (int i = 0; i < 12; ++i) {
+    const auto start = Duration::from_us(traffic.uniform_int(0, 900) * 5);
+    const auto dur = Duration::from_us(traffic.uniform_int(1, 300) * 5);
+    sim.after(start, [this, dur] {
+      phy::Frame f;
+      f.tech = phy::Technology::WiFi;
+      f.src = source;
+      medium.begin_tx(f, phy::wifi_channel(11), 15.0, dur);
+    });
+  }
+  sim.after(Duration::from_us(2500), [this] { medium.set_position(source, {3.0, 1.0}); });
+
+  std::vector<double> reference(200, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    sim.after(Duration::from_us(i * 25 + 1), [this, &reference, i] {
+      reference[static_cast<std::size_t>(i)] =
+          medium.energy_dbm(node, phy::zigbee_channel(24), node);
+    });
+  }
+  RssiSegment got;
+  sampler.capture([&](RssiSegment s) { got = std::move(s); });
+  sim.run_all();
+  ASSERT_EQ(got.dbm.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(got.dbm[i], reference[i]) << "sample " << i;
+  }
+}
+
 TEST_F(SamplerFixture, CustomCadence) {
   RssiSampler sampler(medium, node, phy::zigbee_channel(24));
   RssiSegment got;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 namespace bicord::sim {
@@ -87,6 +89,111 @@ TEST(EventQueueTest, ThrowsOnEmptyAccess) {
 TEST(EventQueueTest, RejectsNullCallback) {
   EventQueue q;
   EXPECT_THROW(q.schedule(at_us(1), EventCallback{}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, CancelHeavyWorkloadKeepsDeadFractionBounded) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    ids.push_back(q.schedule(at_us(static_cast<std::int64_t>(x % 50000)), [] {}));
+  }
+  // Cancel 90% in shuffled order; after every cancel the lazy-deletion debt
+  // must respect the compaction bound: either the heap is trivially small or
+  // dead entries are at most half of it.
+  std::vector<std::size_t> victims;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) victims.push_back(i);
+  }
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(victims[i - 1], victims[x % i]);
+  }
+  for (const std::size_t v : victims) {
+    ASSERT_TRUE(q.cancel(ids[v]));
+    const std::size_t heap_entries = q.size() + q.dead_entries();
+    EXPECT_TRUE(heap_entries < 64 || q.dead_entries() * 2 <= heap_entries)
+        << "dead=" << q.dead_entries() << " heap=" << heap_entries;
+  }
+  EXPECT_GE(q.compactions(), 1u);
+  EXPECT_EQ(q.size(), 1000u);
+  // Slots are recycled through the free list, never leaked.
+  EXPECT_LE(q.slot_capacity(), 10000u);
+  // The survivors still pop in time order and all of them fire.
+  TimePoint last = TimePoint::origin();
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000u);
+  // Lazy deletion may leave a residue of dead entries that never reached the
+  // heap top; it must stay below the compaction threshold.
+  EXPECT_LT(q.dead_entries(), 64u);
+}
+
+TEST(EventQueueTest, RandomizedTraceMatchesReferenceModel) {
+  // Drives the queue with a random schedule/cancel/pop mix and checks every
+  // pop against a brute-force reference: the live event with the smallest
+  // (time, schedule-call index), i.e. FIFO among same-instant ties.
+  struct RefEntry {
+    std::int64_t time_us;
+    std::size_t schedule_idx;
+    EventId id;
+  };
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    EventQueue q;
+    std::uint64_t x = seed;
+    const auto rnd = [&x](std::uint64_t m) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (x >> 33) % m;
+    };
+    std::vector<RefEntry> live;
+    std::unordered_map<EventId, std::size_t> idx_of;
+    std::size_t schedules = 0;
+    std::int64_t now_us = 0;  // pops advance time; schedules never go backward
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t r = rnd(100);
+      if (r < 55 || q.empty()) {
+        const std::int64_t t = now_us + static_cast<std::int64_t>(rnd(40));
+        const EventId id = q.schedule(at_us(t), [] {});
+        idx_of[id] = schedules;
+        live.push_back(RefEntry{t, schedules, id});
+        ++schedules;
+      } else if (r < 75 && !live.empty()) {
+        const std::size_t v = rnd(live.size());
+        ASSERT_TRUE(q.cancel(live[v].id));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(v));
+      } else {
+        const auto expect = std::min_element(
+            live.begin(), live.end(), [](const RefEntry& a, const RefEntry& b) {
+              return a.time_us != b.time_us ? a.time_us < b.time_us
+                                            : a.schedule_idx < b.schedule_idx;
+            });
+        ASSERT_EQ(q.next_time(), at_us(expect->time_us));
+        const auto fired = q.pop();
+        ASSERT_EQ(fired.time, at_us(expect->time_us));
+        ASSERT_EQ(idx_of.at(fired.id), expect->schedule_idx);
+        now_us = expect->time_us;
+        live.erase(expect);
+      }
+      ASSERT_EQ(q.size(), live.size());
+    }
+    // Drain: the remaining trace must replay the reference exactly.
+    std::stable_sort(live.begin(), live.end(), [](const RefEntry& a, const RefEntry& b) {
+      return a.time_us != b.time_us ? a.time_us < b.time_us
+                                    : a.schedule_idx < b.schedule_idx;
+    });
+    for (const RefEntry& e : live) {
+      const auto fired = q.pop();
+      ASSERT_EQ(fired.time, at_us(e.time_us));
+      ASSERT_EQ(idx_of.at(fired.id), e.schedule_idx);
+    }
+    EXPECT_TRUE(q.empty());
+  }
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {

@@ -1,0 +1,111 @@
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace bicord::sim {
+namespace {
+
+// The queue's no-silent-copy guarantee is a property of the type itself:
+// if InlineCallback ever becomes copyable, pop()/heap rebuilds could quietly
+// duplicate captured state again. Lock it down at compile time.
+static_assert(!std::is_copy_constructible_v<InlineCallback>);
+static_assert(!std::is_copy_assignable_v<InlineCallback>);
+static_assert(std::is_nothrow_move_constructible_v<InlineCallback>);
+static_assert(std::is_nothrow_move_assignable_v<InlineCallback>);
+static_assert(std::is_nothrow_destructible_v<InlineCallback>);
+
+TEST(InlineCallbackTest, InvokesSmallLambdaWithoutHeapAllocation) {
+  const std::uint64_t before = InlineCallback::heap_allocation_count();
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(InlineCallback::heap_allocation_count(), before);
+}
+
+TEST(InlineCallbackTest, CaptureAtInlineLimitStaysInline) {
+  const std::uint64_t before = InlineCallback::heap_allocation_count();
+  std::array<char, InlineCallback::kInlineSize - sizeof(int*)> payload{};
+  payload[0] = 42;
+  int out = 0;
+  InlineCallback cb([payload, &out] { out = payload[0]; });
+  cb();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(InlineCallback::heap_allocation_count(), before);
+}
+
+TEST(InlineCallbackTest, OversizedCaptureFallsBackToOneCountedAllocation) {
+  const std::uint64_t before = InlineCallback::heap_allocation_count();
+  std::array<char, InlineCallback::kInlineSize + 1> big{};
+  big[7] = 9;
+  int out = 0;
+  InlineCallback cb([big, &out] { out = big[7]; });
+  EXPECT_EQ(InlineCallback::heap_allocation_count(), before + 1);
+  // Moving the wrapper moves the owning pointer, never reallocates.
+  InlineCallback moved(std::move(cb));
+  moved();
+  EXPECT_EQ(out, 9);
+  EXPECT_EQ(InlineCallback::heap_allocation_count(), before + 1);
+}
+
+TEST(InlineCallbackTest, HoldsMoveOnlyCapture) {
+  auto box = std::make_unique<int>(31);
+  int out = 0;
+  InlineCallback cb([box = std::move(box), &out] { out = *box; });
+  InlineCallback moved(std::move(cb));
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(out, 31);
+}
+
+TEST(InlineCallbackTest, MoveAssignDestroysPreviousTarget) {
+  int destroyed = 0;
+  struct Probe {
+    int* destroyed;
+    ~Probe() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+    Probe(int* d) : destroyed(d) {}
+    Probe(Probe&& o) noexcept : destroyed(std::exchange(o.destroyed, nullptr)) {}
+  };
+  {
+    InlineCallback a([p = Probe(&destroyed)] { static_cast<void>(p); });
+    InlineCallback b([] {});
+    a = std::move(b);
+    EXPECT_EQ(destroyed, 1);  // the Probe capture died on assignment
+    EXPECT_TRUE(static_cast<bool>(a));
+    EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+    a();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineCallbackTest, ResetReleasesCaptureEagerly) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  InlineCallback cb([t = std::move(token)] { static_cast<void>(t); });
+  EXPECT_FALSE(watch.expired());
+  cb.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, EmptyStdFunctionYieldsNullWrapper) {
+  InlineCallback from_empty(std::function<void()>{});
+  EXPECT_FALSE(static_cast<bool>(from_empty));
+  InlineCallback from_null(nullptr);
+  EXPECT_FALSE(static_cast<bool>(from_null));
+  InlineCallback from_live(std::function<void()>([] {}));
+  EXPECT_TRUE(static_cast<bool>(from_live));
+}
+
+}  // namespace
+}  // namespace bicord::sim
