@@ -42,7 +42,14 @@ void RssiSampler::capture(std::size_t samples, Duration period, SegmentCallback 
   timeline_.push_back(EnergyPoint{start_, medium_.energy_dbm(node_, band_, node_)});
   glitch_timeline_.clear();
   glitch_timeline_.push_back(GlitchPoint{start_, glitch_offset_db_, glitch_until_});
-  sim_.after(period * static_cast<std::int64_t>(samples - 1), [this] { finish(); });
+  // Finalize via a zero-delay re-post at the last sample instant. Edge events
+  // landing exactly on that instant can carry later tie-break seqs than an
+  // event scheduled now (e.g. the end of a transmission that begins
+  // mid-capture), so finishing directly would read the pre-edge level. The
+  // re-posted event outranks everything queued before it, letting those
+  // same-instant edges drain into the timeline first.
+  sim_.after(period * static_cast<std::int64_t>(samples - 1),
+             [this] { sim_.after(Duration::zero(), [this] { finish(); }); });
 }
 
 void RssiSampler::inject_offset(double offset_db, TimePoint until) {

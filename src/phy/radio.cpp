@@ -27,6 +27,37 @@ void Radio::set_band(Band band) {
   }
   config_.band = band;
   noise_mw_ = dbm_to_mw(Medium::noise_floor_dbm(band));
+  if (ongoing_.empty()) return;
+  // Retuning changes what the front end sees of every transmission already
+  // on the air (band overlap, narrowband discount): recompute each tracked
+  // entry against the new band, preserving its fading draw, so energy and
+  // SINR queries never mix new-band noise with old-band signal powers.
+  foreign_mw_sum_ = 0.0;
+  for (auto& o : ongoing_) {
+    for (const auto& tx : medium_.active()) {
+      if (tx.id == o.id) {
+        o = make_ongoing(tx, o.fading_db);
+        break;
+      }
+    }
+    foreign_mw_sum_ += o.rx_power_mw;
+  }
+}
+
+Radio::Ongoing Radio::make_ongoing(const ActiveTransmission& tx,
+                                   double fading_db) const {
+  const double p = medium_.rx_power_dbm(tx, node_, config_.band) + fading_db;
+  // Narrowband interferers are largely ridden out by coding/interleaving
+  // (SINR only — they remain fully visible to energy queries and CSI).
+  double p_sinr = p;
+  if (config_.narrowband_discount_db > 0.0 &&
+      tx.band.width_mhz < config_.narrowband_ratio * config_.band.width_mhz) {
+    p_sinr -= config_.narrowband_discount_db;
+  }
+  const double p_mw = dbm_to_mw(p);
+  const double sinr_mw = p_sinr == p ? p_mw : dbm_to_mw(p_sinr);
+  return Ongoing{tx.id,   fading_db,     p,             p_mw,
+                 sinr_mw, tx.frame.tech, tx.frame.kind, tx.band};
 }
 
 void Radio::enter(RadioState next) {
@@ -106,22 +137,12 @@ void Radio::on_tx_start(const ActiveTransmission& tx) {
   if (tx.frame.src == node_) return;  // own emission
   if (tx.fault_dropped) return;       // fault injection: deaf to this frame
 
-  const double p = medium_.rx_power_dbm(tx, node_, config_.band) +
-                   (config_.fading_sigma_db > 0.0
-                        ? rng_.normal(0.0, config_.fading_sigma_db)
-                        : 0.0);
-  // Narrowband interferers are largely ridden out by coding/interleaving
-  // (SINR only — they remain fully visible to energy queries and CSI).
-  double p_sinr = p;
-  if (config_.narrowband_discount_db > 0.0 &&
-      tx.band.width_mhz < config_.narrowband_ratio * config_.band.width_mhz) {
-    p_sinr -= config_.narrowband_discount_db;
-  }
-  const double p_mw = dbm_to_mw(p);
-  const double sinr_mw = p_sinr == p ? p_mw : dbm_to_mw(p_sinr);
-  ongoing_.push_back(
-      Ongoing{tx.id, p, p_mw, sinr_mw, tx.frame.tech, tx.frame.kind, tx.band});
-  foreign_mw_sum_ += p_mw;
+  const double fading_db = config_.fading_sigma_db > 0.0
+                               ? rng_.normal(0.0, config_.fading_sigma_db)
+                               : 0.0;
+  ongoing_.push_back(make_ongoing(tx, fading_db));
+  const double p = ongoing_.back().rx_power_dbm;
+  foreign_mw_sum_ += ongoing_.back().rx_power_mw;
 
   if (state_ == RadioState::Sleep) return;
 

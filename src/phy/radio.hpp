@@ -104,9 +104,9 @@ class Radio final : public MediumListener {
   /// sum of the foreign transmissions it tracks, so the per-edge CCA
   /// re-evaluations in the MACs never re-walk the medium. The reading
   /// includes this radio's per-transmission fading draw (the ED front end
-  /// measures the same channel the demodulator sees); like the SINR
-  /// bookkeeping, each transmission's power is fixed against the band the
-  /// radio was tuned to when the transmission appeared.
+  /// measures the same channel the demodulator sees). Each transmission's
+  /// power is evaluated against the radio's current band — set_band()
+  /// recomputes the tracked entries on retune.
   [[nodiscard]] double energy_dbm() const;
 
   /// True if a frame this radio could decode is currently on the air and
@@ -130,10 +130,14 @@ class Radio final : public MediumListener {
   /// One foreign transmission currently on the air, with its received power
   /// pre-converted to linear units at insertion (on_tx_start): the SINR
   /// update runs on every medium edge and must not pay a pow() per entry.
-  /// `sinr_mw` already includes the narrowband discount, evaluated against
-  /// the radio's band at the moment the transmission appeared.
+  /// `sinr_mw` already includes the narrowband discount. Both powers are
+  /// evaluated against the radio's current band; set_band() recomputes every
+  /// entry so a retune mid-air never mixes old-band signal powers with the
+  /// new band's noise floor. `fading_db` keeps the per-transmission fading
+  /// draw so that recomputation preserves it.
   struct Ongoing {
     TxId id;
+    double fading_db;    ///< this radio's fast-fading draw for the tx
     double rx_power_dbm;
     double rx_power_mw;  ///< dbm_to_mw(rx_power_dbm), cached
     double sinr_mw;      ///< dbm_to_mw(rx_power_dbm - narrowband discount)
@@ -147,6 +151,11 @@ class Radio final : public MediumListener {
   };
 
   void enter(RadioState next);
+  /// Builds the tracked-power entry for `tx` against the radio's current
+  /// band, applying `fading_db` and the narrowband discount. Shared by
+  /// on_tx_start and the set_band recompute.
+  [[nodiscard]] Ongoing make_ongoing(const ActiveTransmission& tx,
+                                     double fading_db) const;
   /// True when this radio's PHY can demodulate `tx` (same technology and
   /// sufficient band alignment).
   [[nodiscard]] bool decodable(const ActiveTransmission& tx) const;

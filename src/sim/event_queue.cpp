@@ -67,8 +67,10 @@ bool EventQueue::cancel(EventId id) {
     case SlotState::Executing:
       // Periodic event cancelling itself from inside its own tick: the
       // callback is running right now, so destruction is deferred to the
-      // trampoline (run_periodic) once the tick returns.
+      // trampoline (run_periodic) once the tick returns. It stops being
+      // live now — it will never fire again.
       s.state = SlotState::ExecCancelled;
+      --live_;
       return true;
     default:
       return false;
@@ -188,12 +190,14 @@ EventQueue::Fired EventQueue::pop() {
   heap_pop_root();
   Slot& s = slots_[idx];
   fired.id = encode(idx, s.generation);
-  --live_;
   if (s.period > Duration::zero()) {
-    // Keep the slot: the trampoline runs the stored tick and re-arms.
+    // Keep the slot: the trampoline runs the stored tick and re-arms. The
+    // Executing slot still counts as live — empty()/size() include the
+    // currently-dispatching periodic event until it is cancelled.
     s.state = SlotState::Executing;
     fired.callback = EventCallback([this, idx] { run_periodic(idx); });
   } else {
+    --live_;
     fired.callback = std::move(s.callback);
     release_slot(idx);
   }
@@ -202,24 +206,43 @@ EventQueue::Fired EventQueue::pop() {
 
 void EventQueue::run_periodic(std::uint32_t idx) {
   // The slot cannot be freed or reused while Executing (cancel defers to us),
-  // so `idx` stays valid even if the tick schedules and grows the slab.
-  slots_[idx].callback();
-  Slot& s = slots_[idx];  // re-fetch: the tick may have reallocated slots_
-  if (s.state == SlotState::Executing) {
+  // so `idx` stays valid — but the Slot *object* does not: if the tick
+  // schedules events and grows the slab, every Slot is move-relocated and the
+  // old storage freed. The tick therefore runs from a local, never in place.
+  EventCallback cb = std::move(slots_[idx].callback);
+  // If the tick throws, drop the event instead of wedging the slot in
+  // Executing forever: release it and, unless the tick already cancelled
+  // itself (which decremented live_), fix the live count.
+  struct UnwindGuard {
+    EventQueue* q;
+    std::uint32_t idx;
+    ~UnwindGuard() {
+      if (q == nullptr) return;
+      if (q->slots_[idx].state == SlotState::Executing) --q->live_;
+      q->release_slot(idx);
+    }
+  } guard{this, idx};
+  cb();
+  Slot* s = &slots_[idx];  // re-fetch: the tick may have reallocated slots_
+  if (s->state == SlotState::Executing) {
     // Re-arm after the tick, with a fresh seq: events the tick scheduled at
     // the next firing instant stay ahead of it, matching the ordering of a
-    // callback that re-schedules itself.
+    // callback that re-schedules itself. heap_push goes first — it can throw
+    // and must do so while the guard still sees an Executing slot — then the
+    // remaining updates are noexcept.
     if (next_seq_ >= kMaxSeq) {
       throw std::length_error("EventQueue: sequence number space exhausted");
     }
-    s.time = s.time + s.period;
-    s.seq = next_seq_++;
-    s.state = SlotState::Queued;
-    ++live_;
-    heap_push(make_entry(s.time, s.seq, idx));
+    const TimePoint next = s->time + s->period;
+    heap_push(make_entry(next, next_seq_, idx));
+    s->time = next;
+    s->seq = next_seq_++;
+    s->state = SlotState::Queued;
+    s->callback = std::move(cb);
   } else {  // ExecCancelled: cancelled from inside its own tick
     release_slot(idx);
   }
+  guard.q = nullptr;
 }
 
 }  // namespace bicord::sim

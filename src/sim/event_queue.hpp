@@ -59,6 +59,10 @@ class EventQueue {
   /// was already cancelled, or the id is invalid.
   bool cancel(EventId id);
 
+  /// empty()/size() count every event that can still fire, including a
+  /// periodic event whose tick is currently executing (it re-arms when the
+  /// tick returns, unless the tick cancels it). Code running inside a
+  /// callback therefore sees a consistent count.
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
@@ -90,7 +94,8 @@ class EventQueue {
     Free,        ///< on the free list
     Queued,      ///< live, in the heap
     Dead,        ///< cancelled, still in the heap awaiting pop/compaction
-    Executing,   ///< periodic, callback currently running (not in the heap)
+    Executing,   ///< periodic, callback currently running (not in the heap,
+                 ///< but still counted live: it re-arms unless cancelled)
     ExecCancelled,  ///< periodic, cancelled from inside its own callback
   };
 

@@ -109,6 +109,28 @@ TEST_F(SamplerFixture, BatchedCaptureMatchesPerInstantReference) {
   }
 }
 
+TEST_F(SamplerFixture, TxEndingExactlyOnFinalSampleReadsPostEdgeLevel) {
+  // Regression: the finish event used to be scheduled at capture start, so a
+  // transmission that began mid-capture and ended exactly at the final sample
+  // instant (t = 4975 us) had a later tie-break seq — its end edge fired
+  // after finish() and the last sample read the pre-edge (busy) level.
+  RssiSampler sampler(medium, node, phy::zigbee_channel(24));
+  RssiSegment got;
+  sampler.capture([&](RssiSegment s) { got = std::move(s); });
+  sim.after(1_ms, [&] {
+    phy::Frame f;
+    f.tech = phy::Technology::ZigBee;
+    f.src = source;
+    medium.begin_tx(f, phy::zigbee_channel(24), 0.0, Duration::from_us(3975));
+  });
+  sim.run_all();
+  ASSERT_EQ(got.dbm.size(), 200u);
+  EXPECT_GT(got.dbm[198], -60.0);  // t = 4950 us: still mid-transmission
+  // t = 4975 us: the tx ends exactly here; the tie reads the post-edge level.
+  EXPECT_NEAR(got.dbm[199], phy::Medium::noise_floor_dbm(phy::zigbee_channel(24)),
+              0.01);
+}
+
 TEST_F(SamplerFixture, CustomCadence) {
   RssiSampler sampler(medium, node, phy::zigbee_channel(24));
   RssiSegment got;

@@ -208,6 +208,31 @@ TEST_F(RadioFixture, NarrowbandDiscountProtectsWideReceiver) {
   EXPECT_TRUE(got->zigbee_overlap);
 }
 
+TEST_F(RadioFixture, RetuneRecomputesOngoingForeignPowers) {
+  // An idle radio may retune while foreign transmissions are on the air; the
+  // tracked powers must follow the new band (the old code froze them at the
+  // band active when each transmission appeared), and the per-transmission
+  // fading draw must survive the recompute.
+  Radio::Config cfg = zb_config();
+  cfg.fading_sigma_db = 3.0;  // nonzero so a lost draw would show up
+  Radio rx(medium, rx_node, cfg);
+
+  Frame f;
+  f.tech = Technology::WiFi;  // not lockable by a ZigBee radio: rx stays Idle
+  f.kind = FrameKind::Data;
+  f.src = tx_node;
+  medium.begin_tx(f, wifi_channel(11), 15.0, 2_ms);  // covers ZigBee ch 24
+
+  const double on_band = rx.energy_dbm();
+  EXPECT_GT(on_band, -60.0);
+  // Retune to a channel outside the transmission's band: only noise remains.
+  rx.set_band(zigbee_channel(11));
+  EXPECT_NEAR(rx.energy_dbm(), Medium::noise_floor_dbm(zigbee_channel(11)), 0.5);
+  // Retune back: the original reading returns exactly (same fading draw).
+  rx.set_band(zigbee_channel(24));
+  EXPECT_DOUBLE_EQ(rx.energy_dbm(), on_band);
+}
+
 TEST_F(RadioFixture, NoiseFramesAreNeverDecodable) {
   Radio rx(medium, rx_node, zb_config());
   bool any = false;

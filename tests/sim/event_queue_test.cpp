@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -194,6 +195,80 @@ TEST(EventQueueTest, RandomizedTraceMatchesReferenceModel) {
     }
     EXPECT_TRUE(q.empty());
   }
+}
+
+TEST(EventQueueTest, PeriodicTickSurvivesSlabGrowthFromItsOwnSchedules) {
+  // Regression: the periodic trampoline used to invoke the tick in place in
+  // the slot slab; a tick that schedules enough events to grow the slab left
+  // its own closure's captures in freed storage (use-after-free, caught by
+  // ASan). The tick must touch its captures after forcing the growth.
+  EventQueue q;
+  int ticks = 0;
+  std::vector<EventId> spawned;
+  const EventId id = q.schedule_periodic(at_us(10), Duration::from_us(10), [&] {
+    ++ticks;
+    for (int i = 0; i < 4096; ++i) {
+      spawned.push_back(q.schedule(at_us(1000000 + i), [] {}));
+    }
+    ++ticks;  // reads the capture frame again after the slab reallocated
+  });
+  for (int i = 0; i < 2; ++i) {
+    auto fired = q.pop();
+    ASSERT_EQ(fired.time, at_us(10 * (i + 1)));
+    fired.callback();
+  }
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(q.size(), spawned.size() + 1);
+  EXPECT_TRUE(q.cancel(id));
+  for (const EventId e : spawned) EXPECT_TRUE(q.cancel(e));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ExecutingPeriodicTickCountsAsLive) {
+  // empty()/size() must include the periodic event whose tick is currently
+  // running: it will fire again unless cancelled, so code inspecting the
+  // queue from inside a callback sees a consistent count.
+  EventQueue q;
+  std::size_t size_inside = 999;
+  bool empty_inside = true;
+  const EventId id = q.schedule_periodic(at_us(5), Duration::from_us(5), [&] {
+    size_inside = q.size();
+    empty_inside = q.empty();
+  });
+  q.pop().callback();
+  EXPECT_EQ(size_inside, 1u);
+  EXPECT_FALSE(empty_inside);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PeriodicCancelledInsideOwnTickStopsCounting) {
+  EventQueue q;
+  EventId id = kInvalidEventId;
+  std::size_t size_after_cancel = 999;
+  id = q.schedule_periodic(at_us(1), Duration::from_us(1), [&] {
+    EXPECT_TRUE(q.cancel(id));
+    size_after_cancel = q.size();
+  });
+  q.pop().callback();
+  EXPECT_EQ(size_after_cancel, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ThrowingPeriodicTickReleasesItsSlot) {
+  EventQueue q;
+  q.schedule_periodic(at_us(1), Duration::from_us(1),
+                      [] { throw std::runtime_error("tick failed"); });
+  auto fired = q.pop();
+  EXPECT_THROW(fired.callback(), std::runtime_error);
+  // The event is dropped, not wedged in a half-executed state: the queue
+  // drains and the slot is recycled for new work.
+  EXPECT_TRUE(q.empty());
+  bool ran = false;
+  q.schedule(at_us(2), [&] { ran = true; });
+  q.pop().callback();
+  EXPECT_TRUE(ran);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {
