@@ -4,9 +4,13 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|chaos|bench]
-#   default — plain + TSAN + ASan/UBSan
+# Usage:  scripts/check.sh [fast|lint|chaos|bench]
+#   default — plain + lint (clang-tidy + bicord_lint) + TSAN + ASan/UBSan,
+#             i.e. warnings -> static gates -> tests -> sanitizers
 #   fast    — plain build + tests only
+#   lint    — static gates only: clang-tidy (skipped with a notice when the
+#             tool is absent) and tools/bicord_lint, both against ratcheted
+#             baselines (see scripts/lint.sh and DESIGN.md Sec. 10)
 #   chaos   — chaos soak (fixed seed): fault tests under ASan/UBSan and the
 #             parallel soak under TSAN, plus a mixed-plan bicordsim run whose
 #             invariant checker gates the exit code
@@ -23,6 +27,11 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [ "$MODE" = "bench" ]; then
   echo "== perf smoke: bench_micro allocation invariants =="
   exec scripts/bench.sh smoke
+fi
+
+if [ "$MODE" = "lint" ]; then
+  echo "== static gates: clang-tidy + bicord_lint =="
+  exec scripts/lint.sh all
 fi
 
 if [ "$MODE" = "chaos" ]; then
@@ -58,6 +67,10 @@ if [ "$MODE" = "fast" ]; then
 fi
 
 echo
+echo "== static gates: clang-tidy + bicord_lint =="
+scripts/lint.sh all
+
+echo
 echo "== ThreadSanitizer: runner tests =="
 cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" --target runner_tests
@@ -70,4 +83,4 @@ cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "OK: plain, TSAN (runner), ASan/UBSan all green"
+echo "OK: plain, lint, TSAN (runner), ASan/UBSan all green"

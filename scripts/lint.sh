@@ -1,0 +1,204 @@
+#!/usr/bin/env bash
+# Static-correctness gate, two layers (DESIGN.md Sec. 10):
+#
+#   layer 1 — clang-tidy over the CMake compilation database, curated check
+#             set in .clang-tidy. Findings are fingerprinted (path|check|
+#             source-line text, line-number free) and compared against the
+#             committed baseline scripts/clang_tidy_baseline.txt. Any NEW
+#             finding fails; the baseline may only shrink (ratchet).
+#   layer 2 — tools/bicord_lint.cpp, the project-rule linter (determinism,
+#             callback lifetime, hygiene) with its own ratcheted baseline
+#             scripts/bicord_lint_baseline.txt.
+#
+# clang-tidy/clang-format version floor: 14 (LLVM 14 is the oldest toolchain
+# the curated check set was validated against). When the tools are absent the
+# corresponding layer is SKIPPED with a notice — bicord_lint always runs, so
+# the determinism/lifetime rules gate every environment. Set
+# BICORD_REQUIRE_CLANG_TIDY=1 (CI) to turn a missing clang-tidy into an error.
+#
+# Usage: scripts/lint.sh [all|tidy|bicord|format-check|refresh-baseline]
+#   all              (default) tidy + bicord
+#   tidy             clang-tidy layer only
+#   bicord           bicord_lint layer only
+#   format-check     clang-format --dry-run on CHANGED files only (vs HEAD,
+#                    plus staged + untracked; never a mass reformat)
+#   refresh-baseline rewrite both baselines from current findings; refuses
+#                    to grow either one (the ratchet only goes down)
+#
+# Exit codes: 0 clean/skipped, 1 environment or usage error, 2 new findings,
+#             3 ratchet violation.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TIDY_BASELINE=scripts/clang_tidy_baseline.txt
+BICORD_BASELINE=scripts/bicord_lint_baseline.txt
+MIN_LLVM_MAJOR=14
+# Directories scanned by both layers. bicord_lint scopes its determinism and
+# lifetime rules to src/ internally; hygiene rules apply everywhere.
+LINT_PATHS=(src tools bench tests)
+
+find_tool() {  # find_tool <base-name> -> echoes the newest acceptable binary
+  local base="$1" cand ver major
+  for cand in "$base" "$base"-20 "$base"-19 "$base"-18 "$base"-17 "$base"-16 \
+              "$base"-15 "$base"-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      ver="$("$cand" --version 2>/dev/null | grep -oE '[0-9]+\.[0-9]+(\.[0-9]+)?' | head -1)"
+      major="${ver%%.*}"
+      if [ -n "$major" ] && [ "$major" -ge "$MIN_LLVM_MAJOR" ]; then
+        echo "$cand"
+        return 0
+      fi
+    fi
+  done
+  return 1
+}
+
+ensure_compile_db() {
+  if [ ! -f build/compile_commands.json ]; then
+    echo "-- configuring build/ for compile_commands.json"
+    cmake -B build -S . > /dev/null
+  fi
+  # Mirror to the repo root so clang-tidy -p . and editors both work.
+  if [ ! -e compile_commands.json ]; then
+    ln -sf build/compile_commands.json compile_commands.json
+  fi
+}
+
+# Normalizes clang-tidy output lines "path:line:col: warning: msg [check]"
+# into line-number-free fingerprints "relpath|check|trimmed source text".
+tidy_fingerprints() {  # stdin: raw clang-tidy output; stdout: sorted fingerprints
+  local repo
+  repo="$(pwd)"
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): .* \[[^]]+\]$' \
+    | while IFS= read -r finding; do
+        local file line check text
+        file="${finding%%:*}"
+        line="$(echo "$finding" | cut -d: -f2)"
+        check="$(echo "$finding" | sed -E 's/.*\[([^]]+)\]$/\1/')"
+        file="${file#"$repo"/}"
+        text="$(sed -n "${line}p" "$file" 2>/dev/null \
+                  | sed 's/^[[:space:]]*//;s/[[:space:]]*$//')"
+        echo "${file}|${check}|${text}"
+      done | sort -u
+}
+
+read_baseline() {  # read_baseline <file> -> sorted non-comment lines
+  [ -f "$1" ] && grep -vE '^\s*(#|$)' "$1" | sort -u || true
+}
+
+run_tidy() {  # run_tidy [refresh]
+  # Export + mirror the compilation database even when clang-tidy is absent:
+  # editors/clangd consume the root-level compile_commands.json too.
+  ensure_compile_db
+  local tidy
+  if ! tidy="$(find_tool clang-tidy)"; then
+    echo "-- clang-tidy >= ${MIN_LLVM_MAJOR} not found: SKIPPING layer 1" \
+         "(bicord_lint still gates; set BICORD_REQUIRE_CLANG_TIDY=1 to fail here)"
+    if [ "${BICORD_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+      return 1
+    fi
+    return 0
+  fi
+  echo "== layer 1: ${tidy} (curated checks, ratcheted baseline) =="
+  local raw=/tmp/bicord_tidy_raw.$$ cur=/tmp/bicord_tidy_cur.$$
+  git ls-files 'src/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp' \
+    | xargs -P "$JOBS" -n 4 "$tidy" -p build --quiet 2>/dev/null > "$raw" || true
+  tidy_fingerprints < "$raw" > "$cur"
+  local base_tmp=/tmp/bicord_tidy_base.$$
+  read_baseline "$TIDY_BASELINE" > "$base_tmp"
+  local fresh stale
+  fresh="$(comm -23 "$cur" "$base_tmp")"
+  stale="$(comm -13 "$cur" "$base_tmp")"
+  if [ "${1:-}" = "refresh" ]; then
+    if [ -n "$fresh" ]; then
+      echo "ratchet: refusing to grow $TIDY_BASELINE — fix these instead:"
+      echo "$fresh" | sed 's/^/  /'
+      rm -f "$raw" "$cur" "$base_tmp"
+      return 3
+    fi
+    {
+      echo "# clang-tidy suppression baseline — may only shrink (ratchet)."
+      echo "# Fingerprints: relpath|check|trimmed source line."
+      cat "$cur"
+    } > "$TIDY_BASELINE"
+    echo "baseline refreshed: $(wc -l < "$cur") entr(y/ies)"
+  else
+    if [ -n "$stale" ]; then
+      echo "note: $(echo "$stale" | wc -l) baseline entries no longer fire —" \
+           "run scripts/lint.sh refresh-baseline to ratchet down"
+    fi
+    if [ -n "$fresh" ]; then
+      echo "NEW clang-tidy findings (not in $TIDY_BASELINE):"
+      grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): ' "$raw" | sed 's/^/  /'
+      rm -f "$raw" "$cur" "$base_tmp"
+      return 2
+    fi
+    echo "clang-tidy clean ($(wc -l < "$cur") baselined)"
+  fi
+  rm -f "$raw" "$cur" "$base_tmp"
+}
+
+build_bicord_lint() {
+  if [ ! -x build/tools/bicord_lint ] \
+     || [ tools/bicord_lint.cpp -nt build/tools/bicord_lint ]; then
+    cmake -B build -S . > /dev/null
+    cmake --build build -j "$JOBS" --target bicord_lint > /dev/null
+  fi
+}
+
+run_bicord() {  # run_bicord [refresh]
+  build_bicord_lint
+  echo "== layer 2: bicord_lint (determinism / lifetime / hygiene) =="
+  if [ "${1:-}" = "refresh" ]; then
+    ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" --write-baseline \
+      "${LINT_PATHS[@]}"
+  else
+    ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" "${LINT_PATHS[@]}"
+  fi
+}
+
+run_format_check() {
+  local fmt
+  if ! fmt="$(find_tool clang-format)"; then
+    echo "-- clang-format >= ${MIN_LLVM_MAJOR} not found: SKIPPING format-check"
+    return 0
+  fi
+  # Changed files only: working tree + index vs HEAD, plus untracked. An
+  # explicit base (e.g. BICORD_FORMAT_BASE=origin/main) widens the range for CI.
+  local files
+  files="$( (git diff --name-only HEAD --
+             git diff --name-only --cached
+             git ls-files --others --exclude-standard
+             if [ -n "${BICORD_FORMAT_BASE:-}" ]; then
+               git diff --name-only "${BICORD_FORMAT_BASE}...HEAD"
+             fi) \
+            | sort -u | grep -E '\.(cpp|hpp|h)$' || true)"
+  if [ -z "$files" ]; then
+    echo "format-check: no changed C++ files"
+    return 0
+  fi
+  echo "== format-check (${fmt}, changed files only) =="
+  echo "$files" | xargs "$fmt" --dry-run -Werror
+  echo "format-check: clean"
+}
+
+case "$MODE" in
+  all)
+    run_tidy
+    run_bicord
+    ;;
+  tidy) run_tidy ;;
+  bicord) run_bicord ;;
+  format-check) run_format_check ;;
+  refresh-baseline)
+    run_tidy refresh
+    run_bicord refresh
+    ;;
+  *)
+    echo "usage: scripts/lint.sh [all|tidy|bicord|format-check|refresh-baseline]" >&2
+    exit 1
+    ;;
+esac

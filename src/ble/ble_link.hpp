@@ -10,7 +10,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 
 #include "phy/medium.hpp"
 #include "phy/radio.hpp"

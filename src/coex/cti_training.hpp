@@ -9,7 +9,6 @@
 // and the k-means fingerprint clusters; the other half measure accuracy.
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "detect/classifier.hpp"

@@ -102,8 +102,10 @@ SignalingResult run_signaling_experiment(const SignalingExperimentConfig& config
       --trials_left;
       packets_left = config.control_packets;
       trial_start = world.sim.now() + config.trial_gap;
-      world.sim.after(config.trial_gap, [&] {
-        windows.push_back(TrialWindow{world.sim.now(), world.sim.now()});
+      // Explicit captures (not [&]): everything named here outlives the
+      // enclosing run_for() that drains these events.
+      world.sim.after(config.trial_gap, [&windows, &world, &next_step] {
+        windows.emplace_back(world.sim.now(), world.sim.now());
         next_step();
       });
       return;
@@ -114,8 +116,8 @@ SignalingResult run_signaling_experiment(const SignalingExperimentConfig& config
     control.payload_bytes = config.control_payload_bytes;
     control.kind = phy::FrameKind::Control;
     control.power_dbm_override = config.power_dbm;
-    world.zigbee->send_raw(control, [&] {
-      world.sim.after(config.control_gap, [&] { next_step(); });
+    world.zigbee->send_raw(control, [&world, &config, &next_step] {
+      world.sim.after(config.control_gap, [&next_step] { next_step(); });
     });
   };
 

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "util/stats.hpp"
 #include "util/time.hpp"

@@ -1,6 +1,5 @@
 #include "ctc/packet_level.hpp"
 
-#include <algorithm>
 #include <memory>
 
 namespace bicord::ctc {

@@ -52,7 +52,7 @@ std::int32_t DecisionTree::build(const std::vector<std::vector<double>>& x,
                                  const std::vector<int>& y,
                                  std::vector<std::size_t>& idx, int depth) {
   const auto node_id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
+  nodes_.emplace_back();
   nodes_[static_cast<std::size_t>(node_id)].label = majority_label(y, idx);
 
   // Stop if pure, too deep, or too small.

@@ -11,9 +11,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/frame.hpp"

@@ -6,7 +6,6 @@
 // `parse()` validates everything and produces a formatted usage text.
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>

@@ -9,7 +9,6 @@
 // standard-library implementations.
 
 #include <cstdint>
-#include <cmath>
 #include <limits>
 
 #include "util/time.hpp"

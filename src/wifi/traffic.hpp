@@ -10,7 +10,6 @@
 //    low-priority (file) periods for the Fig. 13 prioritization experiment.
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"

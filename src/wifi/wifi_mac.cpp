@@ -41,7 +41,7 @@ WifiMac::WifiMac(phy::Medium& medium, phy::NodeId node, Config config)
 }
 
 void WifiMac::enqueue(const SendRequest& req) {
-  queue_.push_back(Attempt{req, sim_.now(), next_seq_++, 0, config_.timings.cw_min, 0, false});
+  queue_.emplace_back(req, sim_.now(), next_seq_++, 0, config_.timings.cw_min, 0, false);
   maybe_start_attempt();
 }
 

@@ -44,7 +44,7 @@ bool ZigbeeMac::channel_busy() const {
 }
 
 void ZigbeeMac::enqueue(const SendRequest& req) {
-  queue_.push_back(Attempt{req, sim_.now(), next_seq_++, 0, 0, config_.timings.mac_min_be});
+  queue_.emplace_back(req, sim_.now(), next_seq_++, 0, 0, config_.timings.mac_min_be);
   maybe_start_attempt();
 }
 

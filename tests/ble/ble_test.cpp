@@ -18,8 +18,8 @@ TEST(BleChannelsTest, DataChannelBandsSkipAdvertising) {
   EXPECT_DOUBLE_EQ(data_channel_band(10).center_mhz, 2424.0);
   EXPECT_DOUBLE_EQ(data_channel_band(11).center_mhz, 2428.0);
   EXPECT_DOUBLE_EQ(data_channel_band(36).center_mhz, 2478.0);
-  EXPECT_THROW(data_channel_band(-1), std::invalid_argument);
-  EXPECT_THROW(data_channel_band(37), std::invalid_argument);
+  EXPECT_THROW((void)data_channel_band(-1), std::invalid_argument);
+  EXPECT_THROW((void)data_channel_band(37), std::invalid_argument);
 }
 
 TEST(BleChannelsTest, OverlapWithZigbeeChannel24) {

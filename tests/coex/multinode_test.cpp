@@ -94,8 +94,8 @@ TEST(MultiNodeTest, UtilizationStaysHealthy) {
 
 TEST(MultiNodeTest, OutOfRangeIndexThrows) {
   Scenario sc(two_link_config(Coordination::BiCord));
-  EXPECT_THROW(sc.zigbee_stats_at(2), std::out_of_range);
-  EXPECT_THROW(sc.zigbee_agent_at(5), std::out_of_range);
+  EXPECT_THROW((void)sc.zigbee_stats_at(2), std::out_of_range);
+  EXPECT_THROW((void)sc.zigbee_agent_at(5), std::out_of_range);
 }
 
 }  // namespace

@@ -108,10 +108,10 @@ TEST(DecisionTreeTest, ValidatesInput) {
   EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
   EXPECT_THROW(tree.fit({{1.0}}, {0, 1}), std::invalid_argument);
   EXPECT_THROW(tree.fit({{1.0}, {1.0, 2.0}}, {0, 1}), std::invalid_argument);
-  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  EXPECT_THROW((void)tree.predict({1.0}), std::logic_error);
   tree.fit({{1.0, 2.0}, {3.0, 4.0}, {1.0, 2.0}, {3.0, 4.0}, {1.0, 2.0}, {3.0, 4.0}},
            {0, 1, 0, 1, 0, 1});
-  EXPECT_THROW(tree.predict({}), std::invalid_argument);
+  EXPECT_THROW((void)tree.predict({}), std::invalid_argument);
 }
 
 class NoiseSweep : public ::testing::TestWithParam<double> {};

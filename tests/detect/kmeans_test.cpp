@@ -9,7 +9,7 @@ TEST(ManhattanTest, DistanceArithmetic) {
   EXPECT_DOUBLE_EQ(manhattan({0.0, 0.0}, {3.0, 4.0}), 7.0);
   EXPECT_DOUBLE_EQ(manhattan({1.0}, {1.0}), 0.0);
   EXPECT_DOUBLE_EQ(manhattan({-1.0, 2.0}, {1.0, -2.0}), 6.0);
-  EXPECT_THROW(manhattan({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)manhattan({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
 TEST(ZscoreTest, NormalizesToZeroMeanUnitSd) {
@@ -91,8 +91,8 @@ TEST(ClusterPurityTest, PerfectAndWorstCase) {
   EXPECT_DOUBLE_EQ(cluster_purity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
   // Every cluster is a 50/50 mix: purity 0.5.
   EXPECT_DOUBLE_EQ(cluster_purity({0, 0, 1, 1}, {5, 7, 5, 7}), 0.5);
-  EXPECT_THROW(cluster_purity({}, {}), std::invalid_argument);
-  EXPECT_THROW(cluster_purity({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)cluster_purity({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)cluster_purity({0}, {0, 1}), std::invalid_argument);
 }
 
 class KSweep : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,357 @@
+// Fixture-driven tests for tools/bicord_lint.cpp: every rule must fire on a
+// minimal snippet, the allow-annotation must waive it, and the baseline
+// ratchet must reject growth. The PR-3 periodic-callback capture pattern —
+// the bug that motivated the lifetime rules — is reproduced verbatim as a
+// fixture so the linter provably catches the real thing.
+//
+// The linter binary path is injected by CMake via BICORD_LINT_BIN.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class BicordLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("bicord_lint_") + info->name());
+    fs::remove_all(root_);
+    // Rules scope by path segment: determinism/lifetime fire under src/ only,
+    // float-equality under src/detect/ and src/csi/.
+    fs::create_directories(root_ / "src" / "detect");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+    return p;
+  }
+
+  struct Result {
+    int exit_code = -1;
+    std::string output;
+  };
+
+  /// Runs the linter over `args` (paths/flags), capturing stdout+stderr.
+  Result run(const std::string& args) {
+    const fs::path out_file = root_ / "lint_out.txt";
+    const std::string cmd = std::string(BICORD_LINT_BIN) + " " + args + " > " +
+                            out_file.string() + " 2>&1";
+    const int raw = std::system(cmd.c_str());
+    Result r;
+    r.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+    std::ifstream in(out_file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    r.output = ss.str();
+    return r;
+  }
+
+  Result run_on(const fs::path& target, const std::string& extra = "") {
+    return run(extra.empty() ? target.string() : extra + " " + target.string());
+  }
+
+  fs::path root_;
+};
+
+TEST_F(BicordLintTest, CleanFilePasses) {
+  const auto p = write("src/clean.cpp",
+                       "#include \"util/rng.hpp\"\n"
+                       "int draw(bicord::Rng& rng) { return 4; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, BannedRandFires) {
+  const auto p = write("src/a.cpp",
+                       "#include <cstdlib>\n"
+                       "int roll() { return std::rand() % 6; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RandomDeviceFires) {
+  const auto p = write("src/b.cpp",
+                       "#include <random>\n"
+                       "unsigned seed() { return std::random_device{}(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, WallClockFires) {
+  const auto p = write("src/c.cpp",
+                       "#include <chrono>\n"
+                       "auto t() { return std::chrono::steady_clock::now(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, CTimeFires) {
+  const auto p = write("src/d.cpp",
+                       "#include <ctime>\n"
+                       "long now() { return time(nullptr); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, AirtimeDoesNotTripWallClock) {
+  // `airtime(...)`, `next_time()` and friends share the `time(` suffix; the
+  // word boundary must keep them clean.
+  const auto p = write("src/e.cpp",
+                       "struct M { double airtime(int t); double next_time(); };\n"
+                       "double f(M& m) { return m.airtime(3) + m.next_time(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, UnorderedIterationFires) {
+  const auto p = write("src/f.cpp",
+                       "#include <unordered_map>\n"
+                       "int sum(const std::unordered_map<int, int>& m) {\n"
+                       "  std::unordered_map<int, int> copy = m;\n"
+                       "  int s = 0;\n"
+                       "  for (const auto& kv : copy) s += kv.second;\n"
+                       "  return s;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iteration]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, DelayedCatchAllCaptureFires) {
+  const auto p = write("src/g.cpp",
+                       "void arm(Sim& sim, int& n) {\n"
+                       "  sim.after(Duration::from_ms(5), [&] { ++n; });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[delayed-ref-capture]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, ZeroDelayCatchAllIsAllowed) {
+  // A zero-delay post runs before control returns to the caller's caller;
+  // the capture cannot dangle, so the rule stays quiet.
+  const auto p = write("src/h.cpp",
+                       "void drain(Sim& sim, int& n) {\n"
+                       "  sim.after(Duration::zero(), [&] { ++n; });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, RawThisToDirectQueueScheduleFires) {
+  const auto p = write("src/i.cpp",
+                       "void Foo::arm() {\n"
+                       "  queue_.schedule(when_, [this] { tick(); });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[delayed-ref-capture]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, ThisToSimulatorAfterIsSanctionedIdiom) {
+  // Simulator::after + [this] with cancel-in-destructor discipline is the
+  // codebase-wide idiom; only the direct EventQueue calls flag raw this.
+  const auto p = write("src/j.cpp",
+                       "void Foo::arm() {\n"
+                       "  timer_ = sim_.after(gap_, [this] { tick(); });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, Pr3PeriodicSlabCapturePatternFires) {
+  // The PR-3 use-after-free, reduced: run_periodic() invokes the callback
+  // while it still lives in slab storage; if the tick schedules enough events
+  // to grow `slots_`, the std::vector reallocates and the executing callback's
+  // captures are freed under it. The fixed EventQueue moves the callback to a
+  // local first — this fixture keeps the buggy shape pinned.
+  const auto p = write("src/k.cpp",
+                       "void EventQueue::run_periodic(std::uint32_t idx) {\n"
+                       "  slots_[idx].callback();  // executes out of the slab\n"
+                       "  rearm(idx);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[slab-callback-invoke]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, MovedToLocalSlabInvokeIsClean) {
+  const auto p = write("src/l.cpp",
+                       "void EventQueue::run_periodic(std::uint32_t idx) {\n"
+                       "  EventCallback cb = std::move(slots_[idx].callback);\n"
+                       "  cb();\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, MissingPragmaOnceFires) {
+  const auto p = write("src/m.hpp", "struct M { int x = 0; };\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[pragma-once]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, UsingNamespaceInHeaderFires) {
+  const auto p = write("src/n.hpp",
+                       "#pragma once\n"
+                       "using namespace std;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[using-namespace-header]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, FloatEqualityInDetectorFires) {
+  const auto p = write("src/detect/o.cpp",
+                       "bool match(double score) { return score == 0.5; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[float-equality]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, FloatEqualityOutsideDetectorScopeIsQuiet) {
+  const auto p = write("src/p.cpp",
+                       "bool match(double score) { return score == 0.5; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, AllowAnnotationSameLineHonored) {
+  const auto p = write(
+      "src/q.cpp",
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }  "
+      "// bicord-lint: allow(wall-clock)\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, AllowAnnotationPrecedingLineHonored) {
+  const auto p = write("src/r.cpp",
+                       "#include <chrono>\n"
+                       "// bicord-lint: allow(wall-clock)\n"
+                       "auto t() { return std::chrono::steady_clock::now(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, AllowAnnotationForOtherRuleDoesNotWaive) {
+  const auto p = write(
+      "src/s.cpp",
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }  "
+      "// bicord-lint: allow(banned-rand)\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST_F(BicordLintTest, CommentedBannedCallIsIgnored) {
+  const auto p = write("src/t.cpp",
+                       "// std::rand() must never appear in live code\n"
+                       "/* neither may time(nullptr) */\n"
+                       "const char* doc = \"std::rand()\";\n"
+                       "int live = 1;\n");
+  // String literals are blanked too, so the quoted std::rand() stays quiet.
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, BaselineSuppressesKnownFindingOnly) {
+  const auto p = write("src/u.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  // Baseline the rand finding...
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // ...then a NEW finding in another file must still fail.
+  const auto p2 =
+      write("src/v.cpp", "long now() { return time(nullptr); }\n");
+  r = run("--baseline " + baseline.string() + " " + p.string() + " " +
+          p2.string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, BaselineRatchetRejectsGrowth) {
+  const auto p = write("src/w.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Introduce a second violation and try to re-baseline: the ratchet must
+  // refuse (exit 3) and leave the committed baseline untouched.
+  write("src/w.cpp",
+        "int roll() { return std::rand() % 6; }\n"
+        "long now() { return time(nullptr); }\n");
+  r = run("--baseline " + baseline.string() + " --write-baseline " + p.string());
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("ratchet"), std::string::npos) << r.output;
+  // Check mode still reports exactly the new finding.
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, BaselineShrinkIsReportedAndRewritable) {
+  const auto p = write("src/x.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Fix the violation: check mode passes and nudges toward the ratchet.
+  write("src/x.cpp", "int roll() { return 4; }\n");
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ratchet down"), std::string::npos) << r.output;
+  // Shrinking rewrite is allowed.
+  r = run("--baseline " + baseline.string() + " --write-baseline " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("ratchet down"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, DirectoryScanFindsNestedViolations) {
+  write("src/deep/nested/y.cpp", "unsigned s() { return std::random_device{}(); }\n");
+  write("src/deep/z.hpp", "#pragma once\nstruct Z {};\n");
+  const Result r = run((root_ / "src").string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RulesDoNotApplyOutsideSrc) {
+  // Determinism rules scope to src/: tools/ and tests/ may read wall clocks.
+  write("tools/cli.cpp",
+        "#include <chrono>\n"
+        "auto t() { return std::chrono::steady_clock::now(); }\n");
+  const Result r = run((root_ / "tools").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,598 @@
+// bicord-lint: the project-rule linter clang-tidy cannot replace.
+//
+// Encodes BiCord-specific static rules — the determinism contract
+// (DESIGN.md Sec. 7) and the callback-lifetime lessons of the PR-3
+// EventQueue use-after-free — as token/regex checks over the source tree.
+// It is deliberately not a real C++ parser: every rule is chosen so that a
+// comment/string-stripped line scan decides it with near-zero false
+// positives on this codebase, and every rule can be waived per line with
+//
+//     // bicord-lint: allow(<rule>)
+//
+// on the offending line or the line directly above it.
+//
+// Rules (see DESIGN.md Sec. 10 for the rationale table):
+//   determinism (src/ only)
+//     banned-rand          std::rand / srand / random_device
+//     wall-clock           system_clock / steady_clock / high_resolution_clock,
+//                          time(), clock(), gettimeofday, localtime, ...
+//     unordered-iteration  range-for over an unordered container (iteration
+//                          order is implementation-defined => replay-hostile)
+//   lifetime (src/ only)
+//     delayed-ref-capture  [&] catch-all (any scheduling call) or raw `this`
+//                          (direct EventQueue::schedule/schedule_periodic)
+//                          in a callback armed with a nonzero delay
+//     slab-callback-invoke invoking a callable that still lives inside
+//                          indexed container storage (slots_[i].callback(...))
+//                          — the exact PR-3 bug shape; move it to a local first
+//   hygiene (everywhere scanned)
+//     pragma-once            every header starts with #pragma once
+//     using-namespace-header no `using namespace` at header scope
+//     float-equality         (src/detect/, src/csi/ only) == / != on
+//                            floating-point values in detector/estimator math
+//
+// Baseline ratchet: --baseline FILE suppresses the findings fingerprinted in
+// FILE; anything new fails (exit 2). --write-baseline refuses to grow the
+// committed set (exit 3), so the baseline can only shrink over time.
+//
+// Exit codes: 0 clean (or all findings baselined), 1 usage/IO error,
+//             2 new findings, 3 baseline ratchet violation.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string path;   // normalized, as given on the command line
+  std::size_t line;   // 1-based
+  std::string rule;
+  std::string message;
+  std::string fingerprint;  // path|rule|trimmed-line-text|occurrence
+};
+
+const std::vector<std::string> kAllRules = {
+    "banned-rand",        "wall-clock",           "unordered-iteration",
+    "delayed-ref-capture", "slab-callback-invoke", "pragma-once",
+    "using-namespace-header", "float-equality",
+};
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_has_segment(const std::string& path, const std::string& seg) {
+  // True when `seg` (e.g. "src") appears as a whole directory component.
+  const std::string p = "/" + path;
+  return p.find("/" + seg + "/") != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                             path.rfind(".h") == path.size() - 2);
+}
+
+/// One scanned file: raw lines, comment/string-stripped code lines, and the
+/// per-line set of rules waived by `// bicord-lint: allow(...)` annotations.
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;               // literals/comments blanked
+  std::vector<std::set<std::string>> allowed;  // effective allow set per line
+};
+
+void collect_allows(const std::string& comment, std::set<std::string>* out) {
+  static const std::regex re(R"(bicord-lint:\s*allow\(([^)]*)\))");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    std::stringstream ss((*it)[1].str());
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule = trim(rule);
+      if (!rule.empty()) out->insert(rule);
+    }
+  }
+}
+
+FileView load_file(const std::string& path, bool* ok) {
+  FileView v;
+  std::ifstream in(path, std::ios::binary);
+  *ok = static_cast<bool>(in);
+  if (!*ok) return v;
+  std::string line;
+  bool in_block_comment = false;
+  std::vector<std::set<std::string>> line_allows;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string code;
+    std::string comment;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          comment += line[i++];
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        comment.append(line, i + 2, std::string::npos);
+        break;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        if (i < line.size()) {
+          code += quote;
+          ++i;
+        }
+        continue;
+      }
+      code += c;
+      ++i;
+    }
+    v.raw.push_back(line);
+    v.code.push_back(std::move(code));
+    std::set<std::string> allows;
+    collect_allows(comment, &allows);
+    line_allows.push_back(std::move(allows));
+  }
+  // An annotation waives its own line and the one below it, so a comment
+  // line above the offending statement works naturally.
+  v.allowed.resize(v.raw.size());
+  for (std::size_t i = 0; i < line_allows.size(); ++i) {
+    v.allowed[i].insert(line_allows[i].begin(), line_allows[i].end());
+    if (i + 1 < v.allowed.size()) {
+      v.allowed[i + 1].insert(line_allows[i].begin(), line_allows[i].end());
+    }
+  }
+  return v;
+}
+
+class Linter {
+ public:
+  void scan(const std::string& path) {
+    const std::string norm = normalize_path(path);
+    bool ok = false;
+    FileView v = load_file(path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "bicord-lint: cannot read %s\n", path.c_str());
+      io_error_ = true;
+      return;
+    }
+    const bool core = path_has_segment(norm, "src");
+    const bool detector = norm.find("src/detect/") != std::string::npos ||
+                          norm.find("src/csi/") != std::string::npos;
+    if (core) {
+      check_banned_tokens(norm, v);
+      check_unordered_iteration(norm, v);
+      check_delayed_captures(norm, v);
+      check_slab_invoke(norm, v);
+    }
+    if (is_header(norm)) {
+      check_pragma_once(norm, v);
+      check_using_namespace(norm, v);
+    }
+    if (detector) check_float_equality(norm, v);
+  }
+
+  [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
+  [[nodiscard]] bool io_error() const { return io_error_; }
+
+  /// Assigns occurrence-indexed fingerprints (stable across unrelated edits:
+  /// no line numbers, just path|rule|text).
+  void finalize() {
+    std::map<std::string, int> seen;
+    for (auto& f : findings_) {
+      const std::string base = f.path + "|" + f.rule + "|" + trim(f.message);
+      f.fingerprint = base + "|" + std::to_string(seen[base]++);
+    }
+  }
+
+ private:
+  void report(const std::string& path, const FileView& v, std::size_t line_idx,
+              const std::string& rule, const std::string& what) {
+    if (line_idx < v.allowed.size() && v.allowed[line_idx].count(rule)) return;
+    Finding f;
+    f.path = path;
+    f.line = line_idx + 1;
+    f.rule = rule;
+    f.message = what;
+    findings_.push_back(std::move(f));
+  }
+
+  void check_banned_tokens(const std::string& path, const FileView& v) {
+    static const std::regex rand_re(
+        R"(\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|[^:\w]rand\s*\()");
+    static const std::regex clock_re(
+        R"(\b(system_clock|steady_clock|high_resolution_clock)\b|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstrftime\b)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      const std::string& c = v.code[i];
+      if (c.find("#include") != std::string::npos) continue;  // type-only use is fine
+      if (std::regex_search(c, rand_re)) {
+        report(path, v, i, "banned-rand",
+               "nondeterministic RNG source (use util::Rng streams): " + trim(v.raw[i]));
+      }
+      if (std::regex_search(c, clock_re)) {
+        report(path, v, i, "wall-clock",
+               "wall-clock read in simulation code (sim time only): " + trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_unordered_iteration(const std::string& path, const FileView& v) {
+    // Pass 1: names declared with an unordered container type in this file.
+    std::set<std::string> names;
+    static const std::regex decl_tail(R"(([A-Za-z_]\w*)\s*(?:;|=|\{|$))");
+    for (const auto& c : v.code) {
+      if (c.find("unordered_map") == std::string::npos &&
+          c.find("unordered_set") == std::string::npos) {
+        continue;
+      }
+      const auto gt = c.rfind('>');
+      if (gt == std::string::npos) continue;
+      const std::string tail = c.substr(gt + 1);
+      std::smatch m;
+      if (std::regex_search(tail, m, decl_tail)) names.insert(m[1].str());
+    }
+    // Pass 2: range-for whose range expression is such a name (or inlines an
+    // unordered container expression directly).
+    static const std::regex range_for(R"(for\s*\([^;()]*:\s*([^)]+)\))");
+    static const std::regex word_re(R"([A-Za-z_]\w*)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      std::smatch m;
+      const std::string& c = v.code[i];
+      if (!std::regex_search(c, m, range_for)) continue;
+      const std::string range = m[1].str();
+      bool hit = range.find("unordered_") != std::string::npos;
+      if (!hit) {
+        for (auto it = std::sregex_iterator(range.begin(), range.end(), word_re);
+             it != std::sregex_iterator(); ++it) {
+          if (names.count(it->str())) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        report(path, v, i, "unordered-iteration",
+               "iteration order of unordered containers is not deterministic: " +
+                   trim(v.raw[i]));
+      }
+    }
+  }
+
+  // --- delayed-ref-capture ---------------------------------------------------
+
+  /// Concatenates code lines (newline-separated) so call expressions spanning
+  /// lines can be matched; `line_of(pos)` maps back to a line index.
+  struct Buffer {
+    std::string text;
+    std::vector<std::size_t> starts;  // offset of each line
+    explicit Buffer(const FileView& v) {
+      for (const auto& c : v.code) {
+        starts.push_back(text.size());
+        text += c;
+        text += '\n';
+      }
+    }
+    [[nodiscard]] std::size_t line_of(std::size_t pos) const {
+      auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+      return static_cast<std::size_t>(it - starts.begin()) - 1;
+    }
+  };
+
+  static bool is_zero_delay(const std::string& arg_in) {
+    const std::string arg = trim(arg_in);
+    static const std::regex zero_re(
+        R"(^(Duration::zero\s*\(\s*\)|0(_us|_ms|_ns|_sec)?|[\w.]*now\s*\(\s*\))$)");
+    return std::regex_match(arg, zero_re);
+  }
+
+  void check_delayed_captures(const std::string& path, const FileView& v) {
+    const Buffer buf(v);
+    static const std::regex call_re(
+        R"((?:\.|->)\s*(schedule_periodic|schedule|after|every|at)\s*\()");
+    for (auto it = std::sregex_iterator(buf.text.begin(), buf.text.end(), call_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string method = (*it)[1].str();
+      const std::size_t open = static_cast<std::size_t>(it->position(0)) +
+                               static_cast<std::size_t>(it->length(0)) - 1;
+      // Balance parens to find the argument extent and the first top-level comma.
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      std::size_t first_comma = std::string::npos;
+      for (std::size_t p = open; p < buf.text.size(); ++p) {
+        const char ch = buf.text[p];
+        if (ch == '(' || ch == '[' || ch == '{') ++depth;
+        if (ch == ')' || ch == ']' || ch == '}') {
+          --depth;
+          if (depth == 0) {
+            close = p;
+            break;
+          }
+        }
+        if (ch == ',' && depth == 1 && first_comma == std::string::npos) {
+          first_comma = p;
+        }
+      }
+      if (close == std::string::npos || first_comma == std::string::npos) continue;
+      const std::string args = buf.text.substr(open + 1, close - open - 1);
+      const std::string delay_arg =
+          buf.text.substr(open + 1, first_comma - open - 1);
+      if (is_zero_delay(delay_arg)) continue;
+      // Lambda capture lists inside the argument region.
+      static const std::regex intro_re(R"(\[([^\[\]]*)\]\s*(?:\(|mutable|\{))");
+      for (auto lit = std::sregex_iterator(args.begin(), args.end(), intro_re);
+           lit != std::sregex_iterator(); ++lit) {
+        const std::string intro = trim((*lit)[1].str());
+        const bool catch_all_ref =
+            intro == "&" || intro.rfind("&,", 0) == 0 ||
+            (!intro.empty() && intro.front() == '&' && intro.size() > 1 &&
+             (intro[1] == ' ' || intro[1] == ','));
+        static const std::regex this_re(R"((^|[,\s])this($|[,\s]))");
+        const bool raw_this = std::regex_search(intro, this_re);
+        const bool direct_queue =
+            method == "schedule" || method == "schedule_periodic";
+        if (catch_all_ref || (raw_this && direct_queue)) {
+          const std::size_t line_idx = buf.line_of(
+              static_cast<std::size_t>(it->position(0)));
+          report(path, v, line_idx, "delayed-ref-capture",
+                 "callback with [" + intro + "] capture armed via " + method +
+                     "() with nonzero delay may outlive its captures: " +
+                     trim(v.raw[line_idx]));
+        }
+      }
+    }
+  }
+
+  void check_slab_invoke(const std::string& path, const FileView& v) {
+    // slots_[idx].callback(...) — running a callable while it still lives in
+    // growable container storage (the PR-3 use-after-free shape). Move the
+    // callable to a local before invoking it.
+    static const std::regex re(
+        R"(\w+\s*\[[^\[\]]+\]\s*\.\s*\w*(callback|handler|tick|functor|cb|fn)\w*\s*\()");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      if (std::regex_search(v.code[i], re)) {
+        report(path, v, i, "slab-callback-invoke",
+               "callable invoked out of indexed container storage (PR-3 "
+               "use-after-free shape; move to a local first): " +
+                   trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_pragma_once(const std::string& path, const FileView& v) {
+    for (const auto& c : v.code) {
+      if (c.find("#pragma once") != std::string::npos) return;
+    }
+    report(path, v, 0, "pragma-once", "header is missing #pragma once");
+  }
+
+  void check_using_namespace(const std::string& path, const FileView& v) {
+    static const std::regex re(R"(^\s*using\s+namespace\b)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      if (std::regex_search(v.code[i], re)) {
+        report(path, v, i, "using-namespace-header",
+               "`using namespace` leaks into every includer: " + trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_float_equality(const std::string& path, const FileView& v) {
+    // Operand is a floating literal, or an identifier declared float/double in
+    // this file. Detector/estimator thresholds must use tolerances.
+    std::set<std::string> fp_names;
+    static const std::regex decl_re(R"(\b(?:double|float)\s+([A-Za-z_]\w*)\b)");
+    for (const auto& c : v.code) {
+      for (auto it = std::sregex_iterator(c.begin(), c.end(), decl_re);
+           it != std::sregex_iterator(); ++it) {
+        fp_names.insert((*it)[1].str());
+      }
+    }
+    static const std::regex lit_re(
+        R"((==|!=)\s*[-+]?(\d+\.\d*|\.\d+)f?\b|(\d+\.\d*|\.\d+)f?\s*(==|!=))");
+    static const std::regex cmp_re(R"(([A-Za-z_]\w*)\s*(==|!=)\s*([A-Za-z_]\w*))");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      const std::string& c = v.code[i];
+      bool hit = std::regex_search(c, lit_re);
+      if (!hit) {
+        for (auto it = std::sregex_iterator(c.begin(), c.end(), cmp_re);
+             it != std::sregex_iterator(); ++it) {
+          if (fp_names.count((*it)[1].str()) || fp_names.count((*it)[3].str())) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        report(path, v, i, "float-equality",
+               "exact floating-point comparison in detector/estimator math "
+               "(use a tolerance): " +
+                   trim(v.raw[i]));
+      }
+    }
+  }
+
+  std::vector<Finding> findings_;
+  bool io_error_ = false;
+};
+
+std::set<std::string> read_baseline(const std::string& path, bool* exists) {
+  std::set<std::string> out;
+  std::ifstream in(path);
+  *exists = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    out.insert(line);
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bicord_lint [--baseline FILE] [--write-baseline] "
+               "[--list-rules] PATH...\n"
+               "  PATH          file or directory (scans *.hpp/*.h/*.cpp)\n"
+               "  --baseline    suppress fingerprints listed in FILE; new\n"
+               "                findings exit 2\n"
+               "  --write-baseline  rewrite FILE from current findings; grows\n"
+               "                are rejected (exit 3) — the ratchet only shrinks\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  bool write_baseline = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (++i >= argc) return usage();
+      baseline_path = argv[i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : kAllRules) std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bicord-lint: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+  if (write_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "bicord-lint: --write-baseline requires --baseline\n");
+    return 1;
+  }
+
+  // Expand directories; scan files in sorted order for stable output.
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(p, ec)) {
+        if (!e.is_regular_file()) continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".hpp" || ext == ".h" || ext == ".cpp") {
+          files.push_back(normalize_path(e.path().generic_string()));
+        }
+      }
+    } else {
+      files.push_back(normalize_path(p));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Linter linter;
+  for (const auto& f : files) linter.scan(f);
+  if (linter.io_error()) return 1;
+  linter.finalize();
+
+  bool baseline_exists = false;
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    baseline = read_baseline(baseline_path, &baseline_exists);
+  }
+
+  std::set<std::string> current;
+  std::vector<const Finding*> fresh;
+  for (const auto& f : linter.findings()) {
+    current.insert(f.fingerprint);
+    if (!baseline.count(f.fingerprint)) fresh.push_back(&f);
+  }
+
+  if (write_baseline) {
+    if (baseline_exists) {
+      std::vector<std::string> grown;
+      std::set_difference(current.begin(), current.end(), baseline.begin(),
+                          baseline.end(), std::back_inserter(grown));
+      if (!grown.empty()) {
+        std::fprintf(stderr,
+                     "bicord-lint: ratchet: refusing to grow the baseline by "
+                     "%zu finding(s); fix them instead:\n",
+                     grown.size());
+        for (const auto& g : grown) std::fprintf(stderr, "  %s\n", g.c_str());
+        return 3;
+      }
+    }
+    std::ofstream out(baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bicord-lint: cannot write %s\n", baseline_path.c_str());
+      return 1;
+    }
+    out << "# bicord-lint suppression baseline — may only shrink (ratchet).\n"
+        << "# Regenerate with: bicord_lint --baseline <this file> "
+           "--write-baseline <paths>\n";
+    for (const auto& c : current) out << c << "\n";
+    std::printf("bicord-lint: baseline written (%zu entries)\n", current.size());
+    return 0;
+  }
+
+  for (const auto* f : fresh) {
+    std::printf("%s:%zu: [%s] %s\n", f->path.c_str(), f->line, f->rule.c_str(),
+                f->message.c_str());
+  }
+  // Stale entries mean the code got cleaner than the baseline: remind the
+  // operator to ratchet down (not an error — shrinking is the goal).
+  std::size_t stale = 0;
+  for (const auto& b : baseline) {
+    if (!current.count(b)) ++stale;
+  }
+  if (stale > 0) {
+    std::printf(
+        "bicord-lint: %zu baseline entr%s no longer needed — ratchet down "
+        "with --write-baseline\n",
+        stale, stale == 1 ? "y is" : "ies are");
+  }
+  if (!fresh.empty()) {
+    std::printf("bicord-lint: %zu new finding(s)\n", fresh.size());
+    return 2;
+  }
+  std::printf("bicord-lint: clean (%zu file(s), %zu baselined)\n", files.size(),
+              current.size());
+  return 0;
+}
