@@ -72,7 +72,9 @@ ensure_compile_db() {
 tidy_fingerprints() {  # stdin: raw clang-tidy output; stdout: sorted fingerprints
   local repo
   repo="$(pwd)"
-  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): .* \[[^]]+\]$' \
+  # grep exits 1 on zero matches (the expected clean state) — don't let
+  # pipefail turn that into a gate failure.
+  { grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): .* \[[^]]+\]$' || true; } \
     | while IFS= read -r finding; do
         local file line check text
         file="${finding%%:*}"
@@ -103,11 +105,38 @@ run_tidy() {  # run_tidy [refresh]
     return 0
   fi
   echo "== layer 1: ${tidy} (curated checks, ratcheted baseline) =="
-  local raw=/tmp/bicord_tidy_raw.$$ cur=/tmp/bicord_tidy_cur.$$
+  local workdir
+  workdir="$(mktemp -d "${TMPDIR:-/tmp}/bicord_tidy.XXXXXX")"
   git ls-files 'src/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp' \
-    | xargs -P "$JOBS" -n 4 "$tidy" -p build --quiet 2>/dev/null > "$raw" || true
+    > "$workdir/files"
+  # One clang-tidy process per TU, each with a private stdout/stderr pair:
+  # parallel processes can't interleave mid-line (which would corrupt finding
+  # lines past the fingerprint regex), and a TU where the tool itself fails
+  # (bad flags, missing compile_commands entry, frontend error) is recorded
+  # instead of silently contributing an empty findings file.
+  # --warnings-as-errors=-* overrides the config's WarningsAsErrors so the
+  # exit status means "tool/compile failure", never "has findings" — the
+  # ratchet below is what gates findings.
+  export TIDY_BIN="$tidy" TIDY_WORK="$workdir"
+  xargs -r -P "$JOBS" -n 1 bash -c '
+    out="$TIDY_WORK/$(printf "%s" "$1" | tr "/" "_")"
+    "$TIDY_BIN" -p build --quiet --warnings-as-errors="-*" "$1" \
+      > "$out.out" 2> "$out.err" || echo "$1" >> "$TIDY_WORK/failed"
+  ' bash < "$workdir/files"
+  if [ -s "$workdir/failed" ]; then
+    echo "clang-tidy FAILED on $(wc -l < "$workdir/failed") file(s);" \
+         "layer 1 cannot be trusted until this is fixed:"
+    while IFS= read -r f; do
+      echo "  $f"
+      head -15 "$workdir/$(printf "%s" "$f" | tr "/" "_").err" | sed 's/^/    /'
+    done < "$workdir/failed"
+    rm -rf "$workdir"
+    return 1
+  fi
+  local raw="$workdir/raw" cur="$workdir/cur"
+  find "$workdir" -name '*.out' -exec cat {} + > "$raw"
   tidy_fingerprints < "$raw" > "$cur"
-  local base_tmp=/tmp/bicord_tidy_base.$$
+  local base_tmp="$workdir/base"
   read_baseline "$TIDY_BASELINE" > "$base_tmp"
   local fresh stale
   fresh="$(comm -23 "$cur" "$base_tmp")"
@@ -116,7 +145,7 @@ run_tidy() {  # run_tidy [refresh]
     if [ -n "$fresh" ]; then
       echo "ratchet: refusing to grow $TIDY_BASELINE — fix these instead:"
       echo "$fresh" | sed 's/^/  /'
-      rm -f "$raw" "$cur" "$base_tmp"
+      rm -rf "$workdir"
       return 3
     fi
     {
@@ -133,12 +162,12 @@ run_tidy() {  # run_tidy [refresh]
     if [ -n "$fresh" ]; then
       echo "NEW clang-tidy findings (not in $TIDY_BASELINE):"
       grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): ' "$raw" | sed 's/^/  /'
-      rm -f "$raw" "$cur" "$base_tmp"
+      rm -rf "$workdir"
       return 2
     fi
     echo "clang-tidy clean ($(wc -l < "$cur") baselined)"
   fi
-  rm -f "$raw" "$cur" "$base_tmp"
+  rm -rf "$workdir"
 }
 
 build_bicord_lint() {

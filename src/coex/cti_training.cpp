@@ -78,7 +78,7 @@ void collect_segments(sim::Simulator& sim, detect::RssiSampler& sampler, int cou
   for (int i = 0; i < count; ++i) {
     bool done = false;
     sampler.capture([&](RssiSegment seg) {
-      out.emplace_back(std::move(seg), tech, device);
+      out.push_back(LabelledSegment{std::move(seg), tech, device});
       done = true;
     });
     while (!done && sim.step()) {

@@ -105,7 +105,7 @@ SignalingResult run_signaling_experiment(const SignalingExperimentConfig& config
       // Explicit captures (not [&]): everything named here outlives the
       // enclosing run_for() that drains these events.
       world.sim.after(config.trial_gap, [&windows, &world, &next_step] {
-        windows.emplace_back(world.sim.now(), world.sim.now());
+        windows.push_back(TrialWindow{world.sim.now(), world.sim.now()});
         next_step();
       });
       return;

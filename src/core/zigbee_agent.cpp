@@ -14,7 +14,7 @@ ZigbeeAgentBase::ZigbeeAgentBase(zigbee::ZigbeeMac& mac, phy::NodeId receiver)
 void ZigbeeAgentBase::submit_burst(int count, std::uint32_t payload_bytes) {
   const TimePoint now = sim_.now();
   for (int i = 0; i < count; ++i) {
-    queue_.emplace_back(payload_bytes, now, 0);
+    queue_.push_back(Pending{payload_bytes, now, 0});
     ++stats_.generated;
   }
   kick();

@@ -39,9 +39,9 @@ void RssiSampler::capture(std::size_t samples, Duration period, SegmentCallback 
                            ? rng_.normal(0.0, per_capture_sigma_db_)
                            : 0.0;
   timeline_.clear();
-  timeline_.emplace_back(start_, medium_.energy_dbm(node_, band_, node_));
+  timeline_.push_back(EnergyPoint{start_, medium_.energy_dbm(node_, band_, node_)});
   glitch_timeline_.clear();
-  glitch_timeline_.emplace_back(start_, glitch_offset_db_, glitch_until_);
+  glitch_timeline_.push_back(GlitchPoint{start_, glitch_offset_db_, glitch_until_});
   // Finalize via a zero-delay re-post at the last sample instant. Edge events
   // landing exactly on that instant can carry later tie-break seqs than an
   // event scheduled now (e.g. the end of a transmission that begins
@@ -80,7 +80,7 @@ void RssiSampler::record_edge() {
   if (timeline_.back().time == now) {
     timeline_.back().dbm = e;
   } else {
-    timeline_.emplace_back(now, e);
+    timeline_.push_back(EnergyPoint{now, e});
   }
 }
 

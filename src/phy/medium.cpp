@@ -13,7 +13,7 @@ Medium::Medium(sim::Simulator& sim, PathLossModel path_loss)
     : sim_(sim), path_loss_(path_loss) {}
 
 NodeId Medium::add_node(std::string name, Position pos) {
-  nodes_.emplace_back(std::move(name), pos);
+  nodes_.push_back(NodeEntry{std::move(name), pos});
   node_airtime_.push_back(Duration::zero());
   return static_cast<NodeId>(nodes_.size() - 1);
 }

@@ -41,7 +41,9 @@ WifiMac::WifiMac(phy::Medium& medium, phy::NodeId node, Config config)
 }
 
 void WifiMac::enqueue(const SendRequest& req) {
-  queue_.emplace_back(req, sim_.now(), next_seq_++, 0, config_.timings.cw_min, 0, false);
+  // push_back(Attempt{...}), not emplace_back: Attempt is an aggregate, and
+  // parenthesized aggregate init (P0960) needs Clang 16 — above our floor.
+  queue_.push_back(Attempt{req, sim_.now(), next_seq_++, 0, config_.timings.cw_min, 0, false});
   maybe_start_attempt();
 }
 

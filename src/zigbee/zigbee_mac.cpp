@@ -44,7 +44,9 @@ bool ZigbeeMac::channel_busy() const {
 }
 
 void ZigbeeMac::enqueue(const SendRequest& req) {
-  queue_.emplace_back(req, sim_.now(), next_seq_++, 0, 0, config_.timings.mac_min_be);
+  // push_back(Attempt{...}), not emplace_back: Attempt is an aggregate, and
+  // parenthesized aggregate init (P0960) needs Clang 16 — above our floor.
+  queue_.push_back(Attempt{req, sim_.now(), next_seq_++, 0, 0, config_.timings.mac_min_be});
   maybe_start_attempt();
 }
 

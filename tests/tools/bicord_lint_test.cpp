@@ -279,6 +279,27 @@ TEST_F(BicordLintTest, CommentedBannedCallIsIgnored) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST_F(BicordLintTest, DigitSeparatorsAreNotCharLiterals) {
+  // An odd number of C++14 digit separators (500'000 has one quote) used to
+  // open a bogus char literal and blank the rest of the line from the scan,
+  // hiding the banned call after it.
+  const auto p = write("src/ds.cpp",
+                       "int f() { int n = 500'000; return std::rand() % n; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RealCharLiteralStillBlanked) {
+  // 'r' carries no identifier char before it: still a char literal, and the
+  // banned-looking text inside a string literal stays invisible.
+  const auto p = write("src/cl.cpp",
+                       "char tag() { return 'r'; }\n"
+                       "const char* doc = \"std::rand()\";\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST_F(BicordLintTest, BaselineSuppressesKnownFindingOnly) {
   const auto p = write("src/u.cpp", "int roll() { return std::rand() % 6; }\n");
   const fs::path baseline = root_ / "baseline.txt";

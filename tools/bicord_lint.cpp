@@ -39,6 +39,7 @@
 //             2 new findings, 3 baseline ratchet violation.
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -142,6 +143,15 @@ FileView load_file(const std::string& path, bool* ok) {
       if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
         in_block_comment = true;
         i += 2;
+        continue;
+      }
+      if (c == '\'' && !code.empty() &&
+          (std::isalnum(static_cast<unsigned char>(code.back())) ||
+           code.back() == '_')) {
+        // A quote directly after an identifier/digit character is a C++14
+        // digit separator (1'000'000), not the start of a char literal.
+        code += c;
+        ++i;
         continue;
       }
       if (c == '"' || c == '\'') {
