@@ -30,15 +30,13 @@ int main(int argc, char** argv) {
 
   const double need_ms = 4.0 + 5.7 * 5;  // 5-packet burst requirement
   for (const auto& [name, half_margin] : margins) {
-    coex::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.coordination = coex::Coordination::BiCord;
-    cfg.location = coex::ZigbeeLocation::A;
-    cfg.burst.packets_per_burst = 5;
-    cfg.burst.payload_bytes = 50;
-    cfg.burst.mean_interval = 200_ms;
-    cfg.burst.poisson = false;
-    cfg.allocator.control_duration = half_margin;
+    // The default preset is the paper workload (BiCord at A, 5 x 50 B bursts
+    // every 200 ms); this ablation only pins the arrivals and sweeps the margin.
+    auto spec = *coex::ScenarioSpec::preset("default");
+    spec.set("seed", seed);
+    spec.set("burst.poisson", false);
+    spec.set("allocator.control_duration", half_margin);
+    const auto cfg = spec.must_config();
     coex::Scenario scenario(cfg);
     scenario.run_for(15_sec);
 

@@ -24,16 +24,12 @@ int main(int argc, char** argv) {
        {std::pair<const char*, Duration>{"2 s", 2_sec},
         std::pair<const char*, Duration>{"10 s (paper)", 10_sec},
         std::pair<const char*, Duration>{"disabled", 10000_sec}}) {
-    coex::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.coordination = coex::Coordination::BiCord;
-    cfg.location = coex::ZigbeeLocation::A;
-    cfg.burst.packets_per_burst = 12;  // long bursts first
-    cfg.burst.payload_bytes = 50;
-    cfg.burst.mean_interval = 200_ms;
-    cfg.burst.poisson = false;
-    cfg.allocator.reestimate_period = period;
-    coex::Scenario scenario(cfg);
+    auto spec = *coex::ScenarioSpec::preset("default");
+    spec.set("seed", seed);
+    spec.set("burst.packets", 12);  // long bursts first
+    spec.set("burst.poisson", false);
+    spec.set("allocator.reestimate_period", period);
+    coex::Scenario scenario(spec.must_config());
 
     scenario.run_for(6_sec);  // learn the 12-packet pattern
     auto shrunk = scenario.burst_source().config();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/trial_pool.hpp"
 #include "util/flags.hpp"
@@ -90,14 +91,8 @@ inline void print_header(const char* id, const char* paper_ref, std::uint64_t se
   std::printf("==============================================================\n");
 }
 
-/// Runs a scenario with warm-up and measurement windows; returns after
-/// `measure` of measured time.
-inline void warm_and_measure(coex::Scenario& scenario, Duration warmup,
-                             Duration measure) {
-  scenario.run_for(warmup);
-  scenario.start_measurement();
-  scenario.run_for(measure);
-}
+/// The warm-up/measure idiom, implemented once next to Scenario itself.
+using coex::warm_and_measure;
 
 /// Fans `trials` independent cells out over `jobs` workers and returns the
 /// results in cell order (so downstream table assembly is deterministic).

@@ -29,20 +29,19 @@ struct EnergyRow {
 
 EnergyRow run_one(std::uint64_t seed, coex::Coordination scheme, bool wifi_active,
                   bool duty_cycle = false) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = scheme;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 10;
-  cfg.burst.payload_bytes = 120;
-  cfg.burst.mean_interval = 300_ms;
-  cfg.zigbee_duty_cycle = duty_cycle;
+  auto spec = *coex::ScenarioSpec::preset("default");
+  spec.set("seed", seed);
+  spec.set("coordination", coex::to_string(scheme));
+  spec.set("burst.packets", 10);
+  spec.set("burst.payload", 120);
+  spec.set("burst.interval", 300_ms);
+  spec.set("zigbee.duty_cycle", duty_cycle);
   if (!wifi_active) {
     // Idle Wi-Fi: one tiny frame every 2 s keeps the link nominally alive.
-    cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
-    cfg.wifi_cbr_interval = 2_sec;
+    spec.set("wifi.traffic", "cbr");
+    spec.set("wifi.cbr_interval", 2_sec);
   }
-  coex::Scenario scenario(cfg);
+  coex::Scenario scenario(spec.must_config());
   scenario.run_for(1_sec);
   scenario.energy_meter().reset();
   const auto delivered_before = scenario.zigbee_stats().delivered;

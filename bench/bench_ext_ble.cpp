@@ -11,91 +11,22 @@
 // BLE links' own packet success — coordination must not hurt BLE.
 
 #include "bench_common.hpp"
-#include "ble/ble_bicord.hpp"
-#include "ble/ble_link.hpp"
-#include "ble/ble_zigbee_agent.hpp"
-#include "zigbee/traffic.hpp"
-#include "zigbee/zigbee_mac.hpp"
+#include "coex/ble_scenario.hpp"
 
 using namespace bicord;
 using namespace bicord::bench;
 using namespace bicord::time_literals;
 
 namespace {
-struct Result {
-  double zb_delivery = 0.0;
-  double zb_delay_ms = 0.0;
-  double zb_attempt_overhead = 0.0;  ///< MAC attempts per delivered packet
-  double ble_success = 0.0;
-  std::uint64_t leases = 0;
-  std::uint64_t controls = 0;
-};
-
-Result run(std::uint64_t seed, bool coordinate, int ble_links, Duration sim_time) {
-  sim::Simulator sim(seed);
-  phy::Medium medium(sim, phy::PathLossModel{40.0, 3.0, 0.0, 0.1});
-
-  std::vector<std::unique_ptr<ble::BleConnection>> links;
-  for (int i = 0; i < ble_links; ++i) {
-    const auto m = medium.add_node("ble-m", {0.4 * i, 0.2});
-    const auto s = medium.add_node("ble-s", {0.4 * i, 1.4});
-    ble::BleConnection::Config cfg;
-    cfg.connection_interval = Duration::from_us(7500);
-    cfg.payload_bytes = 251;  // max LE data PDU
-    cfg.tx_power_dbm = 4.0;  // class-2-ish audio links
-    cfg.hop_increment = 7 + 2 * (i % 5);
-    links.push_back(std::make_unique<ble::BleConnection>(medium, m, s, cfg));
-    links.back()->start();
-  }
-
-  const auto zb_tx = medium.add_node("zb-tx", {0.9, 0.7});  // inside the BLE cluster
-  const auto zb_rx = medium.add_node("zb-rx", {2.3, 2.3});
-  zigbee::ZigbeeMac::Config zc;
-  zc.channel = 24;
-  zc.retry_limit = 1;
-  zigbee::ZigbeeMac sender(medium, zb_tx, zc);
-  zigbee::ZigbeeMac receiver(medium, zb_rx, zc);
-
-  std::vector<std::unique_ptr<ble::BleBiCordAgent>> agents;
-  if (coordinate) {
-    for (auto& l : links) {
-      agents.push_back(
-          std::make_unique<ble::BleBiCordAgent>(medium, *l, ble::BleBiCordAgent::Config{}));
-    }
-  }
-
-  ble::BleAwareZigbeeAgent agent(sender, zb_rx, ble::BleAwareZigbeeAgent::Config{});
-  zigbee::BurstSource::Config bcfg;
-  bcfg.packets_per_burst = 5;
-  bcfg.payload_bytes = 50;
-  bcfg.mean_interval = 150_ms;
-  zigbee::BurstSource source(sim, bcfg);
-  source.set_burst_callback(
-      [&](int n, std::uint32_t payload) { agent.submit_burst(n, payload); });
-  source.start();
-
-  sim.run_for(sim_time);
-
-  Result r;
-  const auto& stats = agent.stats();
-  r.zb_delivery = stats.delivery_ratio();
-  r.zb_delay_ms = stats.delay_ms.empty() ? 0.0 : stats.delay_ms.mean();
-  // On-air data transmissions per delivered packet (MAC retries included).
-  const auto data_frames = sender.radio().frames_sent() - agent.control_packets_sent();
-  r.zb_attempt_overhead =
-      stats.delivered ? static_cast<double>(data_frames) /
-                            static_cast<double>(stats.delivered)
-                      : 0.0;
-  double ble_ok = 0.0;
-  double ble_total = 0.0;
-  for (auto& l : links) {
-    ble_ok += static_cast<double>(l->stats().packets_ok);
-    ble_total += static_cast<double>(l->stats().packets_ok + l->stats().packets_corrupted);
-  }
-  r.ble_success = ble_total > 0.0 ? ble_ok / ble_total : 0.0;
-  for (auto& a : agents) r.leases += a->leases_granted();
-  r.controls = agent.control_packets_sent();
-  return r;
+coex::BleScenario::Report run(std::uint64_t seed, bool coordinate, int ble_links,
+                              Duration sim_time) {
+  auto spec = *coex::ScenarioSpec::preset("ble");
+  spec.set("seed", seed);
+  spec.set("ble.links", ble_links);
+  spec.set("ble.coordinate", coordinate);
+  coex::BleScenario scenario(spec.must_ble_config());
+  scenario.run_for(sim_time);
+  return scenario.report();
 }
 }  // namespace
 
@@ -110,8 +41,9 @@ int main(int argc, char** argv) {
                     "zb MAC attempts/pkt", "BLE pkt success", "leases", "controls"});
   for (int links : {4, 8, 16}) {
     for (bool coordinate : {false, true}) {
-      const Result r = run(seed + static_cast<std::uint64_t>(links), coordinate, links,
-                           Duration::from_sec(seconds));
+      const coex::BleScenario::Report r =
+          run(seed + static_cast<std::uint64_t>(links), coordinate, links,
+              Duration::from_sec(seconds));
       char name[64];
       std::snprintf(name, sizeof(name), "%d BLE links, %s", links,
                     coordinate ? "BiCord-BLE" : "uncoordinated");

@@ -35,30 +35,13 @@ int main(int argc, char** argv) {
                     "goodput fairness"});
 
   for (int links = 1; links <= 3; ++links) {
-    coex::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.coordination = coex::Coordination::BiCord;
-    cfg.location = coex::ZigbeeLocation::A;
-    cfg.burst.packets_per_burst = 5;
-    cfg.burst.payload_bytes = 50;
-    cfg.burst.mean_interval = 250_ms;
-    if (links >= 2) {
-      coex::ExtraZigbeeSpec spec;  // a chattier node mid-room
-      spec.location = coex::ZigbeeLocation::C;
-      spec.burst.packets_per_burst = 3;
-      spec.burst.payload_bytes = 30;
-      spec.burst.mean_interval = 150_ms;
-      cfg.extra_zigbee.push_back(spec);
-    }
-    if (links >= 3) {
-      coex::ExtraZigbeeSpec spec;  // a slow long-burst node near F
-      spec.location = coex::ZigbeeLocation::B;
-      spec.offset = {-0.5, 0.6};
-      spec.burst.packets_per_burst = 8;
-      spec.burst.payload_bytes = 60;
-      spec.burst.mean_interval = 600_ms;
-      cfg.extra_zigbee.push_back(spec);
-    }
+    // The multinode preset carries the full three-link topology (primary at A
+    // plus the chattier mid-room node and the slow long-burst node); the sweep
+    // truncates the extra-link list to its first `links - 1` entries.
+    auto spec = *coex::ScenarioSpec::preset("multinode");
+    spec.set("seed", seed);
+    auto cfg = spec.must_config();
+    cfg.extra_zigbee.resize(static_cast<std::size_t>(links - 1));
 
     coex::Scenario scenario(cfg);
     warm_and_measure(scenario, 1_sec, 15_sec);

@@ -24,17 +24,13 @@ struct Row {
 
 Row run_one(std::uint64_t seed, coex::Coordination scheme, Duration interval,
             Duration ecc_whitespace, int target_packets) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = scheme;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 5;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = interval;
-  cfg.ecc.period = 100_ms;
-  cfg.ecc.whitespace = ecc_whitespace;
+  auto spec = *coex::ScenarioSpec::preset("fig10");
+  spec.set("seed", seed);
+  spec.set("coordination", coex::to_string(scheme));
+  spec.set("burst.interval", interval);
+  spec.set("ecc.whitespace", ecc_whitespace);
 
-  coex::Scenario scenario(cfg);
+  coex::Scenario scenario(spec.must_config());
   scenario.run_for(1_sec);
   scenario.start_measurement();
   // Run until the ZigBee sender has generated ~target_packets.

@@ -19,14 +19,12 @@ struct Row {
 
 Row run_one(std::uint64_t seed, coex::ZigbeeLocation loc, int packets,
             std::uint32_t payload) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = loc;
-  cfg.burst.packets_per_burst = packets;
-  cfg.burst.payload_bytes = payload;
-  cfg.burst.mean_interval = 200_ms;
-  coex::Scenario scenario(cfg);
+  auto spec = *coex::ScenarioSpec::preset("fig11");
+  spec.set("seed", seed);
+  spec.set("location", coex::to_string(loc));
+  spec.set("burst.packets", packets);
+  spec.set("burst.payload", static_cast<std::int64_t>(payload));
+  coex::Scenario scenario(spec.must_config());
   warm_and_measure(scenario, 1_sec, 12_sec);
   Row r;
   r.util = scenario.utilization();

@@ -19,16 +19,12 @@ struct Row {
 };
 
 Row run_one(std::uint64_t seed, bool person, bool device, Duration interval) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 5;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = interval;
-  cfg.person_mobility = person;
-  cfg.device_mobility = device;
-  coex::Scenario scenario(cfg);
+  auto spec = *coex::ScenarioSpec::preset("fig12");
+  spec.set("seed", seed);
+  spec.set("burst.interval", interval);
+  spec.set("mobility.person", person);
+  spec.set("mobility.device", device);
+  coex::Scenario scenario(spec.must_config());
   warm_and_measure(scenario, 1_sec, 15_sec);
   Row r;
   r.util = scenario.utilization();

@@ -22,17 +22,12 @@ struct Row {
 
 Row run_one(std::uint64_t seed, coex::Coordination scheme, Duration ecc_ws,
             double high_share) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = scheme;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.wifi_traffic = coex::WifiTrafficKind::Priority;
-  cfg.wifi_high_share = high_share;
-  cfg.burst.packets_per_burst = 5;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = 200_ms;
-  cfg.ecc.whitespace = ecc_ws;
-  coex::Scenario scenario(cfg);
+  auto spec = *coex::ScenarioSpec::preset("fig13");
+  spec.set("seed", seed);
+  spec.set("coordination", coex::to_string(scheme));
+  spec.set("wifi.high_share", high_share);
+  spec.set("ecc.whitespace", ecc_ws);
+  coex::Scenario scenario(spec.must_config());
   warm_and_measure(scenario, 1_sec, 10_sec);  // paper: 10 s of traffic
   Row r;
   r.util = scenario.utilization();

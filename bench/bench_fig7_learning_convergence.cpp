@@ -18,17 +18,9 @@ int main(int argc, char** argv) {
   print_header("bench_fig7_learning_convergence",
                "Fig. 7 (white-space length per iteration, learning phase)", seed);
 
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 10;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = 200_ms;
-  cfg.burst.poisson = false;  // the paper's controlled periodic workload
-  cfg.allocator.initial_whitespace = 30_ms;
-
-  coex::Scenario scenario(cfg);
+  // The whole setup (10 x 50 B periodic bursts, 30 ms learning step) is the
+  // fig7 preset; `bicordsim --scenario fig7` runs the same episode.
+  coex::Scenario scenario(coex::ScenarioSpec::preset("fig7")->must_config());
   std::vector<std::pair<double, Duration>> grants;  // (time ms, grant)
   scenario.bicord_wifi()->set_grant_observer([&](TimePoint t, Duration grant) {
     grants.emplace_back(t.ms(), grant);

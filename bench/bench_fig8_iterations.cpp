@@ -13,17 +13,13 @@ using namespace bicord::time_literals;
 namespace {
 double measure_iterations(std::uint64_t seed, coex::ZigbeeLocation loc, int packets,
                           Duration step) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = loc;
-  cfg.burst.packets_per_burst = packets;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = 200_ms;
-  cfg.burst.poisson = false;
-  cfg.allocator.initial_whitespace = step;
+  auto spec = *coex::ScenarioSpec::preset("fig8");
+  spec.set("seed", seed);
+  spec.set("location", coex::to_string(loc));
+  spec.set("burst.packets", packets);
+  spec.set("allocator.initial_whitespace", step);
 
-  coex::Scenario scenario(cfg);
+  coex::Scenario scenario(spec.must_config());
   // Run until converged (or give up after 12 s of simulated time).
   for (int i = 0; i < 60; ++i) {
     scenario.run_for(200_ms);

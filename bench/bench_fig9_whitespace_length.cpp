@@ -12,17 +12,12 @@ using namespace bicord::time_literals;
 
 namespace {
 Duration converged_whitespace(std::uint64_t seed, int packets, Duration step) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = seed;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = packets;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = 250_ms;
-  cfg.burst.poisson = false;
-  cfg.allocator.initial_whitespace = step;
+  auto spec = *coex::ScenarioSpec::preset("fig9");
+  spec.set("seed", seed);
+  spec.set("burst.packets", packets);
+  spec.set("allocator.initial_whitespace", step);
 
-  coex::Scenario scenario(cfg);
+  coex::Scenario scenario(spec.must_config());
   for (int i = 0; i < 60; ++i) {
     scenario.run_for(250_ms);
     if (scenario.bicord_wifi()->allocator().converged()) break;

@@ -7,6 +7,7 @@
 
 #include "bench_json.hpp"
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "csi/csi_detector.hpp"
 #include "detect/decision_tree.hpp"
 #include "detect/features.hpp"
@@ -154,13 +155,10 @@ void BM_MediumEnergyQuery(benchmark::State& state) {
 BENCHMARK(BM_MediumEnergyQuery);
 
 void BM_FullScenarioSimulatedSecond(benchmark::State& state) {
+  auto spec = *coex::ScenarioSpec::preset("default");
+  spec.set("seed", 5);
+  const auto cfg = spec.must_config();
   for (auto _ : state) {
-    coex::ScenarioConfig cfg;
-    cfg.seed = 5;
-    cfg.coordination = coex::Coordination::BiCord;
-    cfg.burst.packets_per_burst = 5;
-    cfg.burst.payload_bytes = 50;
-    cfg.burst.mean_interval = 200_ms;
     coex::Scenario scenario(cfg);
     scenario.run_for(1_sec);
     benchmark::DoNotOptimize(scenario.zigbee_stats().delivered);

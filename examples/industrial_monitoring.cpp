@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "util/table.hpp"
 
 using namespace bicord;
@@ -26,18 +27,16 @@ struct Result {
 };
 
 Result run(coex::Coordination scheme, Duration ecc_whitespace) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = 2026;
-  cfg.coordination = scheme;
-  cfg.location = coex::ZigbeeLocation::C;  // sensor sits mid-factory
-  cfg.burst.packets_per_burst = 8;
-  cfg.burst.payload_bytes = 60;
-  cfg.burst.mean_interval = 250_ms;
-  cfg.ecc.whitespace = ecc_whitespace;
-  coex::Scenario sc(cfg);
-  sc.run_for(1_sec);
-  sc.start_measurement();
-  sc.run_for(25_sec);
+  auto spec = *coex::ScenarioSpec::preset("default");
+  spec.set("seed", 2026);
+  spec.set("coordination", coex::to_string(scheme));
+  spec.set("location", "C");  // sensor sits mid-factory
+  spec.set("burst.packets", 8);
+  spec.set("burst.payload", 60);
+  spec.set("burst.interval", 250_ms);
+  spec.set("ecc.whitespace", ecc_whitespace);
+  coex::Scenario sc(spec.must_config());
+  coex::warm_and_measure(sc, 1_sec, 25_sec);
 
   Result r;
   const auto& stats = sc.zigbee_stats();

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "phy/tracer.hpp"
 #include "util/table.hpp"
 
@@ -21,18 +22,14 @@ struct RunResult {
 };
 
 RunResult run(coex::Coordination scheme) {
-  coex::ScenarioConfig cfg;
-  cfg.seed = 7;
-  cfg.coordination = scheme;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 5;
-  cfg.burst.payload_bytes = 50;
-  cfg.burst.mean_interval = Duration::from_ms(200);
+  // The default preset is the paper testbed (location A, bursts of 5 x 50 B
+  // every ~200 ms under saturated Wi-Fi); only seed and scheme vary here.
+  auto spec = *coex::ScenarioSpec::preset("default");
+  spec.set("seed", 7);
+  spec.set("coordination", coex::to_string(scheme));
 
-  coex::Scenario scenario(cfg);
-  scenario.run_for(1_sec);  // warm-up
-  scenario.start_measurement();
-  scenario.run_for(10_sec);
+  coex::Scenario scenario(spec.must_config());
+  coex::warm_and_measure(scenario, 1_sec, 10_sec);
 
   RunResult r;
   r.util = scenario.utilization();
@@ -67,13 +64,9 @@ int main() {
   // Show one coordination round on the air: control packets (s), the CTS
   // (C) opening the white space, the protected ZigBee burst (Z).
   {
-    coex::ScenarioConfig cfg;
-    cfg.seed = 7;
-    cfg.coordination = coex::Coordination::BiCord;
-    cfg.burst.packets_per_burst = 5;
-    cfg.burst.payload_bytes = 50;
-    cfg.burst.mean_interval = Duration::from_ms(200);
-    coex::Scenario scenario(cfg);
+    auto spec = *coex::ScenarioSpec::preset("default");
+    spec.set("seed", 7);
+    coex::Scenario scenario(spec.must_config());
     phy::MediumTracer tracer(scenario.medium());
     scenario.run_for(2_sec);
     // Centre the view on the last CTS (the white-space reservation).

@@ -12,6 +12,7 @@
 
 #include "coex/cti_training.hpp"
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "interferers/bluetooth.hpp"
 #include "interferers/microwave.hpp"
 #include "util/table.hpp"
@@ -38,14 +39,12 @@ int main() {
 
   // 2. Build the home: BiCord scenario plus the two non-Wi-Fi interferers.
   std::printf("[2/3] running 12 s of the smart home under BiCord...\n");
-  coex::ScenarioConfig cfg;
-  cfg.seed = 7;
-  cfg.coordination = coex::Coordination::BiCord;
-  cfg.location = coex::ZigbeeLocation::A;
-  cfg.burst.packets_per_burst = 4;
-  cfg.burst.payload_bytes = 40;  // motion events
-  cfg.burst.mean_interval = 300_ms;
-  coex::Scenario home(cfg);
+  auto spec = *coex::ScenarioSpec::preset("default");
+  spec.set("seed", 7);
+  spec.set("burst.packets", 4);
+  spec.set("burst.payload", 40);  // motion events
+  spec.set("burst.interval", 300_ms);
+  coex::Scenario home(spec.must_config());
 
   // The sensor runs the trained pipeline before each signaling decision.
   auto* sensor = home.bicord_zigbee();

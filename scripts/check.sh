@@ -4,7 +4,7 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|chaos|bench]
+# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples]
 #   default — plain + lint (clang-tidy + bicord_lint) + TSAN + ASan/UBSan,
 #             i.e. warnings -> static gates -> tests -> sanitizers
 #   fast    — plain build + tests only
@@ -17,6 +17,8 @@
 #   bench   — perf smoke: one fast bench_micro pass asserting the
 #             machine-independent invariants (hot path allocation-free);
 #             absolute-time comparison is opt-in via scripts/bench.sh compare
+#   examples — builds and runs all four examples as smoke tests; any nonzero
+#             exit (or a crash mid-render) fails the gate
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +34,21 @@ fi
 if [ "$MODE" = "lint" ]; then
   echo "== static gates: clang-tidy + bicord_lint =="
   exec scripts/lint.sh all
+fi
+
+if [ "$MODE" = "examples" ]; then
+  EXAMPLES=(quickstart smart_home industrial_monitoring signaling_demo)
+  echo "== examples smoke: build + run ${EXAMPLES[*]} =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target "${EXAMPLES[@]}"
+  for ex in "${EXAMPLES[@]}"; do
+    echo
+    echo "== examples smoke: $ex =="
+    "./build/examples/$ex" > /dev/null
+  done
+  echo
+  echo "OK: all ${#EXAMPLES[@]} examples ran clean"
+  exit 0
 fi
 
 if [ "$MODE" = "chaos" ]; then

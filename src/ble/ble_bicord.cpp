@@ -19,50 +19,28 @@ phy::Radio::Config decoder_config(int zigbee_channel) {
 
 BleBiCordAgent::BleBiCordAgent(phy::Medium& medium, BleConnection& connection,
                                Config config)
-    : medium_(medium),
-      sim_(medium.simulator()),
+    : sim_(medium.simulator()),
       connection_(connection),
       config_(config),
-      allocator_(config.allocator),
+      engine_(medium.simulator(), core::kBleTraits, config.allocator,
+              /*history_capacity=*/1024),
       cross_decoder_(medium, connection.master(), decoder_config(config.zigbee_channel)) {
   protected_channels_ =
       BleConnection::channels_overlapping(phy::zigbee_channel(config_.zigbee_channel));
+  engine_.set_release_hook([this] {
+    for (int c : protected_channels_) connection_.set_channel_enabled(c, true);
+  });
   cross_decoder_.set_rx_callback(
       [this](const phy::RxResult& rx) { on_control_frame(rx); });
 }
 
-bool BleBiCordAgent::lease_active() const { return sim_.now() < lease_until_; }
-
 void BleBiCordAgent::on_control_frame(const phy::RxResult& rx) {
   if (!rx.success || rx.frame.kind != phy::FrameKind::Control) return;
-  ++requests_;
-  last_request_ = sim_.now();
-  if (lease_active()) return;  // already protecting the band
-  const Duration grant = allocator_.on_request(sim_.now());
-  grant_lease(grant + config_.grant_margin);
-}
-
-void BleBiCordAgent::grant_lease(Duration lease) {
-  ++leases_;
-  lease_until_ = sim_.now() + lease;
+  const auto grant = engine_.on_request(sim_.now());
+  if (!grant.has_value()) return;  // already protecting the band
+  engine_.begin_lease(sim_.now(), *grant + config_.grant_margin);
   for (int c : protected_channels_) connection_.set_channel_enabled(c, false);
-  if (lease_timer_ != sim::kInvalidEventId) sim_.cancel(lease_timer_);
-  lease_timer_ = sim_.at(lease_until_, [this] {
-    lease_timer_ = sim::kInvalidEventId;
-    lease_expired();
-  });
-}
-
-void BleBiCordAgent::lease_expired() {
-  for (int c : protected_channels_) connection_.set_channel_enabled(c, true);
-  // End-of-burst detection mirrors the Wi-Fi agent: silence after the lease
-  // elapses marks the burst complete and feeds the estimator.
-  const TimePoint resumed = sim_.now();
-  sim_.after(allocator_.params().end_of_burst_gap, [this, resumed] {
-    if (lease_active()) return;           // a new lease started meanwhile
-    if (last_request_ > resumed) return;  // burst continuing
-    allocator_.on_burst_end(sim_.now());
-  });
+  engine_.arm_lease_expiry();
 }
 
 }  // namespace bicord::ble

@@ -6,14 +6,18 @@
 // ZigBee and Bluetooth networks. The BLE analogue of a time-domain white
 // space is *spectral*: on a request, the BLE master excludes the data
 // channels overlapping the ZigBee band from its adaptive-frequency-hopping
-// map for a lease period; BiCord's white-space allocator decides the lease
-// length exactly as it decides white-space lengths for Wi-Fi — learning the
-// ZigBee burst pattern from repeated requests.
+// map for a lease period. The loop itself — allocator, grant accounting,
+// lease expiry, end-of-burst estimation — is the shared
+// core::CoordinationEngine in its lease-based (kBleTraits) mode; this
+// adapter contributes only the cross-decoding receiver and the hop-map
+// protection mechanics.
 
 #include <cstdint>
 #include <vector>
 
 #include "ble/ble_link.hpp"
+#include "core/coordination_engine.hpp"
+#include "core/technology_traits.hpp"
 #include "core/whitespace.hpp"
 #include "phy/radio.hpp"
 
@@ -26,42 +30,35 @@ class BleBiCordAgent {
     /// The ZigBee channel being protected (802.15.4 numbering).
     int zigbee_channel = 24;
     /// Lease extension granted per request on top of the allocator grant.
-    Duration grant_margin = Duration::from_ms(2);
+    Duration grant_margin = core::kBleTraits.grant_margin;
   };
 
   /// `connection` is the master's BLE link; the agent listens for ZigBee
   /// control packets with a cross-decoding receiver on the master node.
   BleBiCordAgent(phy::Medium& medium, BleConnection& connection, Config config);
 
-  [[nodiscard]] std::uint64_t requests_detected() const { return requests_; }
-  [[nodiscard]] std::uint64_t leases_granted() const { return leases_; }
-  [[nodiscard]] bool lease_active() const;
-  [[nodiscard]] const core::WhitespaceAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] std::uint64_t requests_detected() const { return engine_.requests(); }
+  [[nodiscard]] std::uint64_t leases_granted() const { return engine_.grants(); }
+  [[nodiscard]] bool lease_active() const { return engine_.grant_active(); }
+  [[nodiscard]] const core::WhitespaceAllocator& allocator() const {
+    return engine_.allocator();
+  }
   [[nodiscard]] const std::vector<int>& protected_channels() const {
     return protected_channels_;
   }
 
  private:
   void on_control_frame(const phy::RxResult& rx);
-  void grant_lease(Duration lease);
-  void lease_expired();
 
-  phy::Medium& medium_;
   sim::Simulator& sim_;
   BleConnection& connection_;
   Config config_;
-  core::WhitespaceAllocator allocator_;
+  core::CoordinationEngine engine_;
   /// Cross-decoding receiver: a ZigBee-band radio co-located with the
   /// master (Jiang et al., "cross-decoding").
   phy::Radio cross_decoder_;
 
   std::vector<int> protected_channels_;
-  TimePoint lease_until_;
-  TimePoint last_request_;
-  sim::EventId lease_timer_ = sim::kInvalidEventId;
-
-  std::uint64_t requests_ = 0;
-  std::uint64_t leases_ = 0;
 };
 
 }  // namespace bicord::ble

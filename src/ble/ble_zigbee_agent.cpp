@@ -4,7 +4,9 @@ namespace bicord::ble {
 
 BleAwareZigbeeAgent::BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
                                          Config config)
-    : ZigbeeAgentBase(mac, receiver), config_(config) {
+    : ZigbeeAgentBase(mac, receiver),
+      config_(config),
+      engine_(mac, core::RequesterEngine::Config{config.signaling}) {
   max_attempts_ = 30;
 }
 
@@ -26,7 +28,7 @@ void BleAwareZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& 
       return;
     }
     // Delivery failure under hopping interference: request protection.
-    ++rounds_;
+    engine_.begin_round();
     signal_train(config_.control_packets);
   }
 }
@@ -43,14 +45,7 @@ void BleAwareZigbeeAgent::signal_train(int remaining) {
     sim_.after(Duration::from_ms(1), [this, remaining] { signal_train(remaining); });
     return;
   }
-  ++controls_;
-  mac_.radio().wake();
-  zigbee::ZigbeeMac::SendRequest control;
-  control.dst = phy::kBroadcastNode;
-  control.payload_bytes = config_.signaling.control_payload_bytes;
-  control.kind = phy::FrameKind::Control;
-  control.power_dbm_override = config_.signaling_power_dbm;
-  mac_.send_raw(control, [this, remaining] {
+  engine_.send_control(config_.signaling_power_dbm, [this, remaining] {
     sim_.after(config_.signaling.control_gap, [this, remaining] {
       signal_train(remaining - 1);
     });

@@ -6,10 +6,13 @@
 // acquisition never triggers — the signal to coordinate is *delivery
 // failure*. On a failed transmission the agent emits a short train of
 // control packets (which the BLE master's cross-decoding receiver
-// understands as a channel request) and retries.
+// understands as a channel request) and retries. Control emission and round
+// accounting are the shared core::RequesterEngine; this adapter only paces
+// the train.
 
 #include <cstdint>
 
+#include "core/coordination_engine.hpp"
 #include "core/protocol_params.hpp"
 #include "core/zigbee_agent.hpp"
 
@@ -27,8 +30,12 @@ class BleAwareZigbeeAgent final : public core::ZigbeeAgentBase {
 
   BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
 
-  [[nodiscard]] std::uint64_t control_packets_sent() const { return controls_; }
-  [[nodiscard]] std::uint64_t signaling_rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t control_packets_sent() const {
+    return engine_.control_packets();
+  }
+  [[nodiscard]] std::uint64_t signaling_rounds() const {
+    return engine_.signaling_rounds();
+  }
 
  protected:
   void kick() override;
@@ -38,9 +45,8 @@ class BleAwareZigbeeAgent final : public core::ZigbeeAgentBase {
   void signal_train(int remaining);
 
   Config config_;
+  core::RequesterEngine engine_;
   bool signaling_ = false;
-  std::uint64_t controls_ = 0;
-  std::uint64_t rounds_ = 0;
 };
 
 }  // namespace bicord::ble

@@ -1,0 +1,96 @@
+#pragma once
+// The Sec. VII-D extension testbed in a box: a ZigBee link inside a cluster
+// of aggressive BLE connections, optionally coordinated by BiCord-for-BLE.
+//
+// Mirrors coex::Scenario for the ZigBee/BLE technology pair: several BLE
+// audio-like links hop across the 2.4 GHz band around one ZigBee link; with
+// coordination enabled each BLE master runs a BleBiCordAgent (cross-decoding
+// receiver + spectral leases) and the ZigBee sender a BleAwareZigbeeAgent.
+// Extracted from bench_ext_ble so benches, bicordsim, and the golden
+// determinism test share one topology (construction order — and therefore
+// RNG/event scheduling — is part of the contract).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ble/ble_bicord.hpp"
+#include "ble/ble_link.hpp"
+#include "ble/ble_zigbee_agent.hpp"
+#include "phy/medium.hpp"
+#include "phy/path_loss.hpp"
+#include "sim/simulator.hpp"
+#include "zigbee/traffic.hpp"
+#include "zigbee/zigbee_mac.hpp"
+
+namespace bicord::coex {
+
+struct BleScenarioConfig {
+  std::uint64_t seed = 2626;
+  /// Number of BLE master/slave pairs packed around the ZigBee link.
+  int ble_links = 4;
+  /// Run BiCord-for-BLE coordination agents on the BLE masters.
+  bool coordinate = true;
+
+  // --- BLE side (audio-streaming-like load) ---------------------------------
+  Duration ble_connection_interval = Duration::from_us(7500);
+  std::uint32_t ble_payload_bytes = 251;  ///< max LE data PDU
+  double ble_tx_power_dbm = 4.0;          ///< class-2-ish audio links
+
+  // --- ZigBee side ----------------------------------------------------------
+  int zigbee_channel = 24;
+  zigbee::BurstSource::Config burst{
+      .packets_per_burst = 5,
+      .payload_bytes = 50,
+      .mean_interval = Duration::from_ms(150),
+  };
+
+  /// Same office propagation model as ScenarioConfig.
+  phy::PathLossModel path_loss{40.0, 3.0, 0.0, 0.1};
+};
+
+class BleScenario {
+ public:
+  explicit BleScenario(BleScenarioConfig config);
+
+  BleScenario(const BleScenario&) = delete;
+  BleScenario& operator=(const BleScenario&) = delete;
+
+  void run_for(Duration d);
+
+  /// Headline metrics matching bench_ext_ble's report columns.
+  struct Report {
+    double zb_delivery = 0.0;
+    double zb_delay_ms = 0.0;
+    double zb_attempt_overhead = 0.0;  ///< MAC attempts per delivered packet
+    double ble_success = 0.0;
+    std::uint64_t leases = 0;
+    std::uint64_t controls = 0;
+  };
+  [[nodiscard]] Report report() const;
+
+  // --- components -----------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] phy::Medium& medium() { return *medium_; }
+  [[nodiscard]] ble::BleAwareZigbeeAgent& zigbee_agent() { return *zigbee_agent_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ble::BleConnection>>& ble_links() const {
+    return links_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<ble::BleBiCordAgent>>& ble_agents() const {
+    return agents_;
+  }
+  [[nodiscard]] const BleScenarioConfig& config() const { return config_; }
+
+ private:
+  BleScenarioConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::vector<std::unique_ptr<ble::BleConnection>> links_;
+  std::unique_ptr<zigbee::ZigbeeMac> zigbee_sender_mac_;
+  std::unique_ptr<zigbee::ZigbeeMac> zigbee_receiver_mac_;
+  std::vector<std::unique_ptr<ble::BleBiCordAgent>> agents_;
+  std::unique_ptr<ble::BleAwareZigbeeAgent> zigbee_agent_;
+  std::unique_ptr<zigbee::BurstSource> burst_source_;
+};
+
+}  // namespace bicord::coex

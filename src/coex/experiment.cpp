@@ -39,9 +39,7 @@ std::vector<MetricSummary> ExperimentRunner::run(int repetitions) {
         ScenarioConfig cfg = base_;
         cfg.seed = trial_seed(rep);
         Scenario scenario(cfg);
-        scenario.run_for(warmup_);
-        scenario.start_measurement();
-        scenario.run_for(measure_);
+        warm_and_measure(scenario, warmup_, measure_);
         std::vector<double> values;
         values.reserve(metrics_.size());
         for (const auto& [name, metric] : metrics_) {

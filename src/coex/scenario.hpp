@@ -73,7 +73,8 @@ struct ScenarioConfig {
   /// Paper Sec. VIII-A: the ZigBee sender uses -7 dBm for data and loses
   /// >95 % of packets whenever the Wi-Fi sender is active.
   double zigbee_data_power_dbm = -7.0;
-  /// Negative infinity-ish sentinel: use the per-location default.
+  /// Control-packet power; nullopt means the per-location default from
+  /// default_signaling_power_dbm() (paper footnote 3).
   std::optional<double> signaling_power_dbm;
   /// Distance from ZigBee sender to its receiver (paper: 1-5 m).
   std::optional<double> zigbee_link_distance_m;
@@ -97,7 +98,9 @@ struct ScenarioConfig {
   core::EccWifiAgent::Config ecc;
 
   // --- environment ----------------------------------------------------------
-  phy::PathLossModel path_loss{40.0, 3.0, 0.0, 0.1};  ///< no shadowing by default
+  /// 40 dB @ 1 m, exponent 3.0, shadowing sigma 0 dB (off by default — the
+  /// CSI/impulse models carry the fast variation), distances clamped at 0.1 m.
+  phy::PathLossModel path_loss{40.0, 3.0, 0.0, 0.1};
   bool person_mobility = false;    ///< someone walks near the Wi-Fi receiver
   double person_event_rate_hz = 0.4;
   bool device_mobility = false;    ///< the ZigBee sender moves within ~1 m
@@ -222,5 +225,14 @@ class Scenario {
   std::uint64_t wifi_delivered_ = 0;
   TimePoint measure_start_;
 };
+
+/// Runs a scenario with warm-up and measurement windows; returns after
+/// `measure` of measured time. The single warm-up idiom shared by the
+/// experiment runner, the benches, and the examples.
+inline void warm_and_measure(Scenario& scenario, Duration warmup, Duration measure) {
+  scenario.run_for(warmup);
+  scenario.start_measurement();
+  scenario.run_for(measure);
+}
 
 }  // namespace bicord::coex

@@ -1,0 +1,90 @@
+#pragma once
+// Declarative scenario descriptions (the data layer above ScenarioConfig).
+//
+// A ScenarioSpec is an ordered list of `key = value` assignments — parsed
+// from a small text DSL in the style of fault::FaultPlan, taken from a named
+// preset (one per paper figure), or built programmatically with set(). It
+// lowers to the C++ config structs (`ScenarioConfig`, or `BleScenarioConfig`
+// when `topology = ble`) on demand. Benches, examples, and bicordsim build
+// their scenarios from presets plus explicit overrides, so an experiment's
+// setup is diffable data rather than a hand-rolled config block; the
+// bicord_lint rule `scenario-config-literal` keeps it that way.
+//
+// DSL: one assignment per line, `#` starts a comment, later assignments win
+// (overrides compose in declaration order). Durations take a us/ms/s suffix.
+// Repeatable keys (`extra.link`, `fault.event`) append instead of replace.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coex/ble_scenario.hpp"
+#include "coex/scenario.hpp"
+#include "util/time.hpp"
+
+namespace bicord::coex {
+
+class ScenarioSpec {
+ public:
+  /// One `key = value` assignment; `line` is the 1-based source line when the
+  /// entry came from parse() (0 for set() / preset-internal entries), echoed
+  /// in lowering errors so `--scenario @file` diagnostics stay actionable.
+  struct Entry {
+    std::string key;
+    std::string value;
+    int line = 0;
+  };
+
+  ScenarioSpec() = default;
+
+  /// Parses the text DSL. Returns nullopt and fills *error ("line N: ...")
+  /// on syntax errors or unknown keys.
+  [[nodiscard]] static std::optional<ScenarioSpec> parse(const std::string& text,
+                                                         std::string* error = nullptr);
+
+  /// Named specs for the paper's experiments ("default", "motivation",
+  /// "table1", "fig7".."fig13", "multinode", "ble"). Nullopt for unknown names.
+  [[nodiscard]] static std::optional<ScenarioSpec> preset(const std::string& name);
+  /// Registered preset names, in presentation order.
+  [[nodiscard]] static std::vector<std::string> preset_names();
+  /// One-line summary for --list-presets; empty for unknown names.
+  [[nodiscard]] static std::string preset_summary(const std::string& name);
+
+  // --- overrides (append; lowering applies entries in declaration order) ----
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value) { set(key, std::string(value)); }
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value) { set(key, static_cast<std::int64_t>(value)); }
+  void set(const std::string& key, double value);
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, Duration value);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Canonical text form; parse(serialize()) round-trips bitwise.
+  [[nodiscard]] std::string serialize() const;
+
+  // --- lowering -------------------------------------------------------------
+  /// True when the spec selects the ZigBee/BLE topology (`topology = ble`).
+  [[nodiscard]] bool is_ble() const;
+
+  /// Lowers to the Wi-Fi/ZigBee testbed config. Returns nullopt and fills
+  /// *error (mentioning key and source line) on malformed values.
+  [[nodiscard]] std::optional<ScenarioConfig> config(std::string* error = nullptr) const;
+  /// Lowers to the BLE-extension config (`topology = ble` specs).
+  [[nodiscard]] std::optional<BleScenarioConfig> ble_config(std::string* error = nullptr) const;
+
+  /// config() that aborts with the lowering error on stderr — for benches and
+  /// examples whose specs are compile-time-known presets + literal overrides.
+  [[nodiscard]] ScenarioConfig must_config() const;
+  [[nodiscard]] BleScenarioConfig must_ble_config() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bicord::coex

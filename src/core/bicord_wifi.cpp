@@ -1,17 +1,14 @@
 #include "core/bicord_wifi.hpp"
 
-#include "util/logging.hpp"
-
 namespace bicord::core {
 
 BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
     : mac_(mac),
-      sim_(mac.simulator()),
       config_(config),
-      allocator_(config.allocator),
+      engine_(mac.simulator(), kWifiTraits, config.allocator,
+              config.grant_history_capacity),
       csi_(mac.simulator(), config.csi),
-      detector_(config.detector),
-      grant_history_(config.grant_history_capacity) {
+      detector_(config.detector) {
   mac_.set_rx_hook([this](const phy::RxResult& rx) {
     // Every decodable Wi-Fi frame contributes a CSI reading (the Intel 5300
     // extractor reports CSI for corrupt frames too, as long as the preamble
@@ -20,92 +17,23 @@ BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
   });
   csi_.set_sample_callback([this](const csi::CsiSample& s) { detector_.add_sample(s); });
   detector_.set_detection_callback([this](TimePoint t) { on_detection(t); });
-  mac_.set_pause_end_callback([this](TimePoint t) { on_pause_end(t); });
-}
-
-BiCordWifiAgent::~BiCordWifiAgent() { disarm_watchdog(); }
-
-Duration BiCordWifiAgent::jittered(Duration d) const {
-  if (!timer_jitter_) return d;
-  Duration j = timer_jitter_(d);
-  return j > Duration::zero() ? j : Duration::from_us(1);
+  mac_.set_pause_end_callback([this](TimePoint t) { engine_.on_resume(t); });
 }
 
 void BiCordWifiAgent::on_detection(TimePoint t) {
-  ++requests_;
-  last_detection_ = t;
-  if (grant_outstanding_) {
-    // Already serving this burst (leftover ZigBee data overlapping our
-    // resumed traffic re-triggers the detector; the allocator sees it as the
-    // same round until the white space actually elapses).
-    return;
-  }
-  if (policy_ && !policy_()) {
-    ++ignored_;
-    return;
-  }
-  const Duration grant = allocator_.on_request(t);
-  ++grants_;
-  grant_history_.push(grant);
-  if (grant_observer_) grant_observer_(t, grant);
-  BICORD_LOG(Debug, t, "bicord.wifi",
-             "request detected, granting " << grant << " white space");
+  const auto grant = engine_.on_request(t);
+  if (!grant.has_value()) return;  // absorbed into the running grant, or refused
 
-  grant_outstanding_ = true;
-  grant_started_ = t;
+  engine_.begin_grant(t);
   wifi::WifiMac::SendRequest cts;
   cts.dst = phy::kBroadcastNode;
   cts.kind = phy::FrameKind::Cts;
-  cts.nav = grant + config_.grant_margin;
+  cts.nav = *grant + config_.grant_margin;
   mac_.enqueue_front(cts);
   // The pause-end notification normally clears the grant when the NAV
   // elapses; if it never arrives (lost CTS, swallowed resume interrupt) the
-  // watchdog guarantees grant_outstanding_ cannot stay set forever.
-  arm_watchdog(t + cts.nav + config_.watchdog_slack);
-}
-
-void BiCordWifiAgent::on_pause_end(TimePoint t) {
-  if (!grant_outstanding_) return;
-  if (pause_end_filter_ && pause_end_filter_(t)) return;  // fault injection
-  grant_outstanding_ = false;
-  disarm_watchdog();
-  // Sustained silence after resuming marks the end of the ZigBee burst.
-  end_of_burst_check(t);
-}
-
-void BiCordWifiAgent::arm_watchdog(TimePoint deadline) {
-  disarm_watchdog();
-  watchdog_event_ = sim_.at(deadline, [this] {
-    watchdog_event_ = sim::kInvalidEventId;
-    on_watchdog();
-  });
-}
-
-void BiCordWifiAgent::disarm_watchdog() {
-  if (watchdog_event_ != sim::kInvalidEventId) {
-    sim_.cancel(watchdog_event_);
-    watchdog_event_ = sim::kInvalidEventId;
-  }
-}
-
-void BiCordWifiAgent::on_watchdog() {
-  if (!grant_outstanding_) return;
-  ++watchdog_recoveries_;
-  grant_outstanding_ = false;
-  BICORD_LOG(Warn, sim_.now(), "fault.recovery",
-             "wifi watchdog: grant from " << grant_started_
-                                          << " never resumed; force-clearing");
-  // Treat the watchdog instant as the resume point so the allocator still
-  // closes the round instead of waiting for a pause-end that will never come.
-  end_of_burst_check(sim_.now());
-}
-
-void BiCordWifiAgent::end_of_burst_check(TimePoint resume_time) {
-  sim_.after(jittered(allocator_.params().end_of_burst_gap), [this, resume_time] {
-    if (grant_outstanding_) return;  // a new round started meanwhile
-    if (last_detection_ > resume_time) return;  // request arrived, handled
-    allocator_.on_burst_end(sim_.now());
-  });
+  // watchdog guarantees the grant cannot stay outstanding forever.
+  engine_.arm_watchdog(t + cts.nav + config_.watchdog_slack);
 }
 
 }  // namespace bicord::core

@@ -4,18 +4,19 @@
 // Runs on the Wi-Fi device that *receives* the ongoing traffic (the CSI
 // observer). Every decoded frame yields a CSI jitter sample; the detector's
 // threshold + continuity rule turns a ZigBee control-packet overlap into a
-// one-bit channel request. On a request the agent consults its policy (a
-// device may ignore requests while carrying high-priority traffic), asks the
-// adaptive allocator for a white-space length, and broadcasts a CTS whose
-// NAV silences every Wi-Fi transmitter in range — the MAC self-pauses for
-// the same period. After resuming, 20 ms without a further detection marks
-// the end of the ZigBee burst and feeds the allocator's estimator.
+// one-bit channel request. The grant loop itself — allocator consultation,
+// policy refusal, grant history, end-of-burst estimation, and the
+// stale-grant watchdog — is the shared core::CoordinationEngine; this agent
+// contributes the Wi-Fi specifics: the CSI detection chain and the CTS whose
+// NAV silences every Wi-Fi transmitter in range (the MAC self-pauses for the
+// same period). After resuming, 20 ms without a further detection marks the
+// end of the ZigBee burst and feeds the allocator's estimator.
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 
-#include "core/grant_history.hpp"
+#include "core/coordination_engine.hpp"
+#include "core/technology_traits.hpp"
 #include "core/whitespace.hpp"
 #include "sim/simulator.hpp"
 #include "csi/csi_detector.hpp"
@@ -31,84 +32,72 @@ class BiCordWifiAgent {
     csi::CsiModelParams csi;
     csi::DetectorParams detector;
     /// Extra reservation to cover the CTS airtime + turnaround.
-    Duration grant_margin = Duration::from_us(500);
+    Duration grant_margin = kWifiTraits.grant_margin;
     /// Stale-grant watchdog: if the pause-end notification has not arrived
     /// this long after the granted NAV should have elapsed, the agent assumes
     /// the grant was lost (corrupted CTS, wedged MAC) and force-clears it.
-    Duration watchdog_slack = Duration::from_ms(20);
+    Duration watchdog_slack = kWifiTraits.watchdog_slack;
     /// Most recent grants retained by grant_history() (all-time stats are
     /// kept regardless).
     std::size_t grant_history_capacity = 1024;
   };
 
   /// Returns true when the device is willing to grant a white space now.
-  using Policy = std::function<bool()>;
+  using Policy = CoordinationEngine::Policy;
   /// Observer for every grant (start, length) — drives Fig. 7.
-  using GrantObserver = std::function<void(TimePoint, Duration)>;
-
+  using GrantObserver = CoordinationEngine::GrantObserver;
   /// Fault hook: return true to swallow a pause-end notification (models a
   /// lost resume interrupt). Consulted only while a grant is outstanding.
-  using PauseEndFilter = std::function<bool(TimePoint)>;
+  using PauseEndFilter = CoordinationEngine::ResumeFilter;
   /// Fault hook: perturb a relative timer delay (clock jitter).
-  using TimerJitter = std::function<Duration(Duration)>;
+  using TimerJitter = CoordinationEngine::TimerJitter;
 
   BiCordWifiAgent(wifi::WifiMac& mac, Config config);
-  ~BiCordWifiAgent();
 
   BiCordWifiAgent(const BiCordWifiAgent&) = delete;
   BiCordWifiAgent& operator=(const BiCordWifiAgent&) = delete;
 
-  void set_policy(Policy policy) { policy_ = std::move(policy); }
-  void set_grant_observer(GrantObserver obs) { grant_observer_ = std::move(obs); }
-  void set_pause_end_filter(PauseEndFilter filter) { pause_end_filter_ = std::move(filter); }
-  void set_timer_jitter(TimerJitter jitter) { timer_jitter_ = std::move(jitter); }
+  void set_policy(Policy policy) { engine_.set_policy(std::move(policy)); }
+  void set_grant_observer(GrantObserver obs) {
+    engine_.set_grant_observer(std::move(obs));
+  }
+  void set_pause_end_filter(PauseEndFilter filter) {
+    engine_.set_resume_filter(std::move(filter));
+  }
+  void set_timer_jitter(TimerJitter jitter) {
+    engine_.set_timer_jitter(std::move(jitter));
+  }
 
-  [[nodiscard]] const WhitespaceAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] const WhitespaceAllocator& allocator() const {
+    return engine_.allocator();
+  }
   [[nodiscard]] csi::CsiStream& csi_stream() { return csi_; }
   [[nodiscard]] csi::CsiDetector& detector() { return detector_; }
 
-  [[nodiscard]] std::uint64_t requests_detected() const { return requests_; }
-  [[nodiscard]] std::uint64_t whitespaces_granted() const { return grants_; }
-  [[nodiscard]] std::uint64_t requests_ignored() const { return ignored_; }
+  [[nodiscard]] std::uint64_t requests_detected() const { return engine_.requests(); }
+  [[nodiscard]] std::uint64_t whitespaces_granted() const { return engine_.grants(); }
+  [[nodiscard]] std::uint64_t requests_ignored() const { return engine_.ignored(); }
   /// Recent grants in order (capped window; all-time stats via total()/sum()).
-  [[nodiscard]] const GrantHistory& grant_history() const { return grant_history_; }
+  [[nodiscard]] const GrantHistory& grant_history() const {
+    return engine_.grant_history();
+  }
 
   /// True while a CTS is queued or the granted white space is running.
-  [[nodiscard]] bool grant_outstanding() const { return grant_outstanding_; }
-  [[nodiscard]] TimePoint grant_started() const { return grant_started_; }
+  [[nodiscard]] bool grant_outstanding() const { return engine_.grant_active(); }
+  [[nodiscard]] TimePoint grant_started() const { return engine_.grant_started(); }
   /// Times the stale-grant watchdog had to force-clear a wedged grant.
-  [[nodiscard]] std::uint64_t watchdog_recoveries() const { return watchdog_recoveries_; }
+  [[nodiscard]] std::uint64_t watchdog_recoveries() const {
+    return engine_.watchdog_recoveries();
+  }
 
  private:
   void on_detection(TimePoint t);
-  void on_pause_end(TimePoint t);
-  void end_of_burst_check(TimePoint resume_time);
-  void arm_watchdog(TimePoint deadline);
-  void disarm_watchdog();
-  void on_watchdog();
-  [[nodiscard]] Duration jittered(Duration d) const;
 
   wifi::WifiMac& mac_;
-  sim::Simulator& sim_;
   Config config_;
-  WhitespaceAllocator allocator_;
+  CoordinationEngine engine_;
   csi::CsiStream csi_;
   csi::CsiDetector detector_;
-  Policy policy_;
-  GrantObserver grant_observer_;
-  PauseEndFilter pause_end_filter_;
-  TimerJitter timer_jitter_;
-
-  bool grant_outstanding_ = false;  ///< CTS queued or white space running
-  TimePoint grant_started_;
-  TimePoint last_detection_;
-  sim::EventId watchdog_event_ = sim::kInvalidEventId;
-
-  std::uint64_t requests_ = 0;
-  std::uint64_t grants_ = 0;
-  std::uint64_t ignored_ = 0;
-  std::uint64_t watchdog_recoveries_ = 0;
-  GrantHistory grant_history_;
 };
 
 }  // namespace bicord::core

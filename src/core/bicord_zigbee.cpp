@@ -1,34 +1,33 @@
 #include "core/bicord_zigbee.hpp"
 
-#include <algorithm>
-
 #include "util/logging.hpp"
 
 namespace bicord::core {
+
+namespace {
+RequesterEngine::Config engine_config(const BiCordZigbeeAgent::Config& config) {
+  RequesterEngine::Config ec;
+  ec.signaling = config.signaling;
+  ec.backoff_jitter = config.backoff_jitter;
+  ec.give_up_after_ignored = config.give_up_after_ignored;
+  return ec;
+}
+}  // namespace
 
 BiCordZigbeeAgent::BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
                                      Config config)
     : ZigbeeAgentBase(mac, receiver),
       config_(config),
-      // const split(k): derives a dedicated jitter stream without advancing
-      // the parent RNG, so adding it does not perturb any existing stream.
-      rng_(mac.medium().simulator().rng().split(0xB1C0FDULL ^ mac.node())),
+      engine_(mac, engine_config(config)),
       sampler_(mac.medium(), mac.node(), mac.radio().band()) {
   max_attempts_ = 50;  // reliability first: BiCord keeps requesting channel
-}
-
-Duration BiCordZigbeeAgent::jittered(Duration d) {
-  if (config_.backoff_jitter > 0.0) {
-    const double f =
-        rng_.uniform(1.0 - config_.backoff_jitter, 1.0 + config_.backoff_jitter);
-    d = Duration::from_us(std::max<std::int64_t>(
-        100, static_cast<std::int64_t>(static_cast<double>(d.us()) * f)));
-  }
-  if (timer_jitter_) {
-    const Duration j = timer_jitter_(d);
-    d = j > Duration::zero() ? j : Duration::from_us(1);
-  }
-  return d;
+  engine_.set_pre_send([this] {
+    if (meter_ != nullptr) meter_->set_tx_power_dbm(signaling_power_dbm_);
+  });
+  engine_.set_backoff_resume([this] {
+    if (state_ == State::Backoff) state_ = State::Idle;
+    kick();
+  });
 }
 
 void BiCordZigbeeAgent::kick() {
@@ -53,8 +52,7 @@ void BiCordZigbeeAgent::kick() {
     // Fallback window over: return to normal coordination with a clean
     // slate (the Wi-Fi device may be willing to grant again).
     state_ = State::Idle;
-    consecutive_ignored_ = 0;
-    ignored_streak_ = 0;
+    engine_.reset_streaks();
   }
   if (have_channel_) {
     state_ = State::Draining;
@@ -117,8 +115,7 @@ void BiCordZigbeeAgent::on_segment(detect::RssiSegment segment) {
 void BiCordZigbeeAgent::start_signaling(double power_dbm) {
   state_ = State::Signaling;
   signaling_power_dbm_ = power_dbm;
-  controls_this_round_ = 0;
-  ++signaling_rounds_;
+  engine_.begin_round();
   signal_step();
 }
 
@@ -128,22 +125,17 @@ void BiCordZigbeeAgent::signal_step() {
     return;
   }
   if (pumping()) return;  // a data probe is in flight; its outcome resumes us
-  if (controls_this_round_ >= config_.signaling.max_control_packets) {
+  if (engine_.round_exhausted()) {
     // The Wi-Fi device is ignoring us (e.g. high-priority traffic): back
     // off exponentially so repeated refusals do not fill the air with
     // control packets.
-    ++ignored_requests_;
-    consecutive_ignored_ = std::min(consecutive_ignored_ + 1, 4);
-    ++ignored_streak_;
     have_channel_ = false;
-    if (config_.give_up_after_ignored > 0 &&
-        ignored_streak_ >= config_.give_up_after_ignored) {
+    const auto ignored = engine_.round_ignored();
+    if (ignored.gave_up) {
       // Bounded give-up: signaling is clearly not being answered. Stop
       // burning control packets and drain what we can via plain CSMA.
-      ++give_ups_;
       state_ = State::CsmaFallback;
       csma_deadline_ = sim_.now() + config_.csma_fallback_period;
-      ignored_streak_ = 0;
       BICORD_LOG(Warn, sim_.now(), "fault.recovery",
                  "zigbee giving up after " << config_.give_up_after_ignored
                                            << " ignored rounds; CSMA fallback for "
@@ -151,20 +143,10 @@ void BiCordZigbeeAgent::signal_step() {
       pump_head(config_.data_power_dbm);
       return;
     }
-    enter_backoff(config_.signaling.ignored_backoff * (1 << consecutive_ignored_));
+    enter_backoff(ignored.backoff);
     return;
   }
-  ++controls_this_round_;
-  ++control_packets_;
-  mac_.radio().wake();  // duty-cycled radios sleep between bursts
-  if (meter_ != nullptr) meter_->set_tx_power_dbm(signaling_power_dbm_);
-
-  zigbee::ZigbeeMac::SendRequest control;
-  control.dst = phy::kBroadcastNode;
-  control.payload_bytes = config_.signaling.control_payload_bytes;
-  control.kind = phy::FrameKind::Control;
-  control.power_dbm_override = signaling_power_dbm_;
-  mac_.send_raw(control, [this] {
+  engine_.send_control(signaling_power_dbm_, [this] {
     if (meter_ != nullptr) meter_->set_tx_power_dbm(config_.data_power_dbm);
     gap_poll(0, 0, 0);
   });
@@ -194,11 +176,7 @@ void BiCordZigbeeAgent::gap_poll(int polls, int idle_streak, int busy_streak) {
     signal_step();
     return;
   }
-  Duration spacing = Duration::from_us(300);
-  if (timer_jitter_) {
-    const Duration j = timer_jitter_(spacing);
-    spacing = j > Duration::zero() ? j : Duration::from_us(1);
-  }
+  const Duration spacing = engine_.timer_jittered(Duration::from_us(300));
   sim_.after(spacing, [this, polls, idle_streak, busy_streak] {
     gap_poll(polls + 1, idle_streak, busy_streak);
   });
@@ -213,8 +191,7 @@ void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& ou
   }
   const bool was_signaling = state_ == State::Signaling;
   if (outcome.delivered) {
-    consecutive_ignored_ = 0;
-    ignored_streak_ = 0;
+    engine_.reset_streaks();
     have_channel_ = true;
     state_ = State::Draining;
   } else {
@@ -229,12 +206,7 @@ void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& ou
 
 void BiCordZigbeeAgent::enter_backoff(Duration d) {
   state_ = State::Backoff;
-  if (backoff_event_ != sim::kInvalidEventId) sim_.cancel(backoff_event_);
-  backoff_event_ = sim_.after(jittered(d), [this] {
-    backoff_event_ = sim::kInvalidEventId;
-    if (state_ == State::Backoff) state_ = State::Idle;
-    kick();
-  });
+  engine_.schedule_backoff(d);
 }
 
 }  // namespace bicord::core

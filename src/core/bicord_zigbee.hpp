@@ -17,16 +17,19 @@
 //      traffic).
 //   4. Draining — pump the burst; any delivery failure (white space ended)
 //      falls back to step 3 (classification results are cached).
+//
+// Control emission, round/give-up accounting, and the jittered exponential
+// backoff are the shared core::RequesterEngine; this agent owns the state
+// machine and the Wi-Fi-specific CTI detection / identification steps.
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
+#include "core/coordination_engine.hpp"
 #include "core/protocol_params.hpp"
 #include "core/zigbee_agent.hpp"
 #include "detect/classifier.hpp"
 #include "detect/rssi_sampler.hpp"
-#include "util/rng.hpp"
 #include "zigbee/energy.hpp"
 
 namespace bicord::core {
@@ -64,7 +67,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   };
 
   /// Fault hook: perturb a relative timer delay (clock jitter).
-  using TimerJitter = std::function<Duration(Duration)>;
+  using TimerJitter = RequesterEngine::TimerJitter;
 
   BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
 
@@ -77,16 +80,24 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   }
   void set_power_map(detect::PowerMap map) { power_map_ = std::move(map); }
   void set_energy_meter(zigbee::EnergyMeter* meter) { meter_ = meter; }
-  void set_timer_jitter(TimerJitter jitter) { timer_jitter_ = std::move(jitter); }
+  void set_timer_jitter(TimerJitter jitter) {
+    engine_.set_timer_jitter(std::move(jitter));
+  }
 
   [[nodiscard]] State state() const { return state_; }
-  [[nodiscard]] std::uint64_t control_packets_sent() const { return control_packets_; }
-  [[nodiscard]] std::uint64_t signaling_rounds() const { return signaling_rounds_; }
-  [[nodiscard]] std::uint64_t ignored_requests() const { return ignored_requests_; }
+  [[nodiscard]] std::uint64_t control_packets_sent() const {
+    return engine_.control_packets();
+  }
+  [[nodiscard]] std::uint64_t signaling_rounds() const {
+    return engine_.signaling_rounds();
+  }
+  [[nodiscard]] std::uint64_t ignored_requests() const {
+    return engine_.ignored_requests();
+  }
   [[nodiscard]] std::uint64_t non_wifi_detections() const { return non_wifi_; }
   [[nodiscard]] std::uint64_t cti_samples_taken() const { return cti_samples_; }
   /// Times the agent gave up signaling and fell back to plain CSMA.
-  [[nodiscard]] std::uint64_t give_ups() const { return give_ups_; }
+  [[nodiscard]] std::uint64_t give_ups() const { return engine_.give_ups(); }
   /// The RSSI sampler feeding CTI detection (exposed for fault injection).
   [[nodiscard]] detect::RssiSampler& sampler() { return sampler_; }
 
@@ -103,13 +114,11 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   /// sustained silence, sends the next control on sustained activity.
   void gap_poll(int polls, int idle_streak, int busy_streak);
   void enter_backoff(Duration d);
-  [[nodiscard]] Duration jittered(Duration d);
 
   Config config_;
   State state_ = State::Idle;
   bool have_channel_ = false;
-  Rng rng_;  ///< jitter draws only; split off a dedicated stream
-  TimerJitter timer_jitter_;
+  RequesterEngine engine_;
 
   const detect::InterferenceClassifier* classifier_ = nullptr;
   const detect::DeviceIdentifier* identifier_ = nullptr;
@@ -118,20 +127,12 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   zigbee::EnergyMeter* meter_ = nullptr;
 
   double signaling_power_dbm_ = 0.0;
-  int controls_this_round_ = 0;
-  int consecutive_ignored_ = 0;  ///< capped; exponent of the backoff
-  int ignored_streak_ = 0;       ///< uncapped; drives the give-up bound
-  TimePoint csma_deadline_;      ///< end of the current CSMA fallback window
-  sim::EventId backoff_event_ = sim::kInvalidEventId;
+  TimePoint csma_deadline_;  ///< end of the current CSMA fallback window
   std::optional<double> cached_wifi_power_;
   TimePoint cache_valid_until_;
 
-  std::uint64_t control_packets_ = 0;
-  std::uint64_t signaling_rounds_ = 0;
-  std::uint64_t ignored_requests_ = 0;
   std::uint64_t non_wifi_ = 0;
   std::uint64_t cti_samples_ = 0;
-  std::uint64_t give_ups_ = 0;
 };
 
 }  // namespace bicord::core

@@ -1,0 +1,47 @@
+#pragma once
+// The technology seam of the coordination core (paper Sec. V, VII-D).
+//
+// BiCord's request/grant loop is technology-agnostic: a requester signals,
+// the grantor asks the adaptive allocator for a white space, protects the
+// band for that long, and feeds burst boundaries back into the estimator.
+// What differs between the Wi-Fi and BLE instantiations is *how* the band is
+// protected and which timing constants the protection needs:
+//
+//   * Wi-Fi grants are a time-domain pause (a CTS NAV silences the BSS); the
+//     grant ends when the MAC's pause-end notification fires, so the grantor
+//     tracks an explicit outstanding flag plus a stale-grant watchdog for the
+//     case where that notification is lost.
+//   * BLE grants are spectral leases (the master drops the overlapping data
+//     channels from its hopping map); the lease ends by clock, so "active"
+//     is simply now < lease end and no watchdog is needed.
+//
+// A TechnologyTraits value captures exactly that difference; everything else
+// lives once in core::CoordinationEngine / core::RequesterEngine.
+
+#include "util/time.hpp"
+
+namespace bicord::core {
+
+struct TechnologyTraits {
+  /// Short technology name, used in recovery log messages ("wifi watchdog:
+  /// ..." — keep stable, tests and operators grep for it).
+  const char* name;
+  /// Log component tag for grant-path debug lines.
+  const char* log_tag;
+  /// Extra reservation on top of the allocator grant: CTS airtime +
+  /// turnaround for Wi-Fi, hop-map propagation for BLE.
+  Duration grant_margin;
+  /// Stale-grant watchdog slack (flag-based grants only; unused for leases).
+  Duration watchdog_slack;
+  /// False: the grant is an explicit flag cleared by a resume notification
+  /// (watchdog-guarded). True: the grant is a clock-bounded lease.
+  bool lease_based;
+};
+
+inline constexpr TechnologyTraits kWifiTraits{
+    "wifi", "bicord.wifi", Duration::from_us(500), Duration::from_ms(20), false};
+
+inline constexpr TechnologyTraits kBleTraits{
+    "ble", "bicord.ble", Duration::from_ms(2), Duration::zero(), true};
+
+}  // namespace bicord::core

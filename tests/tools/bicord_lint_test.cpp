@@ -366,6 +366,64 @@ TEST_F(BicordLintTest, DirectoryScanFindsNestedViolations) {
   EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
 }
 
+TEST_F(BicordLintTest, ScenarioConfigLiteralInBenchFires) {
+  const auto p = write("bench/bench_new.cpp",
+                       "int main() {\n"
+                       "  coex::ScenarioConfig cfg;\n"
+                       "  cfg.seed = 1;\n"
+                       "  return 0;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[scenario-config-literal]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, BleScenarioConfigLiteralInToolsFires) {
+  const auto p = write("tools/t.cpp",
+                       "int main() { coex::BleScenarioConfig cfg; return 0; }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[scenario-config-literal]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, ScenarioConfigAtHomeLayerAndTestsIsQuiet) {
+  // src/coex/ owns the structs; tests may build configs directly to probe
+  // edge cases the spec layer deliberately cannot express.
+  write("src/coex/scenario_user.cpp",
+        "coex::ScenarioConfig lowered() { return coex::ScenarioConfig{}; }\n");
+  write("tests/coex/scenario_test.cpp",
+        "void probe() { coex::ScenarioConfig cfg; (void)cfg; }\n");
+  Result r = run((root_ / "src" / "coex").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run((root_ / "tests").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ScenarioConfigLiteralIsWaivable) {
+  const auto p = write("bench/bench_waived.cpp",
+                       "int main() {\n"
+                       "  // bicord-lint: allow(scenario-config-literal)\n"
+                       "  coex::ScenarioConfig cfg;\n"
+                       "  return 0;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ScenarioSpecUsageDoesNotTrip) {
+  const auto p = write("bench/bench_spec.cpp",
+                       "int main() {\n"
+                       "  auto spec = *coex::ScenarioSpec::preset(\"fig7\");\n"
+                       "  spec.set(\"seed\", 7);\n"
+                       "  coex::Scenario scenario(spec.must_config());\n"
+                       "  return 0;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST_F(BicordLintTest, RulesDoNotApplyOutsideSrc) {
   // Determinism rules scope to src/: tools/ and tests/ may read wall clocks.
   write("tools/cli.cpp",

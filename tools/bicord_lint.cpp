@@ -30,6 +30,11 @@
 //     using-namespace-header no `using namespace` at header scope
 //     float-equality         (src/detect/, src/csi/ only) == / != on
 //                            floating-point values in detector/estimator math
+//     scenario-config-literal (outside src/coex/ and tests/) naming
+//                            ScenarioConfig/BleScenarioConfig directly —
+//                            consumers build scenarios from ScenarioSpec
+//                            presets + set() overrides so experiment setups
+//                            stay diffable data
 //
 // Baseline ratchet: --baseline FILE suppresses the findings fingerprinted in
 // FILE; anything new fails (exit 2). --write-baseline refuses to grow the
@@ -65,7 +70,7 @@ struct Finding {
 const std::vector<std::string> kAllRules = {
     "banned-rand",        "wall-clock",           "unordered-iteration",
     "delayed-ref-capture", "slab-callback-invoke", "pragma-once",
-    "using-namespace-header", "float-equality",
+    "using-namespace-header", "float-equality",   "scenario-config-literal",
 };
 
 std::string trim(const std::string& s) {
@@ -207,6 +212,9 @@ class Linter {
     const bool core = path_has_segment(norm, "src");
     const bool detector = norm.find("src/detect/") != std::string::npos ||
                           norm.find("src/csi/") != std::string::npos;
+    // The config structs' home layer plus the tests that exercise them.
+    const bool spec_layer = norm.find("src/coex/") != std::string::npos ||
+                            path_has_segment(norm, "tests");
     if (core) {
       check_banned_tokens(norm, v);
       check_unordered_iteration(norm, v);
@@ -218,6 +226,7 @@ class Linter {
       check_using_namespace(norm, v);
     }
     if (detector) check_float_equality(norm, v);
+    if (!spec_layer) check_scenario_config_literal(norm, v);
   }
 
   [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
@@ -419,6 +428,21 @@ class Linter {
       if (std::regex_search(v.code[i], re)) {
         report(path, v, i, "using-namespace-header",
                "`using namespace` leaks into every includer: " + trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_scenario_config_literal(const std::string& path, const FileView& v) {
+    // Naming the raw config struct outside its home layer means a hand-rolled
+    // field-by-field scenario; those drift from the presets and are invisible
+    // to `bicordsim --scenario`. Build from ScenarioSpec instead.
+    static const std::regex re(R"(\b(Ble)?ScenarioConfig\b)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      if (std::regex_search(v.code[i], re)) {
+        report(path, v, i, "scenario-config-literal",
+               "hand-rolled scenario config outside src/coex/ (build from "
+               "ScenarioSpec presets + set() overrides): " +
+                   trim(v.raw[i]));
       }
     }
   }

@@ -1,11 +1,14 @@
 // bicordsim — run a configurable coexistence simulation from the shell.
 //
+//   bicordsim --scenario fig10 --scheme ecc --seconds 10
 //   bicordsim --scheme bicord --location A --burst-packets 5
 //             --burst-interval-ms 200 --seconds 10 --seed 7
 //
 // Prints the paper's metrics (channel utilization, ZigBee delay
-// percentiles, delivery, goodput, Wi-Fi health) for one run. Every knob of
-// coex::ScenarioConfig that the evaluation varies is exposed as a flag.
+// percentiles, delivery, goodput, Wi-Fi health) for one run. The scenario
+// comes from a declarative coex::ScenarioSpec — a named preset or a
+// key=value @file — and every knob the evaluation varies is also exposed as
+// a flag; explicit flags override the spec.
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +21,7 @@
 
 #include "coex/experiment.hpp"
 #include "coex/scenario.hpp"
+#include "coex/scenario_spec.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/invariant_checker.hpp"
 #include "phy/tracer.hpp"
@@ -27,31 +31,36 @@
 using namespace bicord;
 
 namespace {
-bool parse_scheme(const std::string& s, coex::Coordination& out) {
-  if (s == "bicord") {
-    out = coex::Coordination::BiCord;
-  } else if (s == "ecc") {
-    out = coex::Coordination::Ecc;
-  } else if (s == "csma") {
-    out = coex::Coordination::Csma;
-  } else {
+/// `--scenario` value: a preset name or @file of ScenarioSpec text.
+bool load_scenario_spec(const std::string& arg, coex::ScenarioSpec& out) {
+  if (arg[0] == '@') {
+    const std::string path = arg.substr(1);
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open scenario file '%s'\n", path.c_str());
+      return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    const auto spec = coex::ScenarioSpec::parse(text, &error);
+    if (!spec) {
+      std::fprintf(stderr, "error: bad scenario '%s': %s\n", path.c_str(),
+                   error.c_str());
+      return false;
+    }
+    out = *spec;
+    return true;
+  }
+  const auto spec = coex::ScenarioSpec::preset(arg);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "error: unknown scenario preset '%s' (--list-presets shows "
+                 "the catalogue, or pass @file)\n",
+                 arg.c_str());
     return false;
   }
-  return true;
-}
-
-bool parse_location(const std::string& s, coex::ZigbeeLocation& out) {
-  if (s == "A" || s == "a") {
-    out = coex::ZigbeeLocation::A;
-  } else if (s == "B" || s == "b") {
-    out = coex::ZigbeeLocation::B;
-  } else if (s == "C" || s == "c") {
-    out = coex::ZigbeeLocation::C;
-  } else if (s == "D" || s == "d") {
-    out = coex::ZigbeeLocation::D;
-  } else {
-    return false;
-  }
+  out = *spec;
   return true;
 }
 
@@ -92,6 +101,10 @@ bool load_fault_plan(const std::string& spec, fault::FaultPlan& out) {
 int main(int argc, char** argv) {
   Flags flags(
       "bicordsim — BiCord/ECC/CSMA coexistence simulation (ICDCS'21 reproduction)");
+  flags.add_string("scenario", "",
+                   "start from a ScenarioSpec: a preset name (--list-presets) or "
+                   "@file with key=value lines; explicit flags override it");
+  flags.add_bool("list-presets", false, "list the scenario presets and exit");
   flags.add_string("scheme", "bicord", "coordination scheme: bicord | ecc | csma");
   flags.add_string("location", "A", "ZigBee sender location: A | B | C | D (Fig. 6)");
   flags.add_int("burst-packets", 5, "ZigBee packets per burst");
@@ -128,41 +141,79 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.usage("bicordsim").c_str());
     return 0;
   }
-
-  coex::ScenarioConfig cfg;
-  if (!parse_scheme(flags.get_string("scheme"), cfg.coordination)) {
-    std::fprintf(stderr, "error: unknown scheme '%s'\n", flags.get_string("scheme").c_str());
-    return 2;
-  }
-  if (!parse_location(flags.get_string("location"), cfg.location)) {
-    std::fprintf(stderr, "error: unknown location '%s'\n",
-                 flags.get_string("location").c_str());
-    return 2;
-  }
-  const std::string wifi = flags.get_string("wifi-traffic");
-  if (wifi == "saturated") {
-    cfg.wifi_traffic = coex::WifiTrafficKind::Saturated;
-  } else if (wifi == "cbr") {
-    cfg.wifi_traffic = coex::WifiTrafficKind::Cbr;
-  } else if (wifi == "priority") {
-    cfg.wifi_traffic = coex::WifiTrafficKind::Priority;
-  } else {
-    std::fprintf(stderr, "error: unknown wifi traffic '%s'\n", wifi.c_str());
-    return 2;
+  if (flags.get_bool("list-presets")) {
+    AsciiTable presets;
+    presets.set_header({"preset", "scenario"});
+    for (const auto& name : coex::ScenarioSpec::preset_names()) {
+      presets.add_row({name, coex::ScenarioSpec::preset_summary(name)});
+    }
+    std::printf("%s", presets.render().c_str());
+    return 0;
   }
 
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  cfg.burst.packets_per_burst = static_cast<int>(flags.get_int("burst-packets"));
-  cfg.burst.payload_bytes = static_cast<std::uint32_t>(flags.get_int("burst-payload"));
-  cfg.burst.mean_interval = Duration::from_ms_f(flags.get_double("burst-interval-ms"));
-  cfg.burst.poisson = flags.get_bool("poisson");
-  cfg.wifi_high_share = flags.get_double("wifi-high-share");
-  cfg.ecc.whitespace = Duration::from_ms_f(flags.get_double("ecc-whitespace-ms"));
-  cfg.ecc.period = Duration::from_ms_f(flags.get_double("ecc-period-ms"));
-  cfg.allocator.initial_whitespace = Duration::from_ms_f(flags.get_double("step-ms"));
-  cfg.person_mobility = flags.get_bool("person-mobility");
-  cfg.device_mobility = flags.get_bool("device-mobility");
-  if (!load_fault_plan(flags.get_string("fault-plan"), cfg.fault_plan)) return 2;
+  coex::ScenarioSpec spec;
+  const bool have_scenario = !flags.get_string("scenario").empty();
+  if (have_scenario && !load_scenario_spec(flags.get_string("scenario"), spec)) {
+    return 2;
+  }
+  if (spec.is_ble()) {
+    std::fprintf(stderr,
+                 "error: topology=ble specs drive the BLE extension "
+                 "(bench_ext_ble); bicordsim runs the Wi-Fi topology\n");
+    return 2;
+  }
+  // Every scenario flag lowers to a spec key. Without --scenario the flag
+  // defaults describe the whole scenario (exactly the spec defaults); with a
+  // spec, only flags the user explicitly passed override it.
+  const auto overriding = [&](const char* flag) {
+    return !have_scenario || flags.provided(flag);
+  };
+  if (overriding("scheme")) spec.set("coordination", flags.get_string("scheme"));
+  if (overriding("location")) spec.set("location", flags.get_string("location"));
+  if (overriding("wifi-traffic")) spec.set("wifi.traffic", flags.get_string("wifi-traffic"));
+  if (overriding("seed")) spec.set("seed", static_cast<std::uint64_t>(flags.get_int("seed")));
+  if (overriding("burst-packets")) {
+    spec.set("burst.packets", static_cast<int>(flags.get_int("burst-packets")));
+  }
+  if (overriding("burst-payload")) {
+    spec.set("burst.payload", static_cast<int>(flags.get_int("burst-payload")));
+  }
+  if (overriding("burst-interval-ms")) {
+    spec.set("burst.interval", Duration::from_ms_f(flags.get_double("burst-interval-ms")));
+  }
+  if (overriding("poisson")) spec.set("burst.poisson", flags.get_bool("poisson"));
+  if (overriding("wifi-high-share")) {
+    spec.set("wifi.high_share", flags.get_double("wifi-high-share"));
+  }
+  if (overriding("ecc-whitespace-ms")) {
+    spec.set("ecc.whitespace", Duration::from_ms_f(flags.get_double("ecc-whitespace-ms")));
+  }
+  if (overriding("ecc-period-ms")) {
+    spec.set("ecc.period", Duration::from_ms_f(flags.get_double("ecc-period-ms")));
+  }
+  if (overriding("step-ms")) {
+    spec.set("allocator.initial_whitespace",
+             Duration::from_ms_f(flags.get_double("step-ms")));
+  }
+  if (overriding("person-mobility")) {
+    spec.set("mobility.person", flags.get_bool("person-mobility"));
+  }
+  if (overriding("device-mobility")) {
+    spec.set("mobility.device", flags.get_bool("device-mobility"));
+  }
+
+  std::string spec_error;
+  auto lowered = spec.config(&spec_error);
+  if (!lowered) {
+    std::fprintf(stderr, "error: %s\n", spec_error.c_str());
+    return 2;
+  }
+  auto cfg = *lowered;
+  // --fault-plan handles FaultPlan @files of its own (a different DSL than
+  // ScenarioSpec), so it overrides the lowered plan wholesale.
+  if (flags.provided("fault-plan") || !have_scenario) {
+    if (!load_fault_plan(flags.get_string("fault-plan"), cfg.fault_plan)) return 2;
+  }
 
   const int repeat = static_cast<int>(flags.get_int("repeat"));
   if (repeat < 1) {
