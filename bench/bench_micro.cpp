@@ -154,9 +154,11 @@ void BM_MediumEnergyQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumEnergyQuery);
 
-void BM_FullScenarioSimulatedSecond(benchmark::State& state) {
-  auto spec = *coex::ScenarioSpec::preset("default");
-  spec.set("seed", 5);
+void BM_FullScenarioSimulatedSecond(benchmark::State& state, const char* preset,
+                                    int seed_override, bool spatial_index) {
+  auto spec = *coex::ScenarioSpec::preset(preset);
+  if (seed_override >= 0) spec.set("seed", seed_override);
+  spec.set("medium.spatial_index", spatial_index);
   const auto cfg = spec.must_config();
   for (auto _ : state) {
     coex::Scenario scenario(cfg);
@@ -168,7 +170,15 @@ void BM_FullScenarioSimulatedSecond(benchmark::State& state) {
   state.counters["sim_sec_per_wall_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullScenarioSimulatedSecond)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, default, "default", 5, false)
+    ->Unit(benchmark::kMillisecond);
+// The dense pair demonstrates the spatial index at scale: same preset, same
+// seed, same (bitwise-identical) simulation output — the only difference is
+// whether the medium walks every node per event or a grid neighborhood.
+BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, dense1k, "dense1k", -1, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, dense1k_brute, "dense1k", -1, false)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,13 +4,17 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples]
-#   default — plain + lint (clang-tidy + bicord_lint) + TSAN + ASan/UBSan,
-#             i.e. warnings -> static gates -> tests -> sanitizers
+# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense]
+#   default — plain + lint (clang-tidy + bicord_lint) + dense smoke + TSAN +
+#             ASan/UBSan, i.e. warnings -> static gates -> tests -> sanitizers
 #   fast    — plain build + tests only
 #   lint    — static gates only: clang-tidy (skipped with a notice when the
 #             tool is absent) and tools/bicord_lint, both against ratcheted
 #             baselines (see scripts/lint.sh and DESIGN.md Sec. 10)
+#   dense   — dense-scenario smoke: the medium equivalence/stress suites,
+#             then bicordsim on the dense + dense1k presets twice each —
+#             spatial index on vs off — asserting byte-identical output
+#             (DESIGN.md Sec. 12); part of the default full gate
 #   chaos   — chaos soak (fixed seed): fault tests under ASan/UBSan and the
 #             parallel soak under TSAN, plus a mixed-plan bicordsim run whose
 #             invariant checker gates the exit code
@@ -51,6 +55,39 @@ if [ "$MODE" = "examples" ]; then
   exit 0
 fi
 
+# Dense smoke: prove the spatially-indexed medium is output-identical to the
+# brute-force reference on the shipped dense presets, end to end through
+# bicordsim (stdout is deterministic, so plain diff is the equality gate).
+dense_smoke() {
+  ./build/tests/phy_tests --gtest_filter='MediumEquivalence.*:MediumStress.*'
+  local preset args out_idx out_brute
+  for preset in dense dense1k; do
+    case "$preset" in
+      dense)   args=(--seconds 3) ;;              # churn plan fires inside 4 sim-s
+      dense1k) args=(--warmup-seconds 0 --seconds 1) ;;
+    esac
+    out_idx="build/dense_smoke_${preset}_indexed.txt"
+    out_brute="build/dense_smoke_${preset}_brute.txt"
+    echo "-- $preset: indexed vs brute-force"
+    ./build/tools/bicordsim --scenario "$preset" "${args[@]}" > "$out_idx"
+    ./build/tools/bicordsim --scenario "$preset" "${args[@]}" \
+      --set medium.spatial_index=false > "$out_brute"
+    diff "$out_idx" "$out_brute" || {
+      echo "FAIL: $preset output differs between spatial index on and off" >&2
+      return 1
+    }
+  done
+  echo "OK: dense presets byte-identical with the spatial index on and off"
+}
+
+if [ "$MODE" = "dense" ]; then
+  echo "== dense smoke: spatial index vs brute force =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target bicordsim phy_tests
+  dense_smoke
+  exit 0
+fi
+
 if [ "$MODE" = "chaos" ]; then
   echo "== chaos soak: ASan + UBSan, fault tests =="
   cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
@@ -88,6 +125,10 @@ echo "== static gates: clang-tidy + bicord_lint =="
 scripts/lint.sh all
 
 echo
+echo "== dense smoke: spatial index vs brute force =="
+dense_smoke
+
+echo
 echo "== ThreadSanitizer: runner tests =="
 cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" --target runner_tests
@@ -100,4 +141,4 @@ cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "OK: plain, lint, TSAN (runner), ASan/UBSan all green"
+echo "OK: plain, lint, dense smoke, TSAN (runner), ASan/UBSan all green"

@@ -1,0 +1,48 @@
+#include "coex/placement.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace bicord::coex {
+namespace {
+
+double clamp_to_field(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+std::vector<phy::Position> generate_placement(const PlacementParams& params,
+                                              std::size_t count,
+                                              std::uint64_t seed) {
+  const double lo = params.margin_m;
+  const double hi = std::max(params.area_m - params.margin_m, lo);
+  Rng rng(seed);
+
+  std::vector<phy::Position> centres;
+  if (params.clusters > 0) {
+    centres.reserve(static_cast<std::size_t>(params.clusters));
+    for (int c = 0; c < params.clusters; ++c) {
+      centres.push_back(phy::Position{rng.uniform(lo, hi), rng.uniform(lo, hi)});
+    }
+  }
+
+  std::vector<phy::Position> sites;
+  sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (centres.empty()) {
+      sites.push_back(phy::Position{rng.uniform(lo, hi), rng.uniform(lo, hi)});
+      continue;
+    }
+    // Round-robin over centres (not a random pick) keeps cluster sizes even,
+    // so node counts per neighbourhood stay predictable across preset sizes.
+    const phy::Position& c = centres[i % centres.size()];
+    sites.push_back(
+        phy::Position{clamp_to_field(c.x + rng.normal(0.0, params.cluster_sigma_m), lo, hi),
+                      clamp_to_field(c.y + rng.normal(0.0, params.cluster_sigma_m), lo, hi)});
+  }
+  return sites;
+}
+
+}  // namespace bicord::coex

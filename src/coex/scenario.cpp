@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "coex/placement.hpp"
+
 namespace bicord::coex {
 
 namespace {
@@ -66,12 +68,13 @@ phy::Position location_position(ZigbeeLocation loc) {
 Scenario::Scenario(ScenarioConfig config)
     : config_(std::move(config)),
       sim_(std::make_unique<sim::Simulator>(config_.seed)),
-      medium_(std::make_unique<phy::Medium>(*sim_, config_.path_loss)),
+      medium_(std::make_unique<phy::Medium>(*sim_, config_.path_loss, config_.medium)),
       probe_(*medium_) {
   build_topology();
   build_wifi_traffic();
   build_coordination();
   build_extra_zigbee();
+  build_dense();
   build_mobility();
   build_faults();
   probe_.start(sim_->now());
@@ -276,6 +279,100 @@ void Scenario::build_extra_zigbee() {
   }
 }
 
+void Scenario::build_dense() {
+  const DenseFieldSpec& f = config_.dense;
+  if (f.empty()) return;
+
+  const std::size_t wifi_pairs = static_cast<std::size_t>(std::max(f.wifi_pairs, 0));
+  const std::size_t zigbee_links = static_cast<std::size_t>(std::max(f.zigbee_links, 0));
+  const std::size_t ble_nodes = static_cast<std::size_t>(std::max(f.ble_nodes, 0));
+
+  // One placement site per device installation; link partners (Wi-Fi client,
+  // ZigBee receiver) sit a few metres from their site at a deterministic
+  // golden-angle offset, so no two installations share an axis.
+  const std::size_t sites_needed = wifi_pairs + zigbee_links + ble_nodes;
+  const auto sites = generate_placement(
+      PlacementParams{f.area_m, f.clusters, f.cluster_sigma_m, 5.0}, sites_needed,
+      f.placement_seed);
+  std::size_t site = 0;
+  constexpr double kGoldenAngle = 2.39996322972865332;
+
+  dense_wifi_.reserve(wifi_pairs);
+  for (std::size_t i = 0; i < wifi_pairs; ++i) {
+    const phy::Position ap_pos = sites[site++];
+    const double ang = kGoldenAngle * static_cast<double>(i);
+    const double d = 2.0 + static_cast<double>(i % 7);
+    const phy::Position cl_pos{ap_pos.x + d * std::cos(ang), ap_pos.y + d * std::sin(ang)};
+    const phy::NodeId ap = medium_->add_node("dense-ap", ap_pos);
+    const phy::NodeId client = medium_->add_node("dense-sta", cl_pos);
+
+    wifi::WifiMac::Config wc;
+    static constexpr int kWifiChannels[] = {1, 6, 11};
+    wc.channel = kWifiChannels[i % 3];
+    wc.tx_power_dbm = f.wifi_tx_power_dbm;
+
+    DenseWifiPair pair;
+    pair.ap = std::make_unique<wifi::WifiMac>(*medium_, ap, wc);
+    pair.client = std::make_unique<wifi::WifiMac>(*medium_, client, wc);
+    // Hash-jittered interval: co-channel APs must not fire in lockstep or
+    // the field degenerates into one synchronized collision per period.
+    const Duration interval =
+        f.wifi_interval + Duration::from_us(static_cast<std::int64_t>((i * 317) % 5000));
+    pair.source = std::make_unique<wifi::CbrSource>(*pair.ap, client,
+                                                    f.wifi_payload_bytes, interval);
+    auto* delivered = &dense_wifi_.emplace_back(std::move(pair)).delivered;
+    dense_wifi_.back().ap->set_sent_callback(
+        [delivered](const wifi::WifiMac::SendOutcome& outcome) {
+          if (outcome.delivered && outcome.frame.kind == phy::FrameKind::Data) ++*delivered;
+        });
+    dense_wifi_.back().source->start();
+  }
+
+  dense_zigbee_.reserve(zigbee_links);
+  for (std::size_t i = 0; i < zigbee_links; ++i) {
+    const phy::Position tx_pos = sites[site++];
+    const double ang = kGoldenAngle * static_cast<double>(i) + 0.7;
+    const double d = 1.5 + 0.5 * static_cast<double>(i % 8);
+    const phy::Position rx_pos{tx_pos.x + d * std::cos(ang), tx_pos.y + d * std::sin(ang)};
+    const phy::NodeId tx = medium_->add_node("dense-zb-tx", tx_pos);
+    const phy::NodeId rx = medium_->add_node("dense-zb-rx", rx_pos);
+
+    zigbee::ZigbeeMac::Config zc;
+    zc.channel = 11 + static_cast<int>(i % 16);  // spread over all 16 channels
+    zc.tx_power_dbm = f.zigbee_tx_power_dbm;
+
+    ZigbeeEndpoint ep;
+    ep.sender = std::make_unique<zigbee::ZigbeeMac>(*medium_, tx, zc);
+    ep.receiver = std::make_unique<zigbee::ZigbeeMac>(*medium_, rx, zc);
+    // Field links are plain CSMA regardless of the testbed's coordination
+    // mode: they are background traffic, not BiCord participants.
+    ep.agent = std::make_unique<core::CsmaZigbeeAgent>(*ep.sender, rx,
+                                                       f.zigbee_tx_power_dbm);
+    zigbee::BurstSource::Config bc;
+    bc.packets_per_burst = 2 + static_cast<int>(i % 5);
+    bc.payload_bytes = 30 + 10 * static_cast<std::uint32_t>(i % 6);
+    bc.mean_interval = Duration::from_ms(150 + 50 * static_cast<std::int64_t>(i % 8));
+    bc.poisson = (i % 2) == 0;
+    ep.source = std::make_unique<zigbee::BurstSource>(*sim_, bc);
+    auto* agent = ep.agent.get();
+    ep.source->set_burst_callback([agent](int n, std::uint32_t payload) {
+      agent->submit_burst(n, payload);
+    });
+    ep.source->start();
+    dense_zigbee_.push_back(std::move(ep));
+  }
+
+  dense_ble_.reserve(ble_nodes);
+  for (std::size_t i = 0; i < ble_nodes; ++i) {
+    const phy::NodeId node = medium_->add_node("dense-bt", sites[site++]);
+    interferers::BluetoothDevice::Config bt;
+    bt.tx_power_dbm = f.ble_tx_power_dbm;
+    auto device = std::make_unique<interferers::BluetoothDevice>(*medium_, node, bt);
+    device->start();
+    dense_ble_.push_back(std::move(device));
+  }
+}
+
 void Scenario::build_mobility() {
   if (config_.person_mobility && bicord_wifi_ != nullptr) {
     bicord_wifi_->csi_stream().set_mobility(config_.person_event_rate_hz);
@@ -308,12 +405,17 @@ void Scenario::build_faults() {
     if (interval > Duration::zero()) cfg.mean_interval = interval;
     burst_source_->set_config(cfg);
   });
+  // Link index space: 0 = primary, 1..extras = extra links, then the dense
+  // field's ZigBee links — so churn plans can cycle background devices
+  // in and out of dense scenarios without touching the testbed.
   fault_injector_->set_node_handler([this](int link, bool join) {
     zigbee::BurstSource* source = nullptr;
     if (link == 0) {
       source = burst_source_.get();
     } else if (static_cast<std::size_t>(link - 1) < extras_.size()) {
       source = extras_[static_cast<std::size_t>(link - 1)].source.get();
+    } else if (static_cast<std::size_t>(link - 1) - extras_.size() < dense_zigbee_.size()) {
+      source = dense_zigbee_[static_cast<std::size_t>(link - 1) - extras_.size()].source.get();
     }
     if (source == nullptr) return;
     if (join && !source->running()) {
@@ -353,6 +455,18 @@ double Scenario::wifi_delivery_ratio() const {
   return wifi_generated_ ? static_cast<double>(wifi_delivered_) /
                                static_cast<double>(wifi_generated_)
                          : 0.0;
+}
+
+std::uint64_t Scenario::dense_wifi_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& p : dense_wifi_) total += p.delivered;
+  return total;
+}
+
+std::uint64_t Scenario::dense_zigbee_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& ep : dense_zigbee_) total += ep.agent->stats().delivered;
+  return total;
 }
 
 core::BiCordZigbeeAgent* Scenario::bicord_zigbee() {

@@ -16,6 +16,7 @@
 #include "core/bicord_zigbee.hpp"
 #include "core/ecc.hpp"
 #include "fault/fault_injector.hpp"
+#include "interferers/bluetooth.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -50,6 +51,32 @@ struct ExtraZigbeeSpec {
   zigbee::BurstSource::Config burst;
   double data_power_dbm = -7.0;
   std::optional<double> signaling_power_dbm;
+};
+
+/// A field of background devices surrounding the office testbed: Wi-Fi
+/// AP/client CBR pairs, plain-CSMA ZigBee links, and Bluetooth interferers,
+/// placed over a square area by the deterministic cluster process in
+/// placement.hpp. Powers the dense / dense1k / city presets; empty by
+/// default, so every historical scenario is byte-identical to before this
+/// struct existed.
+struct DenseFieldSpec {
+  int wifi_pairs = 0;    ///< AP + client CBR pairs (2 nodes each)
+  int zigbee_links = 0;  ///< sender + receiver CSMA links (2 nodes each)
+  int ble_nodes = 0;     ///< frequency-hopping Bluetooth interferers
+  double area_m = 1200.0;       ///< square field edge, metres
+  int clusters = 12;            ///< 0 = uniform placement
+  double cluster_sigma_m = 40.0;
+  /// Placement draws from Rng(placement_seed), never the simulator stream:
+  /// growing the field cannot perturb the testbed's stochastic behaviour.
+  std::uint64_t placement_seed = 97;
+  double wifi_tx_power_dbm = 20.0;
+  std::uint32_t wifi_payload_bytes = 400;
+  Duration wifi_interval = Duration::from_ms(25);  ///< jittered per pair
+  double zigbee_tx_power_dbm = 0.0;
+  double ble_tx_power_dbm = 4.0;
+  [[nodiscard]] bool empty() const {
+    return wifi_pairs <= 0 && zigbee_links <= 0 && ble_nodes <= 0;
+  }
 };
 
 struct ScenarioConfig {
@@ -101,6 +128,12 @@ struct ScenarioConfig {
   /// 40 dB @ 1 m, exponent 3.0, shadowing sigma 0 dB (off by default — the
   /// CSI/impulse models carry the fast variation), distances clamped at 0.1 m.
   phy::PathLossModel path_loss{40.0, 3.0, 0.0, 0.1};
+  /// Medium performance knobs (snap floor, spatial index). Defaults keep the
+  /// historical brute-force behaviour bit for bit; dense presets flip the
+  /// index on, and the equivalence suite proves outputs stay identical.
+  phy::MediumTuning medium;
+  /// Background device field for the dense / city presets (empty = none).
+  DenseFieldSpec dense;
   bool person_mobility = false;    ///< someone walks near the Wi-Fi receiver
   double person_event_rate_hz = 0.4;
   bool device_mobility = false;    ///< the ZigBee sender moves within ~1 m
@@ -162,6 +195,17 @@ class Scenario {
   /// Non-null when the config carried a non-empty fault plan.
   [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  // --- dense field access -----------------------------------------------------
+  /// Background devices actually built (0 unless the config's dense spec is
+  /// non-empty). Counts are devices, not nodes: a pair/link spans two nodes.
+  [[nodiscard]] std::size_t dense_wifi_pair_count() const { return dense_wifi_.size(); }
+  [[nodiscard]] std::size_t dense_zigbee_link_count() const { return dense_zigbee_.size(); }
+  [[nodiscard]] std::size_t dense_ble_count() const { return dense_ble_.size(); }
+  /// Frames delivered across every dense Wi-Fi pair (activity sanity checks).
+  [[nodiscard]] std::uint64_t dense_wifi_delivered() const;
+  /// Packets delivered across every dense ZigBee link.
+  [[nodiscard]] std::uint64_t dense_zigbee_delivered() const;
+
   // --- multi-node access ------------------------------------------------------
   /// Total ZigBee links (1 primary + extras).
   [[nodiscard]] std::size_t zigbee_link_count() const { return 1 + extras_.size(); }
@@ -179,10 +223,18 @@ class Scenario {
     std::unique_ptr<zigbee::BurstSource> source;
   };
 
+  struct DenseWifiPair {
+    std::unique_ptr<wifi::WifiMac> ap;
+    std::unique_ptr<wifi::WifiMac> client;
+    std::unique_ptr<wifi::CbrSource> source;
+    std::uint64_t delivered = 0;
+  };
+
   void build_topology();
   void build_wifi_traffic();
   void build_coordination();
   void build_extra_zigbee();
+  void build_dense();
   void build_mobility();
   void build_faults();
   std::unique_ptr<core::ZigbeeAgentBase> make_zigbee_agent(
@@ -216,6 +268,9 @@ class Scenario {
   std::unique_ptr<zigbee::DutyCycler> duty_cycler_;
   std::unique_ptr<sim::PeriodicTask> device_mover_;
   std::vector<ZigbeeEndpoint> extras_;
+  std::vector<DenseWifiPair> dense_wifi_;
+  std::vector<ZigbeeEndpoint> dense_zigbee_;
+  std::vector<std::unique_ptr<interferers::BluetoothDevice>> dense_ble_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
 
   AirtimeProbe probe_;

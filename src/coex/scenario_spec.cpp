@@ -207,6 +207,16 @@ constexpr const char* kKnownKeys[] = {
     "ecc.emulation_power", "ecc.emulation_airtime",
     "mobility.person", "mobility.person_rate",
     "mobility.device", "mobility.device_period",
+    "pathloss.ref_db", "pathloss.exponent",
+    "pathloss.sigma",
+    "medium.snap_floor", "medium.spatial_index",
+    "medium.cell",   "medium.max_tx_power",
+    "dense.wifi_pairs", "dense.zigbee_links",
+    "dense.ble_nodes", "dense.area",
+    "dense.clusters", "dense.cluster_sigma",
+    "dense.seed",    "dense.wifi_interval",
+    "dense.wifi_payload", "dense.wifi_power",
+    "dense.zigbee_power", "dense.ble_power",
     "fault.preset",  "fault.event",
     "extra.link",    "extra.clear",
     "ble.links",     "ble.coordinate",
@@ -375,6 +385,64 @@ bool apply_entry(const ScenarioSpec::Entry& e, Lowering* out, std::string* error
   } else if (key == "mobility.device_period") {
     if (!parse_duration(value, &out->cfg.device_move_period))
       return bad_value("a duration (us/ms/s suffix)");
+  } else if (key == "pathloss.ref_db") {
+    if (!parse_f64(value, &f)) return bad_value("a loss in dB");
+    out->cfg.path_loss.pl_d0_db = f;
+  } else if (key == "pathloss.exponent") {
+    if (!parse_f64(value, &f) || f <= 0.0) return bad_value("a positive exponent");
+    out->cfg.path_loss.exponent = f;
+  } else if (key == "pathloss.sigma") {
+    if (!parse_f64(value, &f) || f < 0.0) return bad_value("a non-negative sigma in dB");
+    out->cfg.path_loss.shadowing_sigma_db = f;
+  } else if (key == "medium.snap_floor") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.medium.snap_floor_dbm = f;
+  } else if (key == "medium.spatial_index") {
+    if (!parse_bool(value, &b)) return bad_value("a boolean");
+    out->cfg.medium.spatial_index = b;
+  } else if (key == "medium.cell") {
+    if (!parse_f64(value, &f) || f < 0.0)
+      return bad_value("a cell size in metres (0 = derive)");
+    out->cfg.medium.cell_size_m = f;
+  } else if (key == "medium.max_tx_power") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.medium.max_tx_power_dbm = f;
+  } else if (key == "dense.wifi_pairs") {
+    if (!parse_i64(value, &i) || i < 0) return bad_value("a non-negative integer");
+    out->cfg.dense.wifi_pairs = static_cast<int>(i);
+  } else if (key == "dense.zigbee_links") {
+    if (!parse_i64(value, &i) || i < 0) return bad_value("a non-negative integer");
+    out->cfg.dense.zigbee_links = static_cast<int>(i);
+  } else if (key == "dense.ble_nodes") {
+    if (!parse_i64(value, &i) || i < 0) return bad_value("a non-negative integer");
+    out->cfg.dense.ble_nodes = static_cast<int>(i);
+  } else if (key == "dense.area") {
+    if (!parse_f64(value, &f) || f <= 0.0) return bad_value("a positive edge in metres");
+    out->cfg.dense.area_m = f;
+  } else if (key == "dense.clusters") {
+    if (!parse_i64(value, &i) || i < 0) return bad_value("a non-negative integer");
+    out->cfg.dense.clusters = static_cast<int>(i);
+  } else if (key == "dense.cluster_sigma") {
+    if (!parse_f64(value, &f) || f <= 0.0) return bad_value("a positive sigma in metres");
+    out->cfg.dense.cluster_sigma_m = f;
+  } else if (key == "dense.seed") {
+    if (!parse_u64(value, &u)) return bad_value("an unsigned integer");
+    out->cfg.dense.placement_seed = u;
+  } else if (key == "dense.wifi_interval") {
+    if (!parse_duration(value, &out->cfg.dense.wifi_interval))
+      return bad_value("a duration (us/ms/s suffix)");
+  } else if (key == "dense.wifi_payload") {
+    if (!parse_i64(value, &i) || i <= 0) return bad_value("a positive integer");
+    out->cfg.dense.wifi_payload_bytes = static_cast<std::uint32_t>(i);
+  } else if (key == "dense.wifi_power") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.dense.wifi_tx_power_dbm = f;
+  } else if (key == "dense.zigbee_power") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.dense.zigbee_tx_power_dbm = f;
+  } else if (key == "dense.ble_power") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.dense.ble_tx_power_dbm = f;
   } else if (key == "fault.preset") {
     auto plan = fault::FaultPlan::preset(value);
     if (!plan) return bad_value("a fault-plan preset name (see fault::FaultPlan)");
@@ -504,6 +572,77 @@ constexpr PresetDef kPresets[] = {
      "burst.interval = 250ms\n"
      "extra.link = loc=C packets=3 payload=30 interval=150ms\n"
      "extra.link = loc=B offset=-0.5,0.6 packets=8 payload=60 interval=600ms\n"},
+    // The dense family scales the office testbed into a city block: the same
+    // primary links, surrounded by a clustered field of background devices
+    // (coex/placement.hpp). Physics: exponent 3.8 (urban), snap floor
+    // -97 dBm — contributions weaker than that are provably irrelevant to
+    // every receiver here — giving a ~111 m interference radius at 20 dBm
+    // (~33 m at ZigBee's 0 dBm), which is what makes the spatial index
+    // (enabled here) effective: windows hold one cluster, not the field.
+    {"dense",
+     "dense field: testbed + 60 Wi-Fi pairs, 60 ZigBee links, 15 BT over 1.2 km",
+     "seed = 3030\n"
+     "coordination = bicord\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "pathloss.exponent = 3.8\n"
+     "medium.snap_floor = -97\n"
+     "medium.spatial_index = true\n"
+     "medium.max_tx_power = 20\n"
+     "dense.wifi_pairs = 60\n"
+     "dense.zigbee_links = 60\n"
+     "dense.ble_nodes = 15\n"
+     "dense.area = 1200\n"
+     "dense.clusters = 12\n"
+     "dense.cluster_sigma = 120\n"
+     "fault.event = node-leave at=1200ms link=2\n"   // churn: a dense link
+     "fault.event = node-join at=2200ms link=2\n"    // drops out and returns
+     "fault.event = node-leave at=1800ms link=9\n"
+     "fault.event = node-join at=2800ms link=9\n"},
+    {"dense1k",
+     "bench scale: testbed + 330 Wi-Fi pairs, 360 ZigBee links, 160 BT (1544 nodes)",
+     "seed = 3131\n"
+     "coordination = bicord\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "pathloss.exponent = 3.8\n"
+     "medium.snap_floor = -97\n"
+     "medium.spatial_index = true\n"
+     "medium.max_tx_power = 20\n"
+     "dense.wifi_pairs = 330\n"
+     "dense.zigbee_links = 360\n"
+     "dense.ble_nodes = 160\n"
+     "dense.area = 3200\n"
+     "dense.clusters = 32\n"
+     "dense.cluster_sigma = 120\n"},
+    {"city",
+     "city scale: testbed + 440 Wi-Fi pairs, 460 ZigBee links, 40 BT over 4 km",
+     "seed = 3232\n"
+     "coordination = bicord\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "pathloss.exponent = 3.8\n"
+     "medium.snap_floor = -97\n"
+     "medium.spatial_index = true\n"
+     "medium.max_tx_power = 20\n"
+     "dense.wifi_pairs = 440\n"
+     "dense.zigbee_links = 460\n"
+     "dense.ble_nodes = 40\n"
+     "dense.area = 4000\n"
+     "dense.clusters = 24\n"
+     "dense.cluster_sigma = 120\n"
+     "fault.event = node-leave at=1s link=4\n"
+     "fault.event = node-join at=2s link=4\n"
+     "fault.event = node-leave at=1500ms link=40\n"
+     "fault.event = node-join at=2500ms link=40\n"
+     "fault.event = node-leave at=2s link=120\n"
+     "fault.event = node-join at=3s link=120\n"},
     {"ble", "Sec. VII-D extension: ZigBee inside a BLE cluster, BiCord-for-BLE",
      "topology = ble\n"
      "seed = 2626\n"

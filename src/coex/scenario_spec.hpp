@@ -45,7 +45,8 @@ class ScenarioSpec {
                                                          std::string* error = nullptr);
 
   /// Named specs for the paper's experiments ("default", "motivation",
-  /// "table1", "fig7".."fig13", "multinode", "ble"). Nullopt for unknown names.
+  /// "table1", "fig7".."fig13", "multinode", "ble") plus the dense scaling
+  /// family ("dense", "dense1k", "city"). Nullopt for unknown names.
   [[nodiscard]] static std::optional<ScenarioSpec> preset(const std::string& name);
   /// Registered preset names, in presentation order.
   [[nodiscard]] static std::vector<std::string> preset_names();

@@ -10,7 +10,9 @@ RssiSampler::RssiSampler(phy::Medium& medium, phy::NodeId node, phy::Band band)
       node_(node),
       band_(band),
       rng_(medium.simulator().rng().split()) {
-  medium_.attach(this);
+  // Bound attach: the sampler only reads energy at its own node, so the
+  // spatially-indexed medium may prune edges that cannot move that reading.
+  medium_.attach(this, node_);
 }
 
 RssiSampler::~RssiSampler() { medium_.detach(this); }

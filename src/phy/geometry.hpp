@@ -2,6 +2,7 @@
 // 2D placement of devices (the paper's office testbed is planar, Fig. 6).
 
 #include <cmath>
+#include <cstdint>
 
 namespace bicord::phy {
 
@@ -16,6 +17,27 @@ struct Position {
   const double dx = a.x - b.x;
   const double dy = a.y - b.y;
   return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared distance — the spatial-culling predicate compares against a
+/// squared radius so the hot path never pays the sqrt.
+[[nodiscard]] inline double distance2(Position a, Position b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Integer grid cell containing a position (uniform grid, SpatialIndex).
+struct CellCoord {
+  std::int32_t cx = 0;
+  std::int32_t cy = 0;
+
+  friend bool operator==(const CellCoord&, const CellCoord&) = default;
+};
+
+[[nodiscard]] inline CellCoord cell_of(Position p, double cell_size_m) {
+  return CellCoord{static_cast<std::int32_t>(std::floor(p.x / cell_size_m)),
+                   static_cast<std::int32_t>(std::floor(p.y / cell_size_m))};
 }
 
 }  // namespace bicord::phy

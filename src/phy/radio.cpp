@@ -1,5 +1,6 @@
 #include "phy/radio.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "phy/units.hpp"
@@ -16,7 +17,7 @@ Radio::Radio(Medium& medium, NodeId node, Config config)
   // More concurrent foreign transmissions than this never occur in practice;
   // reserving keeps the per-tx bookkeeping allocation-free from the start.
   ongoing_.reserve(16);
-  medium_.attach(this);
+  medium_.attach(this, node_);
 }
 
 Radio::~Radio() { medium_.detach(this); }
@@ -136,6 +137,10 @@ void Radio::update_rx_sinr() {
 void Radio::on_tx_start(const ActiveTransmission& tx) {
   if (tx.frame.src == node_) return;  // own emission
   if (tx.fault_dropped) return;       // fault injection: deaf to this frame
+  // Below the medium's snap floor: don't track, and — critically — don't
+  // draw fading or poke the MAC, so RNG streams are bitwise identical
+  // whether or not the medium's spatial index pruned this event away.
+  if (!medium_.audible(tx, node_)) return;
 
   const double fading_db = config_.fading_sigma_db > 0.0
                                ? rng_.normal(0.0, config_.fading_sigma_db)
@@ -178,17 +183,19 @@ void Radio::on_tx_end(const ActiveTransmission& tx) {
     return;
   }
 
+  // Untracked transmissions (fault-dropped or below the snap floor at start)
+  // end without a trace: no SINR sample, no MAC poke. Mirrors on_tx_start's
+  // early-outs so both medium paths consume RNG identically.
+  const auto it = std::find_if(ongoing_.begin(), ongoing_.end(),
+                               [&tx](const Ongoing& o) { return o.id == tx.id; });
+  if (it == ongoing_.end()) return;
+
   // Capture the final SINR sample before the emission leaves the air.
   update_rx_sinr();
 
   const bool was_locked = rx_ && rx_->tx_id == tx.id;
-  for (auto it = ongoing_.begin(); it != ongoing_.end(); ++it) {
-    if (it->id == tx.id) {
-      foreign_mw_sum_ -= it->rx_power_mw;
-      ongoing_.erase(it);
-      break;
-    }
-  }
+  foreign_mw_sum_ -= it->rx_power_mw;
+  ongoing_.erase(it);
   if (ongoing_.empty()) foreign_mw_sum_ = 0.0;
 
   if (was_locked) finalize_rx(tx);

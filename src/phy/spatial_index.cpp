@@ -1,0 +1,136 @@
+#include "phy/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bicord::phy {
+
+namespace {
+/// 64-bit finalizer (murmur3) — same avalanche as the medium's loss cache.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+SpatialIndex::SpatialIndex(double cell_size_m) : cell_m_(cell_size_m) {
+  if (!(cell_size_m > 0.0) || !std::isfinite(cell_size_m)) {
+    throw std::invalid_argument("SpatialIndex: cell size must be positive and finite");
+  }
+  table_.assign(64, kNoCell);
+}
+
+std::uint32_t SpatialIndex::find_cell(std::uint64_t key) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix64(key) & mask;
+  while (table_[i] != kNoCell) {
+    if (cells_[table_[i]].key == key) return table_[i];
+    i = (i + 1) & mask;
+  }
+  return kNoCell;
+}
+
+std::uint32_t SpatialIndex::find_or_create(std::uint64_t key) {
+  const std::uint32_t found = find_cell(key);
+  if (found != kNoCell) return found;
+  if ((cells_.size() + 1) * 2 > table_.size()) grow_table();
+  const auto ci = static_cast<std::uint32_t>(cells_.size());
+  cells_.push_back(Cell{key, {}});
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix64(key) & mask;
+  while (table_[i] != kNoCell) i = (i + 1) & mask;
+  table_[i] = ci;
+  // Keep the flat map in step: a new cell is the only way the bbox (and
+  // therefore the map geometry) can change.
+  const auto cx = static_cast<std::int32_t>(key >> 32);
+  const auto cy = static_cast<std::int32_t>(key & 0xFFFFFFFFu);
+  expand_bbox(CellCoord{cx, cy});
+  if (!grid_.empty()) {
+    grid_[static_cast<std::size_t>((cy - min_cy_) * grid_w_ + (cx - min_cx_))] = ci;
+  }
+  return ci;
+}
+
+void SpatialIndex::grow_table() {
+  table_.assign(table_.size() * 2, kNoCell);
+  const std::size_t mask = table_.size() - 1;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    std::size_t i = mix64(cells_[ci].key) & mask;
+    while (table_[i] != kNoCell) i = (i + 1) & mask;
+    table_[i] = ci;
+  }
+}
+
+void SpatialIndex::expand_bbox(CellCoord c) {
+  if (bbox_empty_) {
+    bbox_empty_ = false;
+    min_cx_ = max_cx_ = c.cx;
+    min_cy_ = max_cy_ = c.cy;
+    rebuild_grid();
+    return;
+  }
+  if (c.cx >= min_cx_ && c.cx <= max_cx_ && c.cy >= min_cy_ && c.cy <= max_cy_) return;
+  min_cx_ = std::min<std::int64_t>(min_cx_, c.cx);
+  max_cx_ = std::max<std::int64_t>(max_cx_, c.cx);
+  min_cy_ = std::min<std::int64_t>(min_cy_, c.cy);
+  max_cy_ = std::max<std::int64_t>(max_cy_, c.cy);
+  rebuild_grid();
+}
+
+void SpatialIndex::rebuild_grid() {
+  if (!grid_ok_) return;
+  const std::int64_t w = max_cx_ - min_cx_ + 1;
+  const std::int64_t h = max_cy_ - min_cy_ + 1;
+  if (w > kMaxGridCells || h > kMaxGridCells || w * h > kMaxGridCells) {
+    // Outgrown: drop to hash probes for good (the bbox never shrinks).
+    grid_ok_ = false;
+    grid_.clear();
+    grid_.shrink_to_fit();
+    grid_w_ = 0;
+    return;
+  }
+  grid_w_ = w;
+  grid_.assign(static_cast<std::size_t>(w * h), kNoCell);
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const auto cx = static_cast<std::int32_t>(cells_[ci].key >> 32);
+    const auto cy = static_cast<std::int32_t>(cells_[ci].key & 0xFFFFFFFFu);
+    grid_[static_cast<std::size_t>((cy - min_cy_) * grid_w_ + (cx - min_cx_))] = ci;
+  }
+}
+
+void SpatialIndex::add_node(NodeId id, Position pos) {
+  if (id != node_cell_.size()) {
+    throw std::invalid_argument("SpatialIndex: node ids must be added densely");
+  }
+  const CellCoord c = cell_at(pos);
+  node_cell_.push_back(c);
+  cells_[find_or_create(pack(c.cx, c.cy))].nodes.push_back(id);
+}
+
+bool SpatialIndex::move_node(NodeId id, Position pos) {
+  const CellCoord from = node_cell_[id];
+  const CellCoord to = cell_at(pos);
+  if (to == from) return false;
+  auto& old_bucket = cells_[find_cell(pack(from.cx, from.cy))].nodes;
+  const auto it = std::find(old_bucket.begin(), old_bucket.end(), id);
+  // Swap-remove: bucket order is never observable (callers sort).
+  *it = old_bucket.back();
+  old_bucket.pop_back();
+  node_cell_[id] = to;
+  cells_[find_or_create(pack(to.cx, to.cy))].nodes.push_back(id);
+  return true;
+}
+
+std::int64_t SpatialIndex::ring_for(double radius_m) const {
+  if (!(radius_m >= 0.0)) return kMaxRing;  // NaN-safe
+  const double cells = radius_m / cell_m_;
+  if (!(cells < static_cast<double>(kMaxRing - 2))) return kMaxRing;
+  return static_cast<std::int64_t>(cells) + 2;
+}
+
+}  // namespace bicord::phy

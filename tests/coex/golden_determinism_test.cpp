@@ -66,6 +66,12 @@ std::string coex_line(const std::string& name, Scenario& s) {
     out << " agg=" << agg.generated << "/" << agg.delivered << "/" << agg.dropped
         << " agg_delay=" << hex(agg.delay_ms.empty() ? -1.0 : agg.delay_ms.mean());
   }
+  if (s.dense_wifi_pair_count() > 0 || s.dense_zigbee_link_count() > 0 ||
+      s.dense_ble_count() > 0) {
+    out << " dense=" << s.dense_wifi_pair_count() << "/" << s.dense_zigbee_link_count()
+        << "/" << s.dense_ble_count() << " dense_wifi_del=" << s.dense_wifi_delivered()
+        << " dense_zb_del=" << s.dense_zigbee_delivered();
+  }
   return out.str();
 }
 
@@ -126,6 +132,19 @@ std::string golden_blob() {
     spec.set("fault.preset", "mixed");
     out << run_coex("fault-mixed", spec, 500_ms, 3_sec) << "\n";
   }
+
+  // Dense family: the spatially-indexed medium at scale. The `dense` preset
+  // carries its own churn plan (field links leaving and rejoining), so its
+  // golden pins the spatial index, the clustered placement, and the fault
+  // hooks together; the dense1k pair pins that an empty fault plan and a
+  // populated one differ only through the faults themselves.
+  out << run_coex("dense", spec_for("dense"), 500_ms, 2500_ms) << "\n";
+  {
+    auto spec = spec_for("dense1k");
+    out << run_coex("dense1k-nofault", spec, 250_ms, 750_ms) << "\n";
+    spec.set("fault.preset", "mixed");
+    out << run_coex("dense1k-mixed", spec, 250_ms, 750_ms) << "\n";
+  }
   return out.str();
 }
 
@@ -156,6 +175,33 @@ TEST(GoldenDeterminismTest, RepeatedRunIsBitwiseStable) {
   const std::string a = run_coex("x", spec, 500_ms, 1_sec);
   const std::string b = run_coex("x", spec, 500_ms, 1_sec);
   EXPECT_EQ(a, b);
+}
+
+TEST(GoldenDeterminismTest, DenseJobsOneVsEightBitwiseIdentical) {
+  using namespace bicord::time_literals;
+  // Same shape as the default-preset jobs test, but on the spatially-indexed
+  // dense preset: per-trial seeds must survive parallel dispatch even when
+  // the medium runs the grid path and the scenario carries a churn plan.
+  auto make = [] {
+    ExperimentRunner runner(ScenarioSpec::preset("dense")->must_config(),
+                            250_ms, 750_ms);
+    runner.add_metric("util", metric_total_utilization());
+    runner.add_metric("delay", metric_zigbee_mean_delay_ms());
+    runner.add_metric("delivery", metric_zigbee_delivery());
+    return runner;
+  };
+  auto seq = make();
+  seq.set_jobs(1);
+  const auto a = seq.run(4);
+  auto par = make();
+  par.set_jobs(8);
+  const auto b = par.run(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.mean(), b[i].stats.mean()) << a[i].name;
+    EXPECT_EQ(a[i].stats.stddev(), b[i].stats.stddev()) << a[i].name;
+    EXPECT_EQ(a[i].stats.count(), b[i].stats.count()) << a[i].name;
+  }
 }
 
 TEST(GoldenDeterminismTest, JobsOneVsEightBitwiseIdentical) {

@@ -131,6 +131,10 @@ int main(int argc, char** argv) {
   flags.add_string("fault-plan", "",
                    "inject faults: a preset (cts-loss | detector | rssi | burst-shift | "
                    "frame-loss | clock-jitter | mixed) or @file with one event per line");
+  flags.add_string("set", "",
+                   "append one spec assignment key=value after every other override "
+                   "(e.g. --set medium.spatial_index=false for a brute-force twin "
+                   "of an indexed preset)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n\n%s", flags.error().c_str(),
@@ -200,6 +204,21 @@ int main(int argc, char** argv) {
   }
   if (overriding("device-mobility")) {
     spec.set("mobility.device", flags.get_bool("device-mobility"));
+  }
+  if (flags.provided("set")) {
+    const std::string& kv = flags.get_string("set");
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "error: --set expects key=value (got '%s')\n", kv.c_str());
+      return 2;
+    }
+    const auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    // Appended last: later assignments win, so --set beats spec and flags.
+    spec.set(trim(kv.substr(0, eq)), trim(kv.substr(eq + 1)));
   }
 
   std::string spec_error;
