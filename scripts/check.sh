@@ -4,9 +4,10 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense]
-#   default — plain + lint (clang-tidy + bicord_lint) + dense smoke + TSAN +
-#             ASan/UBSan, i.e. warnings -> static gates -> tests -> sanitizers
+# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense|failover]
+#   default — plain + lint (clang-tidy + bicord_lint) + dense smoke +
+#             failover smoke + TSAN + ASan/UBSan, i.e. warnings -> static
+#             gates -> tests -> sanitizers
 #   fast    — plain build + tests only
 #   lint    — static gates only: clang-tidy (skipped with a notice when the
 #             tool is absent) and tools/bicord_lint, both against ratcheted
@@ -18,6 +19,11 @@
 #   chaos   — chaos soak (fixed seed): fault tests under ASan/UBSan and the
 #             parallel soak under TSAN, plus a mixed-plan bicordsim run whose
 #             invariant checker gates the exit code
+#   failover — multi-grantor smoke: the election/failover suites plus a
+#             16-seed failover soak under ASan/UBSan and the soak again under
+#             TSAN, then a failover-preset bicordsim run (clock skew + primary
+#             kill/rejoin) whose invariant checker gates the exit code; part
+#             of the default full gate
 #   bench   — perf smoke: one fast bench_micro pass asserting the
 #             machine-independent invariants (hot path allocation-free);
 #             absolute-time comparison is opt-in via scripts/bench.sh compare
@@ -88,6 +94,50 @@ if [ "$MODE" = "dense" ]; then
   exit 0
 fi
 
+# Failover smoke: the multi-grantor election under memory and race
+# sanitizers. The ASan leg runs the whole failover family (election unit
+# tests live in core_tests, the synthetic invariant traces and the 16-seed
+# soak in fault_tests); the TSAN leg reruns the soak because the experiment
+# runner dispatches trials across threads. The bicordsim leg exercises the
+# shipped failover preset end to end with the invariant checker gating the
+# exit code.
+FAILOVER_FAULT_FILTER='InvariantElectionTest.*:FailoverSoakTest.*'
+
+failover_smoke_asan() {
+  ./build-asan/tests/core_tests --gtest_filter='GrantorElectionTest.*'
+  ./build-asan/tests/fault_tests --gtest_filter="$FAILOVER_FAULT_FILTER"
+}
+
+failover_smoke_tsan() {
+  ./build-tsan/tests/fault_tests --gtest_filter='FailoverSoakTest.*'
+}
+
+failover_smoke_sim() {
+  echo "-- bicordsim --scenario failover (invariants gate exit)"
+  ./build-asan/tools/bicordsim --scenario failover --seconds 6 > /dev/null
+}
+
+if [ "$MODE" = "failover" ]; then
+  echo "== failover smoke: ASan + UBSan, election + soak =="
+  cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$JOBS" --target core_tests fault_tests bicordsim
+  failover_smoke_asan
+
+  echo
+  echo "== failover smoke: TSAN, 16-seed soak =="
+  cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target fault_tests
+  failover_smoke_tsan
+
+  echo
+  echo "== failover smoke: bicordsim failover preset =="
+  failover_smoke_sim
+
+  echo
+  echo "OK: failover smoke green (ASan/UBSan + TSAN)"
+  exit 0
+fi
+
 if [ "$MODE" = "chaos" ]; then
   echo "== chaos soak: ASan + UBSan, fault tests =="
   cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
@@ -129,10 +179,11 @@ echo "== dense smoke: spatial index vs brute force =="
 dense_smoke
 
 echo
-echo "== ThreadSanitizer: runner tests =="
+echo "== ThreadSanitizer: runner tests + failover soak =="
 cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$JOBS" --target runner_tests
+cmake --build build-tsan -j "$JOBS" --target runner_tests fault_tests
 ./build-tsan/tests/runner_tests
+failover_smoke_tsan
 
 echo
 echo "== ASan + UBSan: full suite =="
@@ -141,4 +192,8 @@ cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "OK: plain, lint, dense smoke, TSAN (runner), ASan/UBSan all green"
+echo "== failover smoke: bicordsim failover preset =="
+failover_smoke_sim
+
+echo
+echo "OK: plain, lint, dense smoke, TSAN (runner+failover), ASan/UBSan, failover all green"

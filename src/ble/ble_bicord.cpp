@@ -38,9 +38,12 @@ void BleBiCordAgent::on_control_frame(const phy::RxResult& rx) {
   if (!rx.success || rx.frame.kind != phy::FrameKind::Control) return;
   const auto grant = engine_.on_request(sim_.now());
   if (!grant.has_value()) return;  // already protecting the band
+  // The BLE agent drives its own engine instance (single-grantor piconet, no
+  // election to shadow), so issuing the lease here is the sanctioned path.
+  // bicord-lint: allow(grant-issue-outside-engine)
   engine_.begin_lease(sim_.now(), *grant + config_.grant_margin);
   for (int c : protected_channels_) connection_.set_channel_enabled(c, false);
-  engine_.arm_lease_expiry();
+  engine_.arm_lease_expiry();  // bicord-lint: allow(grant-issue-outside-engine)
 }
 
 }  // namespace bicord::ble

@@ -10,6 +10,24 @@ namespace bicord::coex {
 namespace {
 constexpr phy::Position kWifiSenderPos{0.0, 0.0};    // E in Fig. 6
 constexpr phy::Position kWifiReceiverPos{3.0, 0.0};  // F in Fig. 6
+constexpr double kGoldenAngle = 2.39996322972865332;
+
+/// Radio config shared by the testbed pair E/F and any extra grantor APs —
+/// every grantor must overhear the same traffic the testbed receiver does.
+wifi::WifiMac::Config testbed_wifi_config() {
+  wifi::WifiMac::Config wifi_cfg;
+  wifi_cfg.channel = 11;
+  wifi_cfg.tx_power_dbm = 20.0;
+  wifi_cfg.timings.data_rate_mbps = 54.0;
+  wifi_cfg.timings.basic_rate_mbps = 24.0;
+  // Calibrated office ED behaviour for narrowband (ZigBee-width) energy:
+  // ~10 dB less sensitive than the -62 dBm wideband figure, with a soft
+  // measurement edge. This is what couples signaling power to Wi-Fi
+  // deferral at locations C and D (Sec. VIII-B).
+  wifi_cfg.ed_threshold_dbm = -51.0;
+  wifi_cfg.cca_noise_sigma_db = 2.0;
+  return wifi_cfg;
+}
 
 /// ZigBee-receiver distance per location (paper: receivers laid 1-5 m from
 /// the sender; location B is the far-receiver case).
@@ -101,17 +119,7 @@ void Scenario::build_topology() {
                              zigbee_base_pos_.y + d * dy / norm};
   zigbee_receiver_node_ = medium_->add_node("zigbee-rx", rx_pos);
 
-  wifi::WifiMac::Config wifi_cfg;
-  wifi_cfg.channel = 11;
-  wifi_cfg.tx_power_dbm = 20.0;
-  wifi_cfg.timings.data_rate_mbps = 54.0;
-  wifi_cfg.timings.basic_rate_mbps = 24.0;
-  // Calibrated office ED behaviour for narrowband (ZigBee-width) energy:
-  // ~10 dB less sensitive than the -62 dBm wideband figure, with a soft
-  // measurement edge. This is what couples signaling power to Wi-Fi
-  // deferral at locations C and D (Sec. VIII-B).
-  wifi_cfg.ed_threshold_dbm = -51.0;
-  wifi_cfg.cca_noise_sigma_db = 2.0;
+  const wifi::WifiMac::Config wifi_cfg = testbed_wifi_config();
   wifi_sender_mac_ = std::make_unique<wifi::WifiMac>(*medium_, wifi_sender_node_, wifi_cfg);
   wifi_receiver_mac_ =
       std::make_unique<wifi::WifiMac>(*medium_, wifi_receiver_node_, wifi_cfg);
@@ -212,6 +220,7 @@ void Scenario::build_coordination() {
         auto* src = priority_source_.get();
         bicord_wifi_->set_policy([src] { return !src->high_priority_active(); });
       }
+      if (!config_.extra_grantors_m.empty()) build_grantors(wa, sig_power);
       break;
     }
     case Coordination::Ecc: {
@@ -242,6 +251,45 @@ void Scenario::build_coordination() {
     zigbee_agent_->submit_burst(n, payload);
   });
   burst_source_->start();
+}
+
+void Scenario::build_grantors(const core::BiCordWifiAgent::Config& wa,
+                              double sig_power) {
+  // Election metric: the mean received signaling power of the requester at
+  // each grantor — pure geometry (deterministic path-loss mean), so every
+  // grantor derives the same ranking without any election traffic.
+  const auto metric_dbm = [&](double dist_m) {
+    return sig_power - config_.path_loss.mean_loss_db(dist_m);
+  };
+
+  election_ = std::make_unique<core::GrantorElection>(
+      *sim_, config_.election_grace, core::kWifiTraits.grant_margin);
+  const double f_dist = std::hypot(kWifiReceiverPos.x - zigbee_base_pos_.x,
+                                   kWifiReceiverPos.y - zigbee_base_pos_.y);
+  bicord_wifi_->join_election(*election_, metric_dbm(f_dist));
+
+  extra_grantors_.reserve(config_.extra_grantors_m.size());
+  int gi = 0;
+  for (const double dist : config_.extra_grantors_m) {
+    // Deterministic golden-angle directions around the ZigBee sender: the
+    // configured value is exactly the requester distance the metric uses.
+    const double ang = kGoldenAngle * static_cast<double>(++gi);
+    const phy::Position pos{zigbee_base_pos_.x + dist * std::cos(ang),
+                            zigbee_base_pos_.y + dist * std::sin(ang)};
+    const phy::NodeId node = medium_->add_node("grantor-ap", pos);
+
+    ExtraGrantor g;
+    g.mac = std::make_unique<wifi::WifiMac>(*medium_, node, testbed_wifi_config());
+    g.agent = std::make_unique<core::BiCordWifiAgent>(*g.mac, wa);
+    if (!config_.wifi_grants_requests) {
+      g.agent->set_policy([] { return false; });
+    } else if (config_.wifi_traffic == WifiTrafficKind::Priority) {
+      auto* src = priority_source_.get();
+      g.agent->set_policy([src] { return !src->high_priority_active(); });
+    }
+    g.agent->join_election(*election_, metric_dbm(dist));
+    extra_grantors_.push_back(std::move(g));
+  }
 }
 
 void Scenario::build_extra_zigbee() {
@@ -295,7 +343,6 @@ void Scenario::build_dense() {
       PlacementParams{f.area_m, f.clusters, f.cluster_sigma_m, 5.0}, sites_needed,
       f.placement_seed);
   std::size_t site = 0;
-  constexpr double kGoldenAngle = 2.39996322972865332;
 
   dense_wifi_.reserve(wifi_pairs);
   for (std::size_t i = 0; i < wifi_pairs; ++i) {
@@ -397,6 +444,9 @@ void Scenario::build_faults() {
   fault_injector_ = std::make_unique<fault::FaultInjector>(*sim_, config_.fault_plan);
   fault_injector_->attach_medium(*medium_);
   if (bicord_wifi_ != nullptr) fault_injector_->attach_wifi_agent(*bicord_wifi_);
+  // Extra grantors get their own clock-skew slots (attach order after the
+  // testbed grantor, so single-grantor plans draw identically to before).
+  for (auto& g : extra_grantors_) fault_injector_->attach_wifi_agent(*g.agent);
   if (auto* zb = bicord_zigbee()) fault_injector_->attach_zigbee_agent(*zb);
 
   fault_injector_->set_burst_shift_handler([this](int packets, Duration interval) {
@@ -407,8 +457,22 @@ void Scenario::build_faults() {
   });
   // Link index space: 0 = primary, 1..extras = extra links, then the dense
   // field's ZigBee links — so churn plans can cycle background devices
-  // in and out of dense scenarios without touching the testbed.
+  // in and out of dense scenarios without touching the testbed. Negative
+  // links address grantors: -1 = testbed receiver F, -2.. = extra grantor
+  // APs; node-leave kills that grantor's coordination process (the radio
+  // keeps running), node-join revives it.
   fault_injector_->set_node_handler([this](int link, bool join) {
+    if (link < 0) {
+      const std::size_t g = static_cast<std::size_t>(-link) - 1;
+      core::BiCordWifiAgent* agent = nullptr;
+      if (g == 0) {
+        agent = bicord_wifi_.get();
+      } else if (g - 1 < extra_grantors_.size()) {
+        agent = extra_grantors_[g - 1].agent.get();
+      }
+      if (agent != nullptr) agent->set_offline(!join);
+      return;
+    }
     zigbee::BurstSource* source = nullptr;
     if (link == 0) {
       source = burst_source_.get();
@@ -471,6 +535,12 @@ std::uint64_t Scenario::dense_zigbee_delivered() const {
 
 core::BiCordZigbeeAgent* Scenario::bicord_zigbee() {
   return dynamic_cast<core::BiCordZigbeeAgent*>(zigbee_agent_.get());
+}
+
+core::BiCordWifiAgent* Scenario::grantor_agent(std::size_t member) {
+  if (member == 0) return bicord_wifi_.get();
+  if (member - 1 < extra_grantors_.size()) return extra_grantors_[member - 1].agent.get();
+  return nullptr;
 }
 
 core::ZigbeeAgentBase& Scenario::zigbee_agent_at(std::size_t i) {

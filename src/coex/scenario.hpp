@@ -95,6 +95,16 @@ struct ScenarioConfig {
   /// "ignore requests").
   bool wifi_grants_requests = true;
 
+  // --- multi-grantor coordination -------------------------------------------
+  /// Additional co-located grantor APs (BiCord only): distance in metres of
+  /// each extra grantor from the ZigBee sender. Non-empty builds a
+  /// GrantorElection over the testbed receiver F plus these APs; empty keeps
+  /// the historical single-grantor behaviour byte for byte.
+  std::vector<double> extra_grantors_m;
+  /// How long a secondary grantor waits for the primary to answer an
+  /// uncovered request before taking over.
+  Duration election_grace = Duration::from_ms(60);
+
   // --- ZigBee workload -----------------------------------------------------
   zigbee::BurstSource::Config burst;
   /// Paper Sec. VIII-A: the ZigBee sender uses -7 dBm for data and loses
@@ -195,6 +205,20 @@ class Scenario {
   /// Non-null when the config carried a non-empty fault plan.
   [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  // --- multi-grantor access ---------------------------------------------------
+  /// Non-null when `extra_grantors_m` is non-empty and coordination is
+  /// BiCord: the shared election over all co-located grantors.
+  [[nodiscard]] core::GrantorElection* election() { return election_.get(); }
+  [[nodiscard]] const core::GrantorElection* election() const { return election_.get(); }
+  /// Extra grantor APs beyond the testbed receiver F.
+  [[nodiscard]] std::size_t extra_grantor_count() const { return extra_grantors_.size(); }
+  [[nodiscard]] core::BiCordWifiAgent& extra_grantor_agent(std::size_t i) {
+    return *extra_grantors_.at(i).agent;
+  }
+  /// Grantor agent by election-member order: 0 = testbed F, 1.. = extras.
+  /// Null when out of range or not a BiCord scenario.
+  [[nodiscard]] core::BiCordWifiAgent* grantor_agent(std::size_t member);
+
   // --- dense field access -----------------------------------------------------
   /// Background devices actually built (0 unless the config's dense spec is
   /// non-empty). Counts are devices, not nodes: a pair/link spans two nodes.
@@ -230,9 +254,16 @@ class Scenario {
     std::uint64_t delivered = 0;
   };
 
+  struct ExtraGrantor {
+    std::unique_ptr<wifi::WifiMac> mac;
+    std::unique_ptr<core::BiCordWifiAgent> agent;
+  };
+
   void build_topology();
   void build_wifi_traffic();
   void build_coordination();
+  /// Extra grantor APs + the shared election (BiCord + extra_grantors_m).
+  void build_grantors(const core::BiCordWifiAgent::Config& wa, double sig_power);
   void build_extra_zigbee();
   void build_dense();
   void build_mobility();
@@ -268,6 +299,8 @@ class Scenario {
   std::unique_ptr<zigbee::DutyCycler> duty_cycler_;
   std::unique_ptr<sim::PeriodicTask> device_mover_;
   std::vector<ZigbeeEndpoint> extras_;
+  std::vector<ExtraGrantor> extra_grantors_;
+  std::unique_ptr<core::GrantorElection> election_;
   std::vector<DenseWifiPair> dense_wifi_;
   std::vector<ZigbeeEndpoint> dense_zigbee_;
   std::vector<std::unique_ptr<interferers::BluetoothDevice>> dense_ble_;

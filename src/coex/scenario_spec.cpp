@@ -194,6 +194,7 @@ constexpr const char* kKnownKeys[] = {
     "wifi.cbr_interval", "wifi.cbr_payload",
     "wifi.high_share", "wifi.priority_cycle",
     "wifi.grants_requests",
+    "grantors",      "election.grace",
     "burst.packets", "burst.payload",
     "burst.interval", "burst.poisson",
     "zigbee.data_power", "zigbee.signaling_power",
@@ -218,6 +219,7 @@ constexpr const char* kKnownKeys[] = {
     "dense.wifi_payload", "dense.wifi_power",
     "dense.zigbee_power", "dense.ble_power",
     "fault.preset",  "fault.event",
+    "fault.clock_skew_ppm",
     "extra.link",    "extra.clear",
     "ble.links",     "ble.coordinate",
     "ble.connection_interval", "ble.payload",
@@ -297,6 +299,32 @@ bool apply_entry(const ScenarioSpec::Entry& e, Lowering* out, std::string* error
   } else if (key == "wifi.grants_requests") {
     if (!parse_bool(value, &b)) return bad_value("a boolean");
     out->cfg.wifi_grants_requests = b;
+  } else if (key == "grantors") {
+    // Comma-separated distances (metres) of extra grantor APs from the
+    // ZigBee sender. Distances double as election-metric inputs, so zero
+    // and duplicates are rejected: both would make the RSSI ranking
+    // degenerate instead of merely redundant.
+    std::vector<double> dists;
+    std::size_t pos = 0;
+    while (true) {
+      const auto comma = value.find(',', pos);
+      const std::string tok =
+          trim(comma == std::string::npos ? value.substr(pos)
+                                          : value.substr(pos, comma - pos));
+      if (!parse_f64(tok, &f) || f <= 0.0)
+        return fail("expected a positive distance in metres, got '" + tok + "'");
+      for (const double seen : dists) {
+        if (seen == f) return fail("duplicate grantor distance '" + tok + "'");
+      }
+      dists.push_back(f);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    out->cfg.extra_grantors_m = std::move(dists);
+  } else if (key == "election.grace") {
+    if (!parse_duration(value, &d) || d <= Duration::zero())
+      return bad_value("a positive duration (us/ms/s suffix)");
+    out->cfg.election_grace = d;
   } else if (key == "burst.packets") {
     if (!parse_i64(value, &i) || i <= 0) return bad_value("a positive integer");
     out->cfg.burst.packets_per_burst = static_cast<int>(i);
@@ -452,6 +480,16 @@ bool apply_entry(const ScenarioSpec::Entry& e, Lowering* out, std::string* error
     auto plan = fault::FaultPlan::parse(value, &why);
     if (!plan) return fail("bad fault event: " + why);
     for (const auto& event : plan->events()) out->cfg.fault_plan.add(event);
+  } else if (key == "fault.clock_skew_ppm") {
+    // Lowered to a ClockSkew event at t=0: every agent draws a persistent
+    // crystal drift in ±ppm before the first timer arms. 1000 ppm (0.1%) is
+    // far beyond any real crystal; treat more as a spec typo.
+    if (!parse_f64(value, &f) || f <= 0.0 || f > 1000.0)
+      return bad_value("a drift magnitude in ppm, in (0, 1000]");
+    fault::FaultEvent skew;
+    skew.kind = fault::FaultKind::ClockSkew;
+    skew.magnitude = f;
+    out->cfg.fault_plan.add(skew);
   } else if (key == "extra.link") {
     ExtraZigbeeSpec spec;
     std::string why;
@@ -643,6 +681,56 @@ constexpr PresetDef kPresets[] = {
      "fault.event = node-join at=2500ms link=40\n"
      "fault.event = node-leave at=2s link=120\n"
      "fault.event = node-join at=3s link=120\n"},
+    // The failover rig: the testbed grantor F (~1.3 m from the requester at
+    // location A) plus two extra grantor APs at 2.5 m and 4 m. F wins the
+    // RSSI election; the extras shadow its grants and take over when it goes
+    // quiet. A modest dense field keeps the air contended enough that
+    // shadow-CTS decoding is exercised, without dense-preset runtimes.
+    {"multigrantor",
+     "failover rig: testbed F + 2 shadow grantor APs, small dense field",
+     "seed = 4040\n"
+     "coordination = bicord\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "pathloss.exponent = 3.8\n"
+     "medium.snap_floor = -97\n"
+     "medium.spatial_index = true\n"
+     "medium.max_tx_power = 20\n"
+     "dense.wifi_pairs = 12\n"
+     "dense.zigbee_links = 12\n"
+     "dense.ble_nodes = 4\n"
+     "dense.area = 600\n"
+     "dense.clusters = 6\n"
+     "dense.cluster_sigma = 80\n"
+     "grantors = 2.5,4\n"
+     "election.grace = 60ms\n"},
+    {"failover",
+     "multigrantor + ±200 ppm crystal drift + mid-run primary-grantor kill",
+     "seed = 4040\n"
+     "coordination = bicord\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "pathloss.exponent = 3.8\n"
+     "medium.snap_floor = -97\n"
+     "medium.spatial_index = true\n"
+     "medium.max_tx_power = 20\n"
+     "dense.wifi_pairs = 12\n"
+     "dense.zigbee_links = 12\n"
+     "dense.ble_nodes = 4\n"
+     "dense.area = 600\n"
+     "dense.clusters = 6\n"
+     "dense.cluster_sigma = 80\n"
+     "grantors = 2.5,4\n"
+     "election.grace = 60ms\n"
+     "fault.clock_skew_ppm = 200\n"
+     // link -1 = grantor 0 = testbed F: the elected primary dies mid-run
+     // and rejoins 3 s later, forcing a takeover and a handback.
+     "fault.event = node-leave at=1500ms link=-1\n"
+     "fault.event = node-join at=4500ms link=-1\n"},
     {"ble", "Sec. VII-D extension: ZigBee inside a BLE cluster, BiCord-for-BLE",
      "topology = ble\n"
      "seed = 2626\n"

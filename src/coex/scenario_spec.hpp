@@ -46,7 +46,8 @@ class ScenarioSpec {
 
   /// Named specs for the paper's experiments ("default", "motivation",
   /// "table1", "fig7".."fig13", "multinode", "ble") plus the dense scaling
-  /// family ("dense", "dense1k", "city"). Nullopt for unknown names.
+  /// family ("dense", "dense1k", "city") and the multi-grantor failover rig
+  /// ("multigrantor", "failover"). Nullopt for unknown names.
   [[nodiscard]] static std::optional<ScenarioSpec> preset(const std::string& name);
   /// Registered preset names, in presentation order.
   [[nodiscard]] static std::vector<std::string> preset_names();

@@ -10,17 +10,33 @@ BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
       csi_(mac.simulator(), config.csi),
       detector_(config.detector) {
   mac_.set_rx_hook([this](const phy::RxResult& rx) {
+    if (offline_) return;  // coordination process dead; radio still decodes
     // Every decodable Wi-Fi frame contributes a CSI reading (the Intel 5300
     // extractor reports CSI for corrupt frames too, as long as the preamble
     // locked).
     csi_.on_frame(rx);
+    // Shadow channel: a CTS from a co-located grantor tells a secondary how
+    // long the band is protected without any extra signaling.
+    if (election_ != nullptr && rx.success && rx.frame.kind == phy::FrameKind::Cts &&
+        rx.frame.src != mac_.node()) {
+      election_->on_grant_shadowed(member_, rx.end, rx.frame.nav);
+    }
   });
   csi_.set_sample_callback([this](const csi::CsiSample& s) { detector_.add_sample(s); });
   detector_.set_detection_callback([this](TimePoint t) { on_detection(t); });
   mac_.set_pause_end_callback([this](TimePoint t) { engine_.on_resume(t); });
 }
 
+void BiCordWifiAgent::join_election(GrantorElection& election, double metric_dbm) {
+  election_ = &election;
+  member_ = election.add_member(
+      mac_.node(), metric_dbm, [this](TimePoint t) { on_detection(t); },
+      [this] { return !offline_; });
+  engine_.set_election(&election, member_);
+}
+
 void BiCordWifiAgent::on_detection(TimePoint t) {
+  if (offline_) return;
   const auto grant = engine_.on_request(t);
   if (!grant.has_value()) return;  // absorbed into the running grant, or refused
 

@@ -67,6 +67,30 @@ class BiCordWifiAgent {
   void set_timer_jitter(TimerJitter jitter) {
     engine_.set_timer_jitter(std::move(jitter));
   }
+  /// Fault hook: crystal-drift scale on every engine timer (watchdog
+  /// included) — see CoordinationEngine::TimerSkew.
+  void set_timer_skew(CoordinationEngine::TimerSkew skew) {
+    engine_.set_timer_skew(std::move(skew));
+  }
+
+  /// Joins a multi-grantor election. `metric_dbm` is this grantor's stable
+  /// election metric (mean received signaling power of the requester). While
+  /// not the elected primary, detections are shadowed instead of granted;
+  /// overheard CTS broadcasts from other grantors feed the election's
+  /// protection tracking; and on takeover the election replays the pending
+  /// request through this agent's normal grant path.
+  void join_election(GrantorElection& election, double metric_dbm);
+
+  /// Simulates the coordination process dying (burst churn kills the
+  /// primary): while offline the agent neither detects, grants, nor shadows.
+  /// The radio itself keeps running — only coordination is gone.
+  void set_offline(bool offline) { offline_ = offline; }
+  [[nodiscard]] bool offline() const { return offline_; }
+
+  /// Requests observed-but-not-granted while a secondary grantor.
+  [[nodiscard]] std::uint64_t requests_shadowed() const {
+    return engine_.shadowed();
+  }
 
   [[nodiscard]] const WhitespaceAllocator& allocator() const {
     return engine_.allocator();
@@ -98,6 +122,9 @@ class BiCordWifiAgent {
   CoordinationEngine engine_;
   csi::CsiStream csi_;
   csi::CsiDetector detector_;
+  GrantorElection* election_ = nullptr;
+  GrantorElection::MemberId member_ = 0;
+  bool offline_ = false;
 };
 
 }  // namespace bicord::core

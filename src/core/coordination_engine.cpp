@@ -33,6 +33,12 @@ Duration CoordinationEngine::jittered(Duration d) const {
   return j > Duration::zero() ? j : Duration::from_us(1);
 }
 
+Duration CoordinationEngine::skewed(Duration d) const {
+  if (!timer_skew_) return d;
+  Duration s = timer_skew_(d);
+  return s > Duration::zero() ? s : Duration::from_us(1);
+}
+
 std::optional<Duration> CoordinationEngine::on_request(TimePoint t) {
   ++requests_;
   last_request_ = t;
@@ -42,14 +48,24 @@ std::optional<Duration> CoordinationEngine::on_request(TimePoint t) {
     // the same round until the protection actually elapses).
     return std::nullopt;
   }
+  if (election_ != nullptr && !election_->is_primary(member_)) {
+    // Secondary grantor: observe the request, never answer it. The election
+    // starts the grace clock and promotes us if the primary stays silent.
+    ++shadowed_;
+    election_->on_request_observed(member_, t);
+    return std::nullopt;
+  }
   if (policy_ && !policy_()) {
     ++ignored_;
     return std::nullopt;
   }
   const Duration grant = allocator_.on_request(t);
   ++grants_;
-  grant_history_.push(grant);
+  grant_history_.push(t, grant);
   if (grant_observer_) grant_observer_(t, grant);
+  if (election_ != nullptr) {
+    election_->on_grant_issued(member_, t, grant + traits_.grant_margin);
+  }
   BICORD_LOG(Debug, t, traits_.log_tag,
              "request detected, granting " << grant << " white space");
   return grant;
@@ -71,7 +87,12 @@ void CoordinationEngine::on_resume(TimePoint t) {
 
 void CoordinationEngine::arm_watchdog(TimePoint deadline) {
   disarm_watchdog();
-  watchdog_event_ = sim_.at(deadline, [this] {
+  // Armed as a relative delay through the skew hook: a drifted crystal fires
+  // the watchdog early or late. Without a skew hook this is event-for-event
+  // identical to scheduling at the absolute deadline.
+  const Duration delay =
+      deadline > sim_.now() ? deadline - sim_.now() : Duration::zero();
+  watchdog_event_ = sim_.after(skewed(delay), [this] {
     watchdog_event_ = sim::kInvalidEventId;
     on_watchdog();
   });
@@ -103,7 +124,12 @@ void CoordinationEngine::begin_lease(TimePoint now, Duration lease) {
 
 void CoordinationEngine::arm_lease_expiry() {
   if (lease_event_ != sim::kInvalidEventId) sim_.cancel(lease_event_);
-  lease_event_ = sim_.at(lease_until_, [this] {
+  // Relative delay through the skew hook: a fast crystal releases the lease
+  // before lease_until_, a slow one after — the drift the lease margin in
+  // TechnologyTraits has to absorb. No skew hook = same instant as before.
+  const Duration delay =
+      lease_until_ > sim_.now() ? lease_until_ - sim_.now() : Duration::zero();
+  lease_event_ = sim_.after(skewed(delay), [this] {
     lease_event_ = sim::kInvalidEventId;
     on_lease_expired();
   });

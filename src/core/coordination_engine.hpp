@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "core/grant_history.hpp"
+#include "core/grantor_election.hpp"
 #include "core/protocol_params.hpp"
 #include "core/technology_traits.hpp"
 #include "core/whitespace.hpp"
@@ -46,6 +47,11 @@ class CoordinationEngine {
   using ResumeFilter = std::function<bool(TimePoint)>;
   /// Fault hook: perturb a relative timer delay (clock jitter).
   using TimerJitter = std::function<Duration(Duration)>;
+  /// Fault hook: scale a relative timer delay by this node's crystal error
+  /// (clock skew, ±ppm). Unlike TimerJitter it applies to *every* engine
+  /// timer — watchdog and lease expiry included — because a drifted crystal
+  /// mis-times exactly the deadlines the lease margins are sized for.
+  using TimerSkew = std::function<Duration(Duration)>;
   /// Runs when a lease expires, before the end-of-burst check (the agent
   /// un-protects the band here).
   using ReleaseHook = std::function<void()>;
@@ -61,7 +67,17 @@ class CoordinationEngine {
   void set_grant_observer(GrantObserver obs) { grant_observer_ = std::move(obs); }
   void set_resume_filter(ResumeFilter filter) { resume_filter_ = std::move(filter); }
   void set_timer_jitter(TimerJitter jitter) { timer_jitter_ = std::move(jitter); }
+  void set_timer_skew(TimerSkew skew) { timer_skew_ = std::move(skew); }
   void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+
+  /// Joins a multi-grantor election as `member`. While this engine is not the
+  /// elected primary, on_request() shadows the request (books it to the
+  /// election, grants nothing); while primary, every grant is reported so
+  /// secondaries and the invariant checker can track the protection window.
+  void set_election(GrantorElection* election, GrantorElection::MemberId member) {
+    election_ = election;
+    member_ = member;
+  }
 
   /// A channel request arrived at `t`. Books the request; returns the
   /// allocator's white-space grant, or nullopt when the request is absorbed
@@ -96,6 +112,9 @@ class CoordinationEngine {
   [[nodiscard]] std::uint64_t requests() const { return requests_; }
   [[nodiscard]] std::uint64_t grants() const { return grants_; }
   [[nodiscard]] std::uint64_t ignored() const { return ignored_; }
+  /// Requests booked while a secondary in a multi-grantor election (observed
+  /// and reported, never granted).
+  [[nodiscard]] std::uint64_t shadowed() const { return shadowed_; }
   [[nodiscard]] std::uint64_t watchdog_recoveries() const { return watchdog_recoveries_; }
 
  private:
@@ -106,6 +125,7 @@ class CoordinationEngine {
   /// burst and feeds the allocator's estimator.
   void end_of_burst_check(TimePoint resume_time);
   [[nodiscard]] Duration jittered(Duration d) const;
+  [[nodiscard]] Duration skewed(Duration d) const;
 
   sim::Simulator& sim_;
   const TechnologyTraits& traits_;
@@ -115,7 +135,10 @@ class CoordinationEngine {
   GrantObserver grant_observer_;
   ResumeFilter resume_filter_;
   TimerJitter timer_jitter_;
+  TimerSkew timer_skew_;
   ReleaseHook release_hook_;
+  GrantorElection* election_ = nullptr;
+  GrantorElection::MemberId member_ = 0;
 
   bool grant_outstanding_ = false;  ///< flag-based grants only
   TimePoint lease_until_;           ///< clock-bounded leases only
@@ -127,6 +150,7 @@ class CoordinationEngine {
   std::uint64_t requests_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t ignored_ = 0;
+  std::uint64_t shadowed_ = 0;
   std::uint64_t watchdog_recoveries_ = 0;
 };
 

@@ -1,16 +1,24 @@
 #pragma once
-// Capped history of white-space grant lengths.
+// Capped history of white-space grants (start instant + length).
 //
 // BiCordWifiAgent records every grant it issues. An unbounded vector is fine
 // for a 10 s run but not for chaos soaks or long --repeat sweeps, so the
 // history keeps only the most recent `capacity` grants while maintaining
 // running all-time summary statistics (count, sum, min, max) that cover every
 // grant ever pushed, not just the retained window.
+//
+// Each entry also carries the instant the grant was issued, so callers can
+// ask whether a retained grant still protects the band at time t. The
+// protection window is half-open — [start, start + length + margin) — which
+// pins the tie semantics clock drift would otherwise hide: a grant ending
+// exactly at the margin instant is already expired, matching the engine's
+// strict `now < lease_until` lease check.
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iterator>
 
 #include "util/time.hpp"
 
@@ -18,31 +26,89 @@ namespace bicord::core {
 
 class GrantHistory {
  public:
+  struct Entry {
+    TimePoint start;
+    Duration length;
+  };
+
   explicit GrantHistory(std::size_t capacity = 1024)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  void push(Duration grant) {
+  /// Records a grant issued at `start` for `length` of white space.
+  void push(TimePoint start, Duration length) {
     if (recent_.size() == capacity_) recent_.pop_front();
-    recent_.push_back(grant);
+    recent_.push_back(Entry{start, length});
     ++total_;
-    sum_ += grant;
+    sum_ += length;
     if (total_ == 1) {
-      min_ = max_ = grant;
+      min_ = max_ = length;
     } else {
-      min_ = std::min(min_, grant);
-      max_ = std::max(max_, grant);
+      min_ = std::min(min_, length);
+      max_ = std::max(max_, length);
     }
   }
+
+  /// Length-only overload (start unknown / irrelevant — summary stats only).
+  void push(Duration length) { push(TimePoint{}, length); }
 
   // --- retained window (most recent `capacity` grants) ----------------------
 
   [[nodiscard]] std::size_t size() const { return recent_.size(); }
   [[nodiscard]] bool empty() const { return recent_.empty(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] Duration operator[](std::size_t i) const { return recent_[i]; }
-  [[nodiscard]] auto begin() const { return recent_.begin(); }
-  [[nodiscard]] auto end() const { return recent_.end(); }
-  [[nodiscard]] Duration back() const { return recent_.back(); }
+  /// Grant length of retained entry `i` (oldest first).
+  [[nodiscard]] Duration operator[](std::size_t i) const {
+    return recent_[i].length;
+  }
+  [[nodiscard]] TimePoint start(std::size_t i) const { return recent_[i].start; }
+  [[nodiscard]] Duration back() const { return recent_.back().length; }
+
+  /// Iterates grant *lengths* (oldest first), so `for (Duration g : history)`
+  /// keeps working now that entries also carry the start instant.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Duration;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Duration*;
+    using reference = Duration;
+
+    explicit const_iterator(std::deque<Entry>::const_iterator it) : it_(it) {}
+    Duration operator*() const { return it_->length; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++it_;
+      return copy;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    std::deque<Entry>::const_iterator it_;
+  };
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(recent_.begin());
+  }
+  [[nodiscard]] const_iterator end() const { return const_iterator(recent_.end()); }
+
+  /// True while retained grant `i`, padded by the technology margin, still
+  /// protects instant `t`: start <= t < start + length + margin. The end
+  /// instant itself is expired, not active — the same strict inequality the
+  /// engine's lease check uses, so both sides of the seam agree under drift.
+  [[nodiscard]] bool covers(std::size_t i, TimePoint t, Duration margin) const {
+    const Entry& e = recent_[i];
+    return e.start <= t && t < e.start + e.length + margin;
+  }
+  /// Complement of covers() on the trailing edge: the grant has fully
+  /// elapsed (including margin) at `t`.
+  [[nodiscard]] bool expired(std::size_t i, TimePoint t, Duration margin) const {
+    const Entry& e = recent_[i];
+    return t >= e.start + e.length + margin;
+  }
 
   // --- all-time summary (never forgets) -------------------------------------
 
@@ -62,7 +128,7 @@ class GrantHistory {
 
  private:
   std::size_t capacity_;
-  std::deque<Duration> recent_;
+  std::deque<Entry> recent_;
   std::uint64_t total_ = 0;
   Duration sum_;
   Duration min_;

@@ -24,14 +24,20 @@ void FaultInjector::attach_medium(phy::Medium& medium) {
 }
 
 void FaultInjector::attach_wifi_agent(core::BiCordWifiAgent& agent) {
-  wifi_ = &agent;
+  if (wifi_ == nullptr) wifi_ = &agent;  // detector/CSI faults hit the testbed grantor
+  const std::size_t slot = skew_ppm_.size();
+  skew_ppm_.push_back(0.0);
   agent.set_pause_end_filter([this](TimePoint t) { return swallow_pause_end(t); });
-  agent.set_timer_jitter([this](Duration d) { return jitter(d); });
+  agent.set_timer_jitter([this, slot](Duration d) { return jitter(skewed(slot, d)); });
+  // Skew-only hook: reaches the watchdog/lease timers jitter never touches.
+  agent.set_timer_skew([this, slot](Duration d) { return skewed(slot, d); });
 }
 
 void FaultInjector::attach_zigbee_agent(core::BiCordZigbeeAgent& agent) {
   zigbee_ = &agent;
-  agent.set_timer_jitter([this](Duration d) { return jitter(d); });
+  const std::size_t slot = skew_ppm_.size();
+  skew_ppm_.push_back(0.0);
+  agent.set_timer_jitter([this, slot](Duration d) { return jitter(skewed(slot, d)); });
 }
 
 void FaultInjector::arm() {
@@ -91,6 +97,15 @@ void FaultInjector::activate(const FaultEvent& ev) {
       jitter_window_ = JitterWindow{now + ev.window, ev.magnitude};
       ++counters_.clock_jitter_windows;
       break;
+    case FaultKind::ClockSkew: {
+      // One uniform draw per attached agent, in attach order — deterministic
+      // for a given plan + wiring, and zero draws when the plan has no
+      // clock-skew event.
+      const double mag = std::max(ev.magnitude, 0.0);
+      for (double& ppm : skew_ppm_) ppm = rng_.uniform(-mag, mag);
+      ++counters_.clock_skew_activations;
+      break;
+    }
     case FaultKind::BurstShift:
       if (burst_shift_) {
         burst_shift_(ev.burst_packets, ev.burst_interval);
@@ -156,6 +171,14 @@ bool FaultInjector::swallow_pause_end(TimePoint t) {
   BICORD_LOG(Warn, t, "fault.inject",
              "swallowing pause-end notification (" << pause_end_budget_ << " left)");
   return true;
+}
+
+Duration FaultInjector::skewed(std::size_t slot, Duration d) const {
+  const double ppm = skew_ppm_[slot];
+  if (ppm == 0.0) return d;
+  const double f = 1.0 + ppm * 1e-6;
+  const auto us = static_cast<std::int64_t>(static_cast<double>(d.us()) * f);
+  return Duration::from_us(std::max<std::int64_t>(us, 1));
 }
 
 Duration FaultInjector::jitter(Duration d) {

@@ -41,6 +41,7 @@ class FaultInjector final : public phy::TxInterceptor {
     std::uint64_t csi_dropout_windows = 0;
     std::uint64_t rssi_glitch_windows = 0;
     std::uint64_t clock_jitter_windows = 0;
+    std::uint64_t clock_skew_activations = 0;
     std::uint64_t burst_shifts = 0;
     std::uint64_t node_leaves = 0;
     std::uint64_t node_joins = 0;
@@ -48,8 +49,8 @@ class FaultInjector final : public phy::TxInterceptor {
     [[nodiscard]] std::uint64_t total() const {
       return cts_corrupted + controls_dropped + frames_corrupted + pause_ends_swallowed +
              detector_false_positives + detector_fn_windows + csi_dropout_windows +
-             rssi_glitch_windows + clock_jitter_windows + burst_shifts + node_leaves +
-             node_joins;
+             rssi_glitch_windows + clock_jitter_windows + clock_skew_activations +
+             burst_shifts + node_leaves + node_joins;
     }
   };
 
@@ -65,6 +66,9 @@ class FaultInjector final : public phy::TxInterceptor {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   void attach_medium(phy::Medium& medium);
+  /// May be called for several grantors (multi-grantor scenarios); each gets
+  /// its own clock-skew slot in attach order. Detector/CSI faults keep
+  /// targeting the first-attached agent (the testbed grantor).
   void attach_wifi_agent(core::BiCordWifiAgent& agent);
   void attach_zigbee_agent(core::BiCordZigbeeAgent& agent);
   void set_burst_shift_handler(BurstShiftHandler handler) {
@@ -96,6 +100,10 @@ class FaultInjector final : public phy::TxInterceptor {
   void activate(const FaultEvent& ev);
   [[nodiscard]] bool swallow_pause_end(TimePoint t);
   [[nodiscard]] Duration jitter(Duration d);
+  /// Applies agent `slot`'s crystal-drift factor (1 + ppm·1e-6). RNG-free per
+  /// call — the ppm values are drawn once at ClockSkew activation — so
+  /// plans without a clock-skew event stay bitwise identical.
+  [[nodiscard]] Duration skewed(std::size_t slot, Duration d) const;
 
   sim::Simulator& sim_;
   FaultPlan plan_;
@@ -113,6 +121,7 @@ class FaultInjector final : public phy::TxInterceptor {
   int pause_end_budget_ = 0;
   std::vector<CorruptWindow> corrupt_windows_;
   JitterWindow jitter_window_;
+  std::vector<double> skew_ppm_;  ///< one slot per attached agent, attach order
   bool armed_ = false;
 };
 

@@ -16,6 +16,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::DetectorFalseNegative: return "detector-fn";
     case FaultKind::RssiGlitch: return "rssi-glitch";
     case FaultKind::ClockJitter: return "clock-jitter";
+    case FaultKind::ClockSkew: return "clock-skew";
     case FaultKind::BurstShift: return "burst-shift";
     case FaultKind::NodeLeave: return "node-leave";
     case FaultKind::NodeJoin: return "node-join";
@@ -30,7 +31,8 @@ std::optional<FaultKind> parse_kind(const std::string& word) {
        {FaultKind::CtsLoss, FaultKind::ControlDeaf, FaultKind::FrameCorrupt,
         FaultKind::PauseEndLoss, FaultKind::CsiDropout, FaultKind::DetectorFalsePositive,
         FaultKind::DetectorFalseNegative, FaultKind::RssiGlitch, FaultKind::ClockJitter,
-        FaultKind::BurstShift, FaultKind::NodeLeave, FaultKind::NodeJoin}) {
+        FaultKind::ClockSkew, FaultKind::BurstShift, FaultKind::NodeLeave,
+        FaultKind::NodeJoin}) {
     if (word == to_string(k)) return k;
   }
   return std::nullopt;
@@ -187,6 +189,9 @@ std::string FaultPlan::describe() const {
         break;
       case FaultKind::ClockJitter:
         os << " window=" << ev.window << " mag=" << ev.magnitude;
+        break;
+      case FaultKind::ClockSkew:
+        os << " mag=" << ev.magnitude << "ppm";
         break;
       case FaultKind::BurstShift:
         os << " packets=" << ev.burst_packets << " interval=" << ev.burst_interval;

@@ -41,6 +41,13 @@ enum class FaultKind : std::uint8_t {
   RssiGlitch,
   /// For `window`, scale agent timer delays by U(1-m, 1+m) (clock jitter).
   ClockJitter,
+  /// Give every attached agent a persistent crystal-drift rate: each agent
+  /// draws its own skew in ±`magnitude` ppm (one draw per agent, attach
+  /// order, off the dedicated fault stream) and from then on *all* its timer
+  /// delays — watchdogs and lease expiries included — are scaled by
+  /// (1 + ppm·1e-6). Unlike ClockJitter this never re-rolls per timer, so it
+  /// models drift, not scheduling noise.
+  ClockSkew,
   /// Reconfigure the primary ZigBee burst source: `burst_packets` packets
   /// per burst, `burst_interval` mean spacing (pattern change mid-run).
   BurstShift,
@@ -62,8 +69,8 @@ struct FaultEvent {
   int count = 1;
   /// Per-frame probability for FrameCorrupt.
   double probability = 1.0;
-  /// Kind-specific magnitude: dB offset (RssiGlitch) or jitter fraction
-  /// (ClockJitter).
+  /// Kind-specific magnitude: dB offset (RssiGlitch), jitter fraction
+  /// (ClockJitter), or max |ppm| of crystal drift (ClockSkew).
   double magnitude = 0.0;
   /// Technology filter for FrameCorrupt.
   phy::Technology tech = phy::Technology::ZigBee;

@@ -67,6 +67,61 @@ void InvariantChecker::tick() {
     violate("event queue " + std::to_string(sim_.pending_events()) +
             " exceeds max_pending_events");
   }
+
+  if (election_ != nullptr) check_election(/*final_pass=*/false);
+}
+
+void InvariantChecker::check_election(bool final_pass) {
+  const TimePoint now = sim_.now();
+  member_protected_until_.resize(election_->member_count(), TimePoint{});
+
+  // Double-grant overlap: replay new grant records in issue order. A record
+  // from member m whose protection starts before another member's last
+  // protection ended means two grantors promised the requester overlapping
+  // white space — the failure mode the election exists to prevent.
+  if (grant_cursor_ < election_->grant_log_base()) {
+    grant_cursor_ = election_->grant_log_base();  // capped log outran the tick
+  }
+  for (; grant_cursor_ < election_->grant_log_end(); ++grant_cursor_) {
+    const auto& g = election_->grant_record(grant_cursor_);
+    for (std::size_t k = 0; k < member_protected_until_.size(); ++k) {
+      if (k == g.member) continue;
+      if (g.start < member_protected_until_[k]) {
+        violate("double-grant overlap: member " + std::to_string(g.member) +
+                " granted at " + g.start.to_string() + " while member " +
+                std::to_string(k) + "'s protection runs until " +
+                member_protected_until_[k].to_string());
+      }
+    }
+    if (g.protected_until > member_protected_until_[g.member]) {
+      member_protected_until_[g.member] = g.protected_until;
+    }
+  }
+
+  // Bounded handoff gap: a takeover must produce the new primary's first
+  // grant within grace + lease margin of the request that triggered it.
+  const Duration bound = election_->handoff_bound();
+  const auto& handoffs = election_->handoffs();
+  while (handoff_cursor_ < handoffs.size()) {
+    const auto& h = handoffs[handoff_cursor_];
+    if (h.first_grant.has_value()) {
+      const Duration gap = *h.first_grant - h.request;
+      if (gap > bound) {
+        violate("handoff gap " + gap.to_string() + " exceeds bound " +
+                bound.to_string() + " (takeover at " + h.takeover.to_string() + ")");
+      }
+      ++handoff_cursor_;
+      continue;
+    }
+    if (now - h.request > bound && (final_pass || now - h.request > bound + limits_.period)) {
+      violate("handoff gap unbounded: takeover at " + h.takeover.to_string() +
+              " never produced a grant within " + bound.to_string() +
+              " of the request at " + h.request.to_string());
+      ++handoff_cursor_;
+      continue;
+    }
+    break;  // still within the bound — recheck next tick
+  }
 }
 
 void InvariantChecker::finish(const FaultInjector* injector) {
@@ -81,6 +136,7 @@ void InvariantChecker::finish(const FaultInjector* injector) {
       now - last_zigbee_change_ > limits_.max_stall) {
     violate("at finish: zigbee agent non-idle and stalled");
   }
+  if (election_ != nullptr) check_election(/*final_pass=*/true);
   if (injector != nullptr && wifi_ != nullptr) {
     // Every swallowed pause-end must have been answered by a watchdog
     // recovery — recovery or explicit give-up, never a silent wedge.

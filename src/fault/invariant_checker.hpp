@@ -10,6 +10,14 @@
 //     (no delivery, drop, control packet, CTI sample, or give-up) for longer
 //     than `max_stall`,
 //   * the ZigBee backlog or the simulator event queue grows without bound.
+// When a GrantorElection is watched, two failover invariants are always on:
+//   * double-grant overlap — no two grantors' protection windows for the
+//     same requester may overlap in time (the election's grant log is
+//     replayed incrementally each tick),
+//   * bounded handoff gap — every takeover must produce the new primary's
+//     first grant within grace + lease margin of the uncovered request that
+//     triggered it (checked per tick once filled; unfilled takeovers older
+//     than the bound are violations too).
 // finish() additionally verifies end-of-run quiescence and, given the
 // injector, that every swallowed pause-end was answered by a watchdog
 // recovery. Violations are strings so a failing soak is diagnosable from
@@ -47,6 +55,11 @@ class InvariantChecker {
 
   void watch_wifi(const core::BiCordWifiAgent& agent) { wifi_ = &agent; }
   void watch_zigbee(const core::BiCordZigbeeAgent& agent) { zigbee_ = &agent; }
+  /// Enables the multi-grantor invariants (double-grant overlap, bounded
+  /// handoff gap) by replaying the election's grant/handoff logs.
+  void watch_election(const core::GrantorElection& election) {
+    election_ = &election;
+  }
 
   /// Starts the periodic checks (idempotent).
   void start();
@@ -64,15 +77,22 @@ class InvariantChecker {
   void tick();
   void violate(const std::string& what);
   [[nodiscard]] std::uint64_t zigbee_progress_counter() const;
+  /// Incremental replay of the election logs; `final_pass` also flags
+  /// still-unfilled takeovers older than the handoff bound.
+  void check_election(bool final_pass);
 
   sim::Simulator& sim_;
   InvariantLimits limits_;
   const core::BiCordWifiAgent* wifi_ = nullptr;
   const core::BiCordZigbeeAgent* zigbee_ = nullptr;
+  const core::GrantorElection* election_ = nullptr;
   std::unique_ptr<sim::PeriodicTask> task_;
 
   std::uint64_t last_zigbee_progress_ = 0;
   TimePoint last_zigbee_change_;
+  std::uint64_t grant_cursor_ = 0;    ///< next unchecked election grant (all-time)
+  std::size_t handoff_cursor_ = 0;    ///< next unchecked handoff record
+  std::vector<TimePoint> member_protected_until_;
   std::uint64_t checks_ = 0;
   std::vector<std::string> violations_;
 };

@@ -72,6 +72,17 @@ std::string coex_line(const std::string& name, Scenario& s) {
         << "/" << s.dense_ble_count() << " dense_wifi_del=" << s.dense_wifi_delivered()
         << " dense_zb_del=" << s.dense_zigbee_delivered();
   }
+  // Election block only for multi-grantor scenarios, so every historical
+  // single-grantor line above stays byte-identical.
+  if (const auto* e = s.election()) {
+    out << " election=" << e->member_count() << "/" << e->primary() << "/"
+        << e->takeovers() << "/" << e->shadowed_cts() << "/"
+        << e->requests_observed()
+        << " handoff_gap=" << (e->max_handoff_gap().has_value()
+                                   ? e->max_handoff_gap()->us()
+                                   : -1)
+        << "us";
+  }
   return out.str();
 }
 
@@ -145,6 +156,13 @@ std::string golden_blob() {
     spec.set("fault.preset", "mixed");
     out << run_coex("dense1k-mixed", spec, 250_ms, 750_ms) << "\n";
   }
+
+  // Multi-grantor family, appended after every historical line: the election
+  // counters (takeovers, shadowed CTS, handoff gap) are pinned alongside the
+  // headline metrics, and the failover preset additionally pins the ±200 ppm
+  // clock-skew draws and the mid-run primary kill/rejoin.
+  out << run_coex("multigrantor", spec_for("multigrantor"), 500_ms, 2500_ms) << "\n";
+  out << run_coex("failover", spec_for("failover"), 500_ms, 4500_ms) << "\n";
   return out.str();
 }
 
@@ -184,6 +202,33 @@ TEST(GoldenDeterminismTest, DenseJobsOneVsEightBitwiseIdentical) {
   // the medium runs the grid path and the scenario carries a churn plan.
   auto make = [] {
     ExperimentRunner runner(ScenarioSpec::preset("dense")->must_config(),
+                            250_ms, 750_ms);
+    runner.add_metric("util", metric_total_utilization());
+    runner.add_metric("delay", metric_zigbee_mean_delay_ms());
+    runner.add_metric("delivery", metric_zigbee_delivery());
+    return runner;
+  };
+  auto seq = make();
+  seq.set_jobs(1);
+  const auto a = seq.run(4);
+  auto par = make();
+  par.set_jobs(8);
+  const auto b = par.run(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.mean(), b[i].stats.mean()) << a[i].name;
+    EXPECT_EQ(a[i].stats.stddev(), b[i].stats.stddev()) << a[i].name;
+    EXPECT_EQ(a[i].stats.count(), b[i].stats.count()) << a[i].name;
+  }
+}
+
+TEST(GoldenDeterminismTest, MultigrantorJobsOneVsEightBitwiseIdentical) {
+  using namespace bicord::time_literals;
+  // The election layer must not perturb per-trial seeding under parallel
+  // dispatch: extra grantor APs, the shared election, and the takeover timer
+  // all live inside one trial's simulator.
+  auto make = [] {
+    ExperimentRunner runner(ScenarioSpec::preset("multigrantor")->must_config(),
                             250_ms, 750_ms);
     runner.add_metric("util", metric_total_utilization());
     runner.add_metric("delay", metric_zigbee_mean_delay_ms());

@@ -185,6 +185,78 @@ TEST(ScenarioSpecTest, FaultPlanKeysLower) {
   EXPECT_NE(error.find("fault.preset"), std::string::npos) << error;
 }
 
+TEST(ScenarioSpecTest, GrantorsKeyLowersToDistances) {
+  std::string error;
+  auto spec = ScenarioSpec::parse(
+      "grantors = 2.5, 4\nelection.grace = 80ms\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  auto cfg = spec->config(&error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  ASSERT_EQ(cfg->extra_grantors_m.size(), 2u);
+  EXPECT_EQ(cfg->extra_grantors_m[0], 2.5);
+  EXPECT_EQ(cfg->extra_grantors_m[1], 4.0);
+  EXPECT_EQ(cfg->election_grace, 80_ms);
+}
+
+TEST(ScenarioSpecTest, GrantorsRejectsZeroAndDuplicates) {
+  std::string error;
+  // Zero distance: degenerate election metric.
+  auto spec = ScenarioSpec::parse("seed = 1\ngrantors = 2.5,0\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_FALSE(spec->config(&error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("grantors"), std::string::npos) << error;
+
+  // Duplicate distance: two members would tie on the metric *and* geometry.
+  spec = ScenarioSpec::parse("seed = 1\ngrantors = 3,4,3\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_FALSE(spec->config(&error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  // Negative, empty element, and trailing comma are malformed too.
+  for (const char* bad : {"grantors = -2\n", "grantors = 2.5,,4\n",
+                          "grantors = 2.5,\n"}) {
+    spec = ScenarioSpec::parse(bad, &error);
+    ASSERT_TRUE(spec.has_value()) << bad;
+    EXPECT_FALSE(spec->config(&error).has_value()) << bad;
+    EXPECT_NE(error.find("grantors"), std::string::npos) << error;
+  }
+}
+
+TEST(ScenarioSpecTest, ElectionGraceMustBePositive) {
+  std::string error;
+  for (const char* bad : {"election.grace = 0ms\n", "election.grace = -5ms\n",
+                          "election.grace = soon\n"}) {
+    auto spec = ScenarioSpec::parse(bad, &error);
+    ASSERT_TRUE(spec.has_value()) << bad;
+    EXPECT_FALSE(spec->config(&error).has_value()) << bad;
+    EXPECT_NE(error.find("election.grace"), std::string::npos) << error;
+  }
+}
+
+TEST(ScenarioSpecTest, ClockSkewPpmLowersToFaultEventAndValidatesRange) {
+  std::string error;
+  auto spec = ScenarioSpec::parse("fault.clock_skew_ppm = 200\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  auto cfg = spec->config(&error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  ASSERT_EQ(cfg->fault_plan.size(), 1u);
+  EXPECT_EQ(cfg->fault_plan.events()[0].kind, fault::FaultKind::ClockSkew);
+  EXPECT_EQ(cfg->fault_plan.events()[0].magnitude, 200.0);
+  EXPECT_EQ(cfg->fault_plan.events()[0].at, TimePoint::origin());
+
+  for (const char* bad :
+       {"fault.clock_skew_ppm = 0\n", "fault.clock_skew_ppm = -10\n",
+        "fault.clock_skew_ppm = 1001\n", "fault.clock_skew_ppm = drifty\n"}) {
+    spec = ScenarioSpec::parse(bad, &error);
+    ASSERT_TRUE(spec.has_value()) << bad;
+    EXPECT_FALSE(spec->config(&error).has_value()) << bad;
+    EXPECT_NE(error.find("clock_skew_ppm"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  }
+}
+
 TEST(ScenarioSpecTest, TopologySwitchSelectsBleLowering) {
   std::string error;
   auto spec = ScenarioSpec::parse(

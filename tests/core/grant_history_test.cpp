@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/technology_traits.hpp"
+
 namespace bicord::core {
 namespace {
 
@@ -91,6 +93,54 @@ TEST(GrantHistoryTest, RangeForIterationWorks) {
   Duration sum = Duration::zero();
   for (Duration d : h) sum = sum + d;
   EXPECT_EQ(sum, 3_ms);
+}
+
+TEST(GrantHistoryTest, StartStampedEntriesKeepStartAndLength) {
+  GrantHistory h(4);
+  const TimePoint t0 = TimePoint::origin() + 100_ms;
+  h.push(t0, 20_ms);
+  h.push(t0 + 50_ms, 30_ms);
+  EXPECT_EQ(h.start(0), t0);
+  EXPECT_EQ(h[0], 20_ms);
+  EXPECT_EQ(h.start(1), t0 + 50_ms);
+  EXPECT_EQ(h.back(), 30_ms);
+}
+
+// The lease boundary is half-open on both technologies: a grant whose
+// protection (length + margin) ends exactly at instant T no longer covers T.
+// This pins the same strict-`<` tie the engine's lease check uses, so the
+// watchdog and the invariant replay agree about the expiry instant.
+TEST(GrantHistoryTest, LeaseBoundaryInstantIsExpiredUnderWifiMargin) {
+  const Duration margin = kWifiTraits.grant_margin;
+  GrantHistory h(4);
+  const TimePoint t0 = TimePoint::origin() + 1_sec;
+  h.push(t0, 20_ms);
+  const TimePoint boundary = t0 + 20_ms + margin;
+  EXPECT_TRUE(h.covers(0, boundary - 1_us, margin));
+  EXPECT_FALSE(h.covers(0, boundary, margin));
+  EXPECT_FALSE(h.expired(0, boundary - 1_us, margin));
+  EXPECT_TRUE(h.expired(0, boundary, margin));
+}
+
+TEST(GrantHistoryTest, LeaseBoundaryInstantIsExpiredUnderBleMargin) {
+  const Duration margin = kBleTraits.grant_margin;
+  ASSERT_NE(margin, kWifiTraits.grant_margin);  // distinct technology margins
+  GrantHistory h(4);
+  const TimePoint t0 = TimePoint::origin() + 1_sec;
+  h.push(t0, 15_ms);
+  const TimePoint boundary = t0 + 15_ms + margin;
+  EXPECT_TRUE(h.covers(0, boundary - 1_us, margin));
+  EXPECT_FALSE(h.covers(0, boundary, margin));
+  EXPECT_FALSE(h.expired(0, boundary - 1_us, margin));
+  EXPECT_TRUE(h.expired(0, boundary, margin));
+}
+
+TEST(GrantHistoryTest, CoversIsFalseBeforeTheGrantStarts) {
+  GrantHistory h(4);
+  const TimePoint t0 = TimePoint::origin() + 1_sec;
+  h.push(t0, 20_ms);
+  EXPECT_FALSE(h.covers(0, t0 - 1_us, kWifiTraits.grant_margin));
+  EXPECT_TRUE(h.covers(0, t0, kWifiTraits.grant_margin));
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// GrantorElection unit tests: deterministic ranking, grace-clock arming and
+// cancellation, succession (including skipping dead members), handoff
+// records, and the capped grant log the InvariantChecker replays.
+
+#include "core/grantor_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bicord::core {
+namespace {
+
+using namespace bicord::time_literals;
+
+constexpr Duration kGrace = 60_ms;
+constexpr Duration kMargin = 500_us;
+
+struct Rig {
+  sim::Simulator sim{1};
+  GrantorElection election{sim, kGrace, kMargin};
+  /// Per-member takeover timestamps, in hook-call order.
+  std::vector<std::vector<TimePoint>> hook_calls;
+  std::vector<bool> alive;
+
+  GrantorElection::MemberId add(phy::NodeId node, double metric_dbm) {
+    const std::size_t idx = hook_calls.size();
+    hook_calls.emplace_back();
+    alive.push_back(true);
+    return election.add_member(
+        node, metric_dbm, [this, idx](TimePoint t) { hook_calls[idx].push_back(t); },
+        [this, idx] { return alive[idx]; });
+  }
+};
+
+TEST(GrantorElectionTest, PrimaryIsBestMetricWithNodeIdTieBreak) {
+  Rig rig;
+  const auto a = rig.add(/*node=*/7, /*metric=*/-40.0);
+  const auto b = rig.add(/*node=*/3, /*metric=*/-35.0);
+  const auto c = rig.add(/*node=*/1, /*metric=*/-35.0);
+  EXPECT_EQ(rig.election.member_count(), 3u);
+  // -35 dBm beats -40; the tie between b and c goes to the lower node id.
+  EXPECT_EQ(rig.election.primary(), c);
+  EXPECT_TRUE(rig.election.is_primary(c));
+  EXPECT_FALSE(rig.election.is_primary(a));
+  EXPECT_FALSE(rig.election.is_primary(b));
+  EXPECT_EQ(rig.election.member_node(c), 1u);
+  EXPECT_EQ(rig.election.member_metric_dbm(b), -35.0);
+}
+
+TEST(GrantorElectionTest, UncoveredRequestPromotesNextAfterGrace) {
+  Rig rig;
+  const auto best = rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+  ASSERT_EQ(rig.election.primary(), best);
+
+  const TimePoint request = rig.sim.now() + Duration::from_ms(5);
+  rig.sim.run_until(request);
+  rig.election.on_request_observed(second, request);
+  rig.sim.run_until(request + kGrace + 1_ms);
+
+  EXPECT_EQ(rig.election.primary(), second);
+  EXPECT_EQ(rig.election.takeovers(), 1u);
+  ASSERT_EQ(rig.hook_calls[second].size(), 1u);
+  EXPECT_EQ(rig.hook_calls[second][0], request + kGrace);
+  ASSERT_EQ(rig.election.handoffs().size(), 1u);
+  const auto& h = rig.election.handoffs()[0];
+  EXPECT_EQ(h.request, request);
+  EXPECT_EQ(h.takeover, request + kGrace);
+  EXPECT_EQ(h.from, best);
+  EXPECT_EQ(h.to, second);
+  EXPECT_FALSE(h.first_grant.has_value());
+}
+
+TEST(GrantorElectionTest, GrantBeforeGraceCancelsTakeover) {
+  Rig rig;
+  const auto best = rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+
+  rig.election.on_request_observed(second, rig.sim.now());
+  rig.sim.run_until(rig.sim.now() + 10_ms);
+  rig.election.on_grant_issued(best, rig.sim.now(), 20_ms);
+  rig.sim.run_until(rig.sim.now() + kGrace + kGrace);
+
+  EXPECT_EQ(rig.election.takeovers(), 0u);
+  EXPECT_EQ(rig.election.primary(), best);
+  EXPECT_TRUE(rig.hook_calls[second].empty());
+}
+
+TEST(GrantorElectionTest, ShadowedCtsCancelsTakeoverAndExtendsCoverage) {
+  Rig rig;
+  const auto best = rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+
+  rig.election.on_request_observed(second, rig.sim.now());
+  rig.sim.run_until(rig.sim.now() + 10_ms);
+  const TimePoint heard = rig.sim.now();
+  rig.election.on_grant_shadowed(second, heard, 25_ms);
+  rig.sim.run_until(heard + kGrace + kGrace);
+
+  EXPECT_EQ(rig.election.takeovers(), 0u);
+  EXPECT_EQ(rig.election.primary(), best);
+  EXPECT_EQ(rig.election.shadowed_cts(), 1u);
+  EXPECT_EQ(rig.election.covered_until(), heard + 25_ms);
+}
+
+TEST(GrantorElectionTest, CoveredRequestDoesNotArmGraceClock) {
+  Rig rig;
+  rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+
+  rig.election.on_grant_shadowed(second, rig.sim.now(), 50_ms);
+  rig.election.on_request_observed(second, rig.sim.now() + 10_ms);
+  rig.sim.run_until(rig.sim.now() + kGrace + kGrace);
+
+  EXPECT_EQ(rig.election.takeovers(), 0u);
+  EXPECT_EQ(rig.election.requests_observed(), 1u);
+}
+
+TEST(GrantorElectionTest, SuccessionSkipsDeadMembers) {
+  Rig rig;
+  const auto best = rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+  const auto third = rig.add(3, -50.0);
+  rig.alive[best] = false;    // primary crashed
+  rig.alive[second] = false;  // ...and so did the next in line
+
+  rig.election.on_request_observed(third, rig.sim.now());
+  rig.sim.run_until(rig.sim.now() + kGrace + 1_ms);
+
+  EXPECT_EQ(rig.election.primary(), third);
+  EXPECT_EQ(rig.election.takeovers(), 1u);
+  EXPECT_TRUE(rig.hook_calls[second].empty());
+  EXPECT_EQ(rig.hook_calls[third].size(), 1u);
+}
+
+TEST(GrantorElectionTest, NoAliveSuccessorAbortsTakeover) {
+  Rig rig;
+  const auto best = rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+  rig.alive[best] = false;
+  rig.alive[second] = false;
+
+  rig.election.on_request_observed(second, rig.sim.now());
+  rig.sim.run_until(rig.sim.now() + kGrace + kGrace);
+
+  EXPECT_EQ(rig.election.takeovers(), 0u);
+  EXPECT_EQ(rig.election.primary(), best);
+  EXPECT_TRUE(rig.election.handoffs().empty());
+}
+
+TEST(GrantorElectionTest, HandoffGapIsExactlyGraceOnCleanFailover) {
+  Rig rig;
+  rig.add(1, -30.0);
+  const auto second = rig.add(2, -40.0);
+
+  const TimePoint request = rig.sim.now();
+  rig.election.on_request_observed(second, request);
+  rig.sim.run_until(request + kGrace + 1_ms);
+  ASSERT_EQ(rig.election.takeovers(), 1u);
+  // A clean failover replays the request at the takeover instant.
+  rig.election.on_grant_issued(second, request + kGrace, 20_ms);
+
+  ASSERT_TRUE(rig.election.handoffs()[0].first_grant.has_value());
+  const auto gap = rig.election.max_handoff_gap();
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, kGrace);
+  EXPECT_LE(*gap, rig.election.handoff_bound());
+  EXPECT_EQ(rig.election.handoff_bound(), kGrace + kMargin);
+}
+
+TEST(GrantorElectionTest, GrantLogCapsAndKeepsAllTimeIndices) {
+  sim::Simulator sim{1};
+  GrantorElection election{sim, kGrace, kMargin, /*grant_log_capacity=*/4};
+  const auto m = election.add_member(1, -30.0, nullptr);
+
+  for (int i = 0; i < 10; ++i) {
+    election.on_grant_issued(m, TimePoint::origin() + Duration::from_ms(i), 1_ms);
+  }
+  EXPECT_EQ(election.grant_log_base(), 6u);
+  EXPECT_EQ(election.grant_log_end(), 10u);
+  // Record 7 (all-time) is the grant issued at t = 7 ms.
+  EXPECT_EQ(election.grant_record(7).start, TimePoint::origin() + 7_ms);
+  EXPECT_EQ(election.grant_record(7).protected_until,
+            TimePoint::origin() + 7_ms + 1_ms);
+}
+
+TEST(GrantorElectionTest, ConsumesNoRngDraws) {
+  // The PR 5 determinism contract: elections are pure bookkeeping. Any RNG
+  // draw here would shift every downstream stream in scenarios that build one.
+  sim::Simulator sim{99};
+  const auto before = sim.rng().split(0x5EED).uniform(0.0, 1.0);
+  {
+    GrantorElection election{sim, kGrace, kMargin};
+    const auto a = election.add_member(1, -30.0, nullptr);
+    const auto b = election.add_member(2, -40.0, nullptr);
+    election.on_request_observed(b, sim.now());
+    sim.run_until(sim.now() + kGrace + 1_ms);
+    election.on_grant_issued(b, sim.now(), 10_ms);
+    (void)a;
+  }
+  const auto after = sim.rng().split(0x5EED).uniform(0.0, 1.0);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace bicord::core

@@ -1,0 +1,131 @@
+// InvariantChecker failover invariants, driven by synthetic election traces:
+// the double-grant-overlap check must fire on overlapping protections, the
+// handoff-gap check must fire on late and on never-arriving first grants,
+// and a clean failover must stay silent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/grantor_election.hpp"
+#include "fault/invariant_checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace bicord::fault {
+namespace {
+
+using namespace bicord::time_literals;
+using core::GrantorElection;
+
+constexpr Duration kGrace = 60_ms;
+constexpr Duration kMargin = 500_us;
+
+struct Rig {
+  sim::Simulator sim{1};
+  GrantorElection election{sim, kGrace, kMargin};
+  InvariantChecker checker{sim};
+  GrantorElection::MemberId a;
+  GrantorElection::MemberId b;
+
+  Rig() {
+    a = election.add_member(1, -30.0, nullptr);
+    b = election.add_member(2, -40.0, nullptr);
+    checker.watch_election(election);
+    checker.start();
+  }
+
+  [[nodiscard]] bool any_violation_contains(const std::string& needle) const {
+    for (const auto& v : checker.violations()) {
+      if (v.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+TEST(InvariantElectionTest, DoubleGrantOverlapFires) {
+  Rig rig;
+  const TimePoint t0 = rig.sim.now();
+  rig.election.on_grant_issued(rig.a, t0, 20_ms);
+  // b grants 5 ms in, squarely inside a's protection window.
+  rig.election.on_grant_issued(rig.b, t0 + 5_ms, 20_ms);
+  rig.sim.run_for(200_ms);
+  rig.checker.finish();
+
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_TRUE(rig.any_violation_contains("double-grant overlap"))
+      << rig.checker.report();
+}
+
+TEST(InvariantElectionTest, BackToBackGrantsAreClean) {
+  Rig rig;
+  const TimePoint t0 = rig.sim.now();
+  rig.election.on_grant_issued(rig.a, t0, 20_ms);
+  // b's grant starts exactly when a's protection ends: no overlap.
+  rig.election.on_grant_issued(rig.b, t0 + 20_ms, 20_ms);
+  rig.sim.run_for(200_ms);
+  rig.checker.finish();
+
+  EXPECT_TRUE(rig.checker.ok()) << rig.checker.report();
+}
+
+TEST(InvariantElectionTest, UnboundedHandoffGapFires) {
+  Rig rig;
+  rig.election.on_request_observed(rig.b, rig.sim.now());
+  // The takeover fires after kGrace; nobody ever grants afterwards.
+  rig.sim.run_for(1_sec);
+  rig.checker.finish();
+
+  EXPECT_EQ(rig.election.takeovers(), 1u);
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_TRUE(rig.any_violation_contains("handoff gap unbounded"))
+      << rig.checker.report();
+}
+
+TEST(InvariantElectionTest, LateFirstGrantFires) {
+  Rig rig;
+  const TimePoint request = rig.sim.now();
+  rig.election.on_request_observed(rig.b, request);
+  rig.sim.run_for(kGrace + 1_ms);
+  ASSERT_EQ(rig.election.takeovers(), 1u);
+  // The new primary answers, but 40 ms past the bound.
+  rig.election.on_grant_issued(rig.b, request + kGrace + kMargin + 40_ms, 20_ms);
+  rig.sim.run_for(200_ms);
+  rig.checker.finish();
+
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_TRUE(rig.any_violation_contains("exceeds bound")) << rig.checker.report();
+}
+
+TEST(InvariantElectionTest, CleanFailoverIsSilent) {
+  Rig rig;
+  const TimePoint request = rig.sim.now();
+  rig.election.on_request_observed(rig.b, request);
+  rig.sim.run_for(kGrace + 1_ms);
+  ASSERT_EQ(rig.election.takeovers(), 1u);
+  // Replayed immediately at takeover: gap == grace <= grace + margin.
+  rig.election.on_grant_issued(rig.b, request + kGrace, 20_ms);
+  rig.sim.run_for(1_sec);
+  rig.checker.finish();
+
+  EXPECT_TRUE(rig.checker.ok()) << rig.checker.report();
+  const auto gap = rig.election.max_handoff_gap();
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, kGrace);
+}
+
+TEST(InvariantElectionTest, FinishFlagsPendingUnfilledHandoff) {
+  // finish() must not let a just-expired unfilled handoff slide even when
+  // the periodic tick has not reached it yet.
+  Rig rig;
+  rig.election.on_request_observed(rig.b, rig.sim.now());
+  rig.sim.run_for(kGrace + kMargin + 1_ms);  // past the bound, under one period
+  ASSERT_EQ(rig.election.takeovers(), 1u);
+  rig.checker.finish();
+
+  EXPECT_FALSE(rig.checker.ok());
+  EXPECT_TRUE(rig.any_violation_contains("handoff gap unbounded"))
+      << rig.checker.report();
+}
+
+}  // namespace
+}  // namespace bicord::fault

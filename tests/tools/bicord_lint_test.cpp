@@ -424,6 +424,64 @@ TEST_F(BicordLintTest, ScenarioSpecUsageDoesNotTrip) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST_F(BicordLintTest, GrantIssueOutsideEngineFires) {
+  const auto p = write("src/mac/rogue.cpp",
+                       "void Rogue::on_request() {\n"
+                       "  engine_.begin_grant(sim_.now());\n"
+                       "  engine_.arm_watchdog(sim_.now() + grace_);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[grant-issue-outside-engine]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("begin_grant"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, PrivateGrantHistoryOutsideEngineFires) {
+  const auto p = write("src/mac/ledger.hpp",
+                       "#pragma once\n"
+                       "#include \"core/grant_history.hpp\"\n"
+                       "struct Ledger { core::GrantHistory grants{16}; };\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[grant-issue-outside-engine]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, GrantIssueInsideEngineAndTestsIsQuiet) {
+  // src/core/ owns grant issuance; tests drive the primitives directly to
+  // probe lease edges.
+  write("src/core/agent.cpp",
+        "void Agent::grant() { engine_.begin_grant(sim_.now()); }\n");
+  write("tests/core/grant_test.cpp",
+        "void probe(Engine& e) { e.begin_lease(t0, Duration::from_ms(4)); }\n");
+  Result r = run((root_ / "src" / "core").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run((root_ / "tests").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, GrantIssueIsWaivable) {
+  const auto p = write("src/ble/agent.cpp",
+                       "void Agent::lease() {\n"
+                       "  // bicord-lint: allow(grant-issue-outside-engine)\n"
+                       "  engine_.begin_lease(sim_.now(), grant_);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, GrantHistoryIncludeAndReadAccessAreQuiet) {
+  // Including the header or reading the engine's history through the const
+  // accessor is observation, not issuance.
+  const auto p = write("src/mac/reader.cpp",
+                       "#include \"core/grant_history.hpp\"\n"
+                       "std::size_t n(const Engine& e) { return "
+                       "e.grant_history().size(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST_F(BicordLintTest, RulesDoNotApplyOutsideSrc) {
   // Determinism rules scope to src/: tools/ and tests/ may read wall clocks.
   write("tools/cli.cpp",

@@ -35,6 +35,12 @@
 //                            consumers build scenarios from ScenarioSpec
 //                            presets + set() overrides so experiment setups
 //                            stay diffable data
+//     grant-issue-outside-engine (src/ outside src/core/) calling the
+//                            grant-issue primitives (begin_grant/begin_lease/
+//                            arm_watchdog/arm_lease_expiry) or naming
+//                            GrantHistory — grants are issued inside the
+//                            coordination engine so the election layer and
+//                            invariant checker see every one
 //
 // Baseline ratchet: --baseline FILE suppresses the findings fingerprinted in
 // FILE; anything new fails (exit 2). --write-baseline refuses to grow the
@@ -71,6 +77,7 @@ const std::vector<std::string> kAllRules = {
     "banned-rand",        "wall-clock",           "unordered-iteration",
     "delayed-ref-capture", "slab-callback-invoke", "pragma-once",
     "using-namespace-header", "float-equality",   "scenario-config-literal",
+    "grant-issue-outside-engine",
 };
 
 std::string trim(const std::string& s) {
@@ -227,6 +234,11 @@ class Linter {
     }
     if (detector) check_float_equality(norm, v);
     if (!spec_layer) check_scenario_config_literal(norm, v);
+    // Grant issuance is the engine's job: everything under src/ except the
+    // engine's own home directory is fenced off.
+    if (core && norm.find("src/core/") == std::string::npos) {
+      check_grant_issue(norm, v);
+    }
   }
 
   [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
@@ -442,6 +454,33 @@ class Linter {
         report(path, v, i, "scenario-config-literal",
                "hand-rolled scenario config outside src/coex/ (build from "
                "ScenarioSpec presets + set() overrides): " +
+                   trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_grant_issue(const std::string& path, const FileView& v) {
+    // Issuing a grant means entering the engine's protection window: the
+    // GrantorElection and InvariantChecker both learn about grants from
+    // inside src/core/. A layer that calls the issue primitives (or keeps
+    // its own GrantHistory) makes grants the failover invariants never see.
+    static const std::regex call_re(
+        R"((?:\.|->)\s*(begin_grant|begin_lease|arm_watchdog|arm_lease_expiry)\s*\()");
+    static const std::regex history_re(R"(\bGrantHistory\b)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      const std::string& c = v.code[i];
+      if (c.find("#include") != std::string::npos) continue;
+      std::smatch m;
+      if (std::regex_search(c, m, call_re)) {
+        report(path, v, i, "grant-issue-outside-engine",
+               m[1].str() +
+                   "() issues a grant outside src/core/ (route through the "
+                   "coordination engine so election/invariants see it): " +
+                   trim(v.raw[i]));
+      } else if (std::regex_search(c, history_re)) {
+        report(path, v, i, "grant-issue-outside-engine",
+               "GrantHistory owned outside src/core/ shadows the engine's "
+               "grant record: " +
                    trim(v.raw[i]));
       }
     }

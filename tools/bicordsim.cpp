@@ -287,9 +287,15 @@ int main(int argc, char** argv) {
   if (scenario.fault_injector() != nullptr) {
     std::printf("fault plan (%zu events):\n%s\n", cfg.fault_plan.size(),
                 cfg.fault_plan.describe().c_str());
+  }
+  // The checker rides along whenever there is something to check: injected
+  // faults, or a multi-grantor election whose double-grant / handoff-gap
+  // invariants are always on.
+  if (scenario.fault_injector() != nullptr || scenario.election() != nullptr) {
     checker = std::make_unique<fault::InvariantChecker>(scenario.simulator());
     if (auto* wifi_agent = scenario.bicord_wifi()) checker->watch_wifi(*wifi_agent);
     if (auto* zb_agent = scenario.bicord_zigbee()) checker->watch_zigbee(*zb_agent);
+    if (auto* election = scenario.election()) checker->watch_election(*election);
     checker->start();
   }
   scenario.run_for(Duration::from_sec(flags.get_int("warmup-seconds")));
@@ -353,6 +359,26 @@ int main(int argc, char** argv) {
       table.add_row({"  zigbee give-ups (CSMA fallback)",
                      AsciiTable::cell(static_cast<std::int64_t>(zb_agent->give_ups()))});
     }
+  }
+  if (const auto* election = scenario.election()) {
+    table.add_row({"grantors (primary node)",
+                   AsciiTable::cell(static_cast<std::int64_t>(election->member_count())) +
+                       " (node " +
+                       AsciiTable::cell(static_cast<std::int64_t>(
+                           election->member_node(election->primary()))) +
+                       ")"});
+    table.add_row({"  takeovers / shadowed CTS",
+                   AsciiTable::cell(static_cast<std::int64_t>(election->takeovers())) +
+                       " / " +
+                       AsciiTable::cell(static_cast<std::int64_t>(election->shadowed_cts()))});
+    const auto gap = election->max_handoff_gap();
+    table.add_row({"  max handoff gap",
+                   gap.has_value()
+                       ? AsciiTable::cell(gap->ms(), 1) + " ms (bound " +
+                             AsciiTable::cell(election->handoff_bound().ms(), 1) + " ms)"
+                       : std::string("none")});
+  }
+  if (checker != nullptr) {
     table.add_row({"invariant checks / violations",
                    AsciiTable::cell(static_cast<std::int64_t>(checker->checks_run())) +
                        " / " +
