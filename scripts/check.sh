@@ -4,10 +4,10 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense|failover]
+# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense|failover|parallel]
 #   default — plain + lint (clang-tidy + bicord_lint) + dense smoke +
-#             failover smoke + TSAN + ASan/UBSan, i.e. warnings -> static
-#             gates -> tests -> sanitizers
+#             parallel smoke + failover smoke + TSAN + ASan/UBSan, i.e.
+#             warnings -> static gates -> tests -> sanitizers
 #   fast    — plain build + tests only
 #   lint    — static gates only: clang-tidy (skipped with a notice when the
 #             tool is absent) and tools/bicord_lint, both against ratcheted
@@ -24,6 +24,12 @@
 #             TSAN, then a failover-preset bicordsim run (clock skew + primary
 #             kill/rejoin) whose invariant checker gates the exit code; part
 #             of the default full gate
+#   parallel — intra-sim parallelism smoke: the WorkerPool/ParallelDispatcher
+#             and phased-fanout suites under TSAN (race detection on the real
+#             absorb/react split), then bicordsim on dense1k with
+#             --sim-threads 1 vs 8 asserting byte-identical stdout (the
+#             bitwise-determinism contract of DESIGN.md Sec. 14); part of the
+#             default full gate
 #   bench   — perf smoke: one fast bench_micro pass asserting the
 #             machine-independent invariants (hot path allocation-free);
 #             absolute-time comparison is opt-in via scripts/bench.sh compare
@@ -91,6 +97,48 @@ if [ "$MODE" = "dense" ]; then
   cmake -B build -S . > /dev/null
   cmake --build build -j "$JOBS" --target bicordsim phy_tests
   dense_smoke
+  exit 0
+fi
+
+# Parallel smoke: the intra-simulation parallelism contract. The TSAN leg
+# runs the WorkerPool/ParallelDispatcher unit suite and the phased-fanout
+# equivalence/teleport stress (real worker threads racing over the absorb
+# phase); the bicordsim leg pins the user-visible contract — dense1k stdout
+# is byte-identical at sim.threads 1 and 8.
+parallel_smoke_tsan() {
+  ./build-tsan/tests/sim_tests \
+    --gtest_filter='WorkerPoolTest.*:ParallelDispatcherTest.*:PhasedFanoutTest.*'
+}
+
+parallel_smoke_sim() {
+  local out_serial="build/parallel_smoke_dense1k_t1.txt"
+  local out_par="build/parallel_smoke_dense1k_t8.txt"
+  echo "-- dense1k: sim.threads 1 vs 8"
+  ./build/tools/bicordsim --scenario dense1k --warmup-seconds 0 --seconds 1 \
+    --sim-threads 1 > "$out_serial"
+  ./build/tools/bicordsim --scenario dense1k --warmup-seconds 0 --seconds 1 \
+    --sim-threads 8 > "$out_par" 2> /dev/null
+  diff "$out_serial" "$out_par" || {
+    echo "FAIL: dense1k output differs between sim.threads 1 and 8" >&2
+    return 1
+  }
+  echo "OK: dense1k byte-identical at sim.threads 1 and 8"
+}
+
+if [ "$MODE" = "parallel" ]; then
+  echo "== parallel smoke: TSAN, worker pool + dispatcher + phased fanout =="
+  cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target sim_tests
+  parallel_smoke_tsan
+
+  echo
+  echo "== parallel smoke: bicordsim dense1k sim.threads 1 vs 8 =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target bicordsim
+  parallel_smoke_sim
+
+  echo
+  echo "OK: parallel smoke green (TSAN + bitwise 1-vs-8)"
   exit 0
 fi
 
@@ -179,10 +227,15 @@ echo "== dense smoke: spatial index vs brute force =="
 dense_smoke
 
 echo
-echo "== ThreadSanitizer: runner tests + failover soak =="
+echo "== parallel smoke: bicordsim dense1k sim.threads 1 vs 8 =="
+parallel_smoke_sim
+
+echo
+echo "== ThreadSanitizer: runner tests + parallel dispatch + failover soak =="
 cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$JOBS" --target runner_tests fault_tests
+cmake --build build-tsan -j "$JOBS" --target runner_tests fault_tests sim_tests
 ./build-tsan/tests/runner_tests
+parallel_smoke_tsan
 failover_smoke_tsan
 
 echo
@@ -196,4 +249,4 @@ echo "== failover smoke: bicordsim failover preset =="
 failover_smoke_sim
 
 echo
-echo "OK: plain, lint, dense smoke, TSAN (runner+failover), ASan/UBSan, failover all green"
+echo "OK: plain, lint, dense smoke, parallel smoke, TSAN (runner+parallel+failover), ASan/UBSan, failover all green"

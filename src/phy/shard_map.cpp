@@ -1,0 +1,85 @@
+#include "phy/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bicord::phy {
+namespace {
+
+/// Mirrors the cell-size derivation in the Medium constructor so stripes
+/// align with the index's cell geometry whether or not the index is enabled.
+double derive_cell_size_m(const Medium& medium) {
+  const MediumTuning& tuning = medium.tuning();
+  if (tuning.cell_size_m > 0.0) return tuning.cell_size_m;
+  const double r = medium.interference_radius_m(tuning.max_tx_power_dbm);
+  return std::isfinite(r) ? std::max(r / 3.0, 1e-3) : 50.0;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const Medium& medium, int shards,
+                      Duration min_mac_turnaround) {
+  if (shards < 1) throw std::invalid_argument("plan_shards: shards must be >= 1");
+  const std::size_t n = medium.node_count();
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.node_shard.assign(n, 0);
+  plan.lookahead = std::max(Duration::from_us(1), min_mac_turnaround);
+  if (n == 0 || shards == 1) return plan;
+
+  // Stripe by cell column: sort nodes by (cell x, node id), then cut into
+  // `shards` stripes of roughly equal population, never splitting a column.
+  const double cell_m = derive_cell_size_m(medium);
+  std::vector<std::pair<std::int64_t, NodeId>> keyed;
+  keyed.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto col = static_cast<std::int64_t>(
+        std::floor(medium.position(id).x / cell_m));
+    keyed.emplace_back(col, id);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  const std::size_t target = (n + static_cast<std::size_t>(shards) - 1) /
+                             static_cast<std::size_t>(shards);
+  int shard = 0;
+  std::size_t in_shard = 0;
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    const bool column_edge = i == 0 || keyed[i].first != keyed[i - 1].first;
+    if (column_edge && in_shard >= target && shard + 1 < shards) {
+      ++shard;
+      in_shard = 0;
+    }
+    plan.node_shard[keyed[i].second] = shard;
+    ++in_shard;
+  }
+
+  // Cross-shard classification: any pair within one interference radius that
+  // spans two shards makes medium-coupled events barrier-class (the model's
+  // propagation is instantaneous, so their cross-shard latency is zero).
+  const double radius =
+      medium.interference_radius_m(medium.tuning().max_tx_power_dbm);
+  const double radius2 = std::isfinite(radius)
+                             ? radius * radius
+                             : std::numeric_limits<double>::infinity();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (plan.node_shard[a] == plan.node_shard[b]) continue;
+      if (distance2(medium.position(a), medium.position(b)) <= radius2) {
+        ++plan.cross_shard_pairs;
+      }
+    }
+  }
+  plan.medium_coupled_barrier = plan.cross_shard_pairs > 0;
+  return plan;
+}
+
+int shard_of(const ShardPlan& plan, NodeId node) {
+  return node < plan.node_shard.size() ? plan.node_shard[node] : 0;
+}
+
+bool crosses_shards(const ShardPlan& plan, NodeId a, NodeId b) {
+  return shard_of(plan, a) != shard_of(plan, b);
+}
+
+}  // namespace bicord::phy

@@ -1,0 +1,63 @@
+#pragma once
+// NodeId → shard partition for intra-simulation parallelism.
+//
+// sim::ParallelDispatcher needs (a) a deterministic assignment of nodes to
+// shards that respects spatial locality — nodes sharing a grid cell column
+// never split across shards, so a tx fan-out that stays within a cell ring
+// stays within a bounded shard neighborhood — and (b) a conservative
+// lookahead window derived from the minimum latency at which activity in
+// one shard can influence another.
+//
+// The lookahead bound (DESIGN.md Sec. 14): the model propagates energy
+// instantaneously, so any event that touches the shared phy::Medium has
+// *zero* cross-shard latency whenever two shards hold nodes within one
+// interference radius of each other — such events are barrier-class by
+// construction and run serially (the parallelism for them comes from the
+// medium's phased fan-out instead). What a shard can defer is everything
+// above the medium: a frame must be received, turned around by a MAC, and
+// re-emitted before it can influence another shard's *scheduling* state, so
+// the smallest MAC turnaround among active technologies (Wi-Fi slot/SIFS,
+// 802.15.4 aTurnaroundTime, the TechnologyTraits grant margins) bounds the
+// window for shard-lane events.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "util/time.hpp"
+
+namespace bicord::phy {
+
+struct ShardPlan {
+  int shards = 1;
+  /// Shard of each node, indexed by NodeId; always size node_count().
+  std::vector<int> node_shard;
+  /// Conservative lookahead window for shard-lane events.
+  Duration lookahead = Duration::from_us(1);
+  /// Node pairs within one interference radius that span two shards: every
+  /// tx fan-out between them crosses a shard boundary.
+  std::size_t cross_shard_pairs = 0;
+  /// True when any cross-shard pair exists under instantaneous propagation —
+  /// then every medium-coupled event classifies as barrier-class.
+  bool medium_coupled_barrier = false;
+};
+
+/// Builds the partition: nodes are striped by spatial-index cell column
+/// (x-major, the same cell geometry the medium derives), cut into `shards`
+/// stripes of roughly equal population without splitting a cell column.
+/// `min_mac_turnaround` is the smallest receive→react→transmit latency among
+/// the technologies active in the scenario; the plan's lookahead is
+/// max(1us, min_mac_turnaround). Deterministic for a given medium state.
+[[nodiscard]] ShardPlan plan_shards(const Medium& medium, int shards,
+                                    Duration min_mac_turnaround);
+
+/// Shard owning `node` (0 when the plan is empty or the id is unknown).
+[[nodiscard]] int shard_of(const ShardPlan& plan, NodeId node);
+
+/// Schedule-time classification: does an interaction between these nodes
+/// cross a shard boundary (and therefore need the window-edge barrier or a
+/// single-owner-shard route)?
+[[nodiscard]] bool crosses_shards(const ShardPlan& plan, NodeId a, NodeId b);
+
+}  // namespace bicord::phy

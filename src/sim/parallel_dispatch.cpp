@@ -1,0 +1,302 @@
+#include "sim/parallel_dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bicord::sim {
+namespace {
+
+// Executing-lane context. Thread-locals (not members) so nested dispatchers
+// and pool reuse across dispatchers stay well-defined.
+struct LaneContext {
+  const ParallelDispatcher* dispatcher = nullptr;
+  ShardId shard = ParallelDispatcher::kBarrierShard;
+  void* lane = nullptr;
+};
+thread_local LaneContext tl_ctx;
+
+}  // namespace
+
+// --- WorkerPool -------------------------------------------------------------
+
+WorkerPool::WorkerPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    // bicord-lint: allow(thread-outside-pool) — this *is* the worker pool.
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::uint64_t batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    batch_n_ = n;
+    next_index_ = 0;
+    remaining_ = n;
+    grain_ = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(threads_) * 4));
+    error_ = nullptr;
+    error_index_ = n;
+    batch = ++batch_id_;
+  }
+  work_cv_.notify_all();
+  run_indices(batch);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+    err = std::exchange(error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void WorkerPool::run_indices(std::uint64_t batch) {
+  for (;;) {
+    std::size_t begin;
+    std::size_t count;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (batch_id_ != batch || next_index_ >= batch_n_) return;
+      begin = next_index_;
+      count = std::min(grain_, batch_n_ - begin);
+      next_index_ += count;
+    }
+    for (std::size_t i = begin; i < begin + count; ++i) {
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_ || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+      }
+    }
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      remaining_ -= count;
+      drained = remaining_ == 0;
+    }
+    if (drained) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (batch_id_ != seen && next_index_ < batch_n_);
+      });
+      if (stop_) return;
+      batch = batch_id_;
+    }
+    run_indices(batch);
+    seen = batch;
+  }
+}
+
+// --- ParallelDispatcher -----------------------------------------------------
+
+ParallelDispatcher::ParallelDispatcher(Simulator& sim, WorkerPool* pool,
+                                       Config cfg)
+    : sim_(sim),
+      pool_(pool),
+      cfg_(cfg),
+      sim_dispatch_base_(sim.dispatched_events()) {
+  if (cfg_.shards < 1) {
+    throw std::invalid_argument("ParallelDispatcher: shards must be >= 1");
+  }
+  if (cfg_.lookahead <= Duration::zero()) {
+    throw std::invalid_argument("ParallelDispatcher: lookahead must be > 0");
+  }
+  lanes_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int i = 0; i < cfg_.shards; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.back()->now = sim_.now();
+  }
+}
+
+void ParallelDispatcher::check_shard(ShardId shard) const {
+  if (shard < 0 || shard >= cfg_.shards) {
+    throw std::out_of_range("ParallelDispatcher: shard " +
+                            std::to_string(shard) + " out of range [0, " +
+                            std::to_string(cfg_.shards) + ")");
+  }
+}
+
+void ParallelDispatcher::at(ShardId shard, TimePoint when, EventCallback cb) {
+  check_shard(shard);
+  if (tl_ctx.dispatcher == this) {
+    auto* origin = static_cast<Lane*>(tl_ctx.lane);
+    if (shard == tl_ctx.shard) {
+      origin->queue.schedule(when, std::move(cb));
+    } else {
+      origin->outbox.push_back({shard, when, std::move(cb)});
+    }
+    return;
+  }
+  lanes_[static_cast<std::size_t>(shard)]->queue.schedule(when, std::move(cb));
+}
+
+void ParallelDispatcher::after(ShardId shard, Duration delay,
+                               EventCallback cb) {
+  at(shard, shard_now() + delay, std::move(cb));
+}
+
+void ParallelDispatcher::at_barrier(TimePoint when, EventCallback cb) {
+  if (tl_ctx.dispatcher == this) {
+    auto* origin = static_cast<Lane*>(tl_ctx.lane);
+    origin->outbox.push_back({kBarrierShard, when, std::move(cb)});
+    return;
+  }
+  sim_.at(when, std::move(cb));
+}
+
+ShardId ParallelDispatcher::current_shard() const {
+  return tl_ctx.dispatcher == this ? tl_ctx.shard : kBarrierShard;
+}
+
+TimePoint ParallelDispatcher::shard_now() const {
+  if (tl_ctx.dispatcher == this) {
+    return static_cast<const Lane*>(tl_ctx.lane)->now;
+  }
+  return sim_.now();
+}
+
+TimePoint ParallelDispatcher::earliest_lane_time() const {
+  TimePoint t = TimePoint::max();
+  for (const auto& lane : lanes_) {
+    if (!lane->queue.empty()) t = std::min(t, lane->queue.next_time());
+  }
+  return t;
+}
+
+bool ParallelDispatcher::lanes_idle() const {
+  for (const auto& lane : lanes_) {
+    if (!lane->queue.empty()) return false;
+  }
+  return true;
+}
+
+void ParallelDispatcher::run_until(TimePoint deadline) {
+  if (in_window_) {
+    throw std::logic_error(
+        "ParallelDispatcher::run_until: reentered from a lane callback");
+  }
+  for (;;) {
+    const TimePoint t_lane = earliest_lane_time();
+    const TimePoint t_sim = sim_.next_event_time();
+    if (t_lane > deadline && t_sim > deadline) break;
+    if (t_sim <= t_lane) {
+      // Serial barrier section: every lane is quiescent; at equal timestamps
+      // barrier events run before lane events.
+      sim_.run_until(std::min(t_lane, deadline));
+      continue;
+    }
+    // Shard-parallel window over [t_lane, bound).
+    TimePoint bound = t_lane + cfg_.lookahead;
+    if (t_sim < bound) bound = t_sim;
+    if (deadline < TimePoint::max() - Duration::from_us(1)) {
+      bound = std::min(bound, deadline + Duration::from_us(1));
+    }
+    run_window(bound);
+  }
+  sim_.run_until(deadline);  // park the clock at the deadline
+  for (auto& lane : lanes_) lane->now = deadline;
+}
+
+void ParallelDispatcher::run_for(Duration d) { run_until(sim_.now() + d); }
+
+void ParallelDispatcher::run_window(TimePoint bound) {
+  ++windows_;
+  in_window_ = true;
+  auto run_lane = [&](std::size_t i) {
+    Lane& lane = *lanes_[i];
+    tl_ctx = {this, static_cast<ShardId>(i), &lane};
+    struct ContextReset {
+      ~ContextReset() { tl_ctx = {}; }
+    } reset;
+    while (!lane.queue.empty() && lane.queue.next_time() < bound) {
+      EventQueue::Fired fired = lane.queue.pop();
+      lane.now = fired.time;
+      ++lane.executed;
+      fired.callback();
+    }
+  };
+  try {
+    if (pool_ != nullptr && pool_->threads() > 1) {
+      pool_->parallel_for(lanes_.size(), run_lane);
+    } else {
+      for (std::size_t i = 0; i < lanes_.size(); ++i) run_lane(i);
+    }
+  } catch (...) {
+    in_window_ = false;
+    commit_outboxes(bound);
+    throw;
+  }
+  in_window_ = false;
+  commit_outboxes(bound);
+}
+
+void ParallelDispatcher::commit_outboxes(TimePoint bound) {
+  // Deterministic merge: origin-shard order, then emission order within the
+  // lane. Target lanes tag each commit with their own monotone (time, seq),
+  // so downstream execution order is independent of thread interleaving.
+  for (auto& lane : lanes_) {
+    for (auto& d : lane->outbox) {
+      if (d.when < bound) {
+        lane->outbox.clear();
+        throw std::logic_error(
+            "ParallelDispatcher: conservative-lookahead violation: deferred "
+            "event at t=" +
+            std::to_string(d.when.us()) + "us lands inside the active window "
+            "(bound " +
+            std::to_string(bound.us()) +
+            "us); raise Config.lookahead or route via the owner shard");
+      }
+      ++deferred_;
+      if (d.target == kBarrierShard) {
+        sim_.at(d.when, std::move(d.cb));
+      } else {
+        lanes_[static_cast<std::size_t>(d.target)]->queue.schedule(
+            d.when, std::move(d.cb));
+      }
+    }
+    lane->outbox.clear();
+  }
+}
+
+ParallelDispatcher::Stats ParallelDispatcher::stats() const {
+  Stats s;
+  s.windows = windows_;
+  s.deferred_events = deferred_;
+  s.barrier_events = sim_.dispatched_events() - sim_dispatch_base_;
+  for (const auto& lane : lanes_) s.sharded_events += lane->executed;
+  return s;
+}
+
+}  // namespace bicord::sim

@@ -1,0 +1,191 @@
+#pragma once
+// Conservative time-windowed parallel event dispatch.
+//
+// A single Simulator dispatches every event on one core. For sharded
+// workloads — node populations partitioned by spatial cell (phy::ShardPlan)
+// — ParallelDispatcher executes per-shard event lanes in parallel inside a
+// lookahead window and commits cross-shard effects through a deterministic
+// merge, so per-seed output stays bitwise identical to serial execution (the
+// same contract the runner pins for `--jobs` 1 vs 8).
+//
+// Model:
+//   * Each shard owns an EventQueue "lane". Events on a lane may touch only
+//     that shard's state; the lane executes in (time, seq) order exactly like
+//     the serial simulator.
+//   * Barrier-class events — anything touching shared state (the global
+//     phy::Medium, grantor election, fault plans) — live in the Simulator's
+//     own queue and run serially with every lane quiescent. At equal
+//     timestamps barrier events run before lane events.
+//   * A window [t_min, bound) runs every lane event strictly before
+//     bound = min(t_min + lookahead, next barrier time, deadline + 1us),
+//     shard-parallel on the WorkerPool. Scheduling from inside a lane:
+//     same-shard goes straight onto the lane (and may still fire within the
+//     current window); cross-shard and barrier sends are deferred to the
+//     window edge and committed in (origin shard, emission index) order —
+//     a fixed order independent of thread interleaving. A deferred send
+//     targeting a time inside the active window is a conservative-lookahead
+//     violation and throws std::logic_error at commit.
+//   * Worker threads never touch the Simulator clock or RNG; lane callbacks
+//     read their lane-local clock via shard_now().
+//
+// With threads=1 (or no pool) the identical algorithm runs lanes
+// sequentially in shard order, so 1-vs-N bitwise equality holds by
+// construction; the tests pin it anyway.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace bicord::sim {
+
+/// Persistent fork-join worker pool: `threads - 1` workers plus the calling
+/// thread cooperate on parallel_for batches. This and runner::TrialPool are
+/// the only places in the library allowed to construct threads (enforced by
+/// the `thread-outside-pool` lint rule).
+class WorkerPool {
+ public:
+  /// `threads` >= 1; with 1 every parallel_for runs inline on the caller.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Invokes fn(i) once for every i in [0, n), spread across the pool; the
+  /// calling thread participates. Blocks until every index has completed.
+  /// Indices are claimed in chunks, so fn should tolerate any assignment of
+  /// index to thread. If callbacks throw, the exception thrown by the lowest
+  /// index is rethrown on the caller after the batch drains (deterministic
+  /// regardless of interleaving).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices(std::uint64_t batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // caller: the batch has drained
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t remaining_ = 0;
+  std::size_t grain_ = 1;
+  std::uint64_t batch_id_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+  int threads_;
+  // bicord-lint: allow(thread-outside-pool) — this *is* the worker pool.
+  std::vector<std::thread> workers_;
+};
+
+using ShardId = int;
+
+class ParallelDispatcher {
+ public:
+  /// Pseudo-shard id for barrier-class sends and for current_shard() outside
+  /// any lane callback.
+  static constexpr ShardId kBarrierShard = -1;
+
+  struct Config {
+    int shards = 1;
+    /// Conservative lookahead W: a lane event at time t may influence another
+    /// shard no earlier than t + W. Must be > 0.
+    Duration lookahead = Duration::from_us(100);
+  };
+
+  /// `pool` may be null (serial lane execution); the dispatcher does not own
+  /// it. `sim` carries the barrier queue, clock, and root RNG.
+  ParallelDispatcher(Simulator& sim, WorkerPool* pool, Config cfg);
+
+  ParallelDispatcher(const ParallelDispatcher&) = delete;
+  ParallelDispatcher& operator=(const ParallelDispatcher&) = delete;
+
+  // --- scheduling ----------------------------------------------------------
+
+  /// Schedules `cb` on `shard`'s lane at absolute time `when`. From inside a
+  /// lane callback: same-shard sends apply immediately (and may still fire in
+  /// the current window); cross-shard sends are deferred to the window edge
+  /// and must satisfy `when >=` the window bound (lookahead), else
+  /// std::logic_error at commit. From outside a window they apply
+  /// immediately.
+  void at(ShardId shard, TimePoint when, EventCallback cb);
+  /// after() resolves `delay` against shard_now() — the lane clock inside a
+  /// lane callback, the simulator clock outside.
+  void after(ShardId shard, Duration delay, EventCallback cb);
+  /// Schedules a barrier-class event through the Simulator's own queue; it
+  /// runs serially with every lane quiescent. Deferred like a cross-shard
+  /// send when called from inside a lane.
+  void at_barrier(TimePoint when, EventCallback cb);
+
+  // --- lane context --------------------------------------------------------
+
+  /// Shard whose lane callback is executing on this thread, or kBarrierShard.
+  [[nodiscard]] ShardId current_shard() const;
+  /// Lane-local clock inside a lane callback; Simulator::now() otherwise.
+  [[nodiscard]] TimePoint shard_now() const;
+
+  // --- execution -----------------------------------------------------------
+
+  /// Runs barrier events and lane events with time <= deadline, alternating
+  /// serial barrier sections and shard-parallel windows. Leaves every clock
+  /// at deadline.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d);
+
+  // --- introspection -------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t windows = 0;         ///< shard-parallel windows executed
+    std::uint64_t sharded_events = 0;  ///< events dispatched on lanes
+    std::uint64_t barrier_events = 0;  ///< events the Simulator dispatched
+    std::uint64_t deferred_events = 0;  ///< cross-shard/barrier commits
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  /// True when no lane holds a pending event (barrier queue not counted).
+  [[nodiscard]] bool lanes_idle() const;
+
+ private:
+  struct Lane {
+    EventQueue queue;
+    TimePoint now;  // lane-local clock (time of the event in flight)
+    struct Deferred {
+      ShardId target = kBarrierShard;
+      TimePoint when;
+      EventCallback cb;
+    };
+    std::vector<Deferred> outbox;  // emission order within the window
+    std::uint64_t executed = 0;
+  };
+
+  void run_window(TimePoint bound);
+  void commit_outboxes(TimePoint bound);
+  [[nodiscard]] TimePoint earliest_lane_time() const;
+  void check_shard(ShardId shard) const;
+
+  Simulator& sim_;
+  WorkerPool* pool_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  bool in_window_ = false;
+  std::uint64_t windows_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t sim_dispatch_base_;
+};
+
+}  // namespace bicord::sim

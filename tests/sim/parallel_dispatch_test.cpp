@@ -1,0 +1,488 @@
+// Tests for sim::WorkerPool and sim::ParallelDispatcher, plus the phased
+// medium fan-out they enable.
+//
+// The contract under test is bitwise determinism: for any thread count, the
+// dispatcher's merge and the medium's absorb/react split must reproduce the
+// serial execution exactly — same event order, same RNG draws, same floating-
+// point bits. Each suite runs the same randomized script serially and with a
+// pool and compares the full observable record, including a shard-boundary
+// teleport stress where nodes hop between shard stripes mid-flight.
+
+#include "sim/parallel_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "phy/shard_map.hpp"
+#include "phy/spectrum.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bicord {
+namespace {
+
+using namespace bicord::time_literals;
+using sim::ParallelDispatcher;
+using sim::WorkerPool;
+
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// --- WorkerPool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  int count = 0;  // no atomics needed: everything runs on the caller
+  pool.parallel_for(64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossBatches) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.parallel_for(50, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20 * 50);
+}
+
+TEST(WorkerPoolTest, EmptyBatchReturnsImmediately) {
+  WorkerPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "no indices to run"; });
+}
+
+TEST(WorkerPoolTest, LowestIndexExceptionWinsDeterministically) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for(100, [&](std::size_t i) {
+        if (i % 7 == 3) {  // throwers: 3, 10, 17, ...
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 3");  // lowest index, every round
+    }
+  }
+  // The pool survives a throwing batch.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+// --- ParallelDispatcher: semantics -----------------------------------------
+
+TEST(ParallelDispatcherTest, LaneEventsRunInTimeOrder) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 1;
+  ParallelDispatcher d(sim, nullptr, cfg);
+  std::vector<std::int64_t> times;
+  d.at(0, TimePoint::from_us(500), [&] { times.push_back(d.shard_now().us()); });
+  d.at(0, TimePoint::from_us(100), [&] { times.push_back(d.shard_now().us()); });
+  d.at(0, TimePoint::from_us(300), [&] { times.push_back(d.shard_now().us()); });
+  d.run_for(1_ms);
+  EXPECT_EQ(times, (std::vector<std::int64_t>{100, 300, 500}));
+  EXPECT_EQ(sim.now().us(), 1000);
+  EXPECT_TRUE(d.lanes_idle());
+}
+
+TEST(ParallelDispatcherTest, BarrierRunsBeforeLaneAtEqualTime) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 2;
+  ParallelDispatcher d(sim, nullptr, cfg);
+  std::vector<std::string> order;
+  d.at(0, TimePoint::from_us(200), [&] { order.push_back("lane"); });
+  d.at_barrier(TimePoint::from_us(200), [&] { order.push_back("barrier"); });
+  d.run_for(1_ms);
+  EXPECT_EQ(order, (std::vector<std::string>{"barrier", "lane"}));
+}
+
+TEST(ParallelDispatcherTest, CurrentShardTracksLaneContext) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 3;
+  ParallelDispatcher d(sim, nullptr, cfg);
+  EXPECT_EQ(d.current_shard(), ParallelDispatcher::kBarrierShard);
+  std::vector<int> seen;
+  for (int s = 0; s < 3; ++s) {
+    d.at(s, TimePoint::from_us(100 + s), [&, s] {
+      EXPECT_EQ(d.current_shard(), s);
+      seen.push_back(d.current_shard());
+    });
+  }
+  d.at_barrier(TimePoint::from_us(50), [&] {
+    EXPECT_EQ(d.current_shard(), ParallelDispatcher::kBarrierShard);
+  });
+  d.run_for(1_ms);
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(d.current_shard(), ParallelDispatcher::kBarrierShard);
+}
+
+TEST(ParallelDispatcherTest, SameShardSendFiresWithinWindow) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = Duration::from_us(1000);
+  ParallelDispatcher d(sim, nullptr, cfg);
+  std::vector<std::int64_t> times;
+  d.at(0, TimePoint::from_us(100), [&] {
+    times.push_back(d.shard_now().us());
+    // Same-shard, 1us ahead: applies immediately, still inside the window.
+    d.after(0, 1_us, [&] { times.push_back(d.shard_now().us()); });
+  });
+  d.run_for(1_ms);
+  EXPECT_EQ(times, (std::vector<std::int64_t>{100, 101}));
+  const auto st = d.stats();
+  EXPECT_EQ(st.sharded_events, 2u);
+  EXPECT_EQ(st.deferred_events, 0u);
+  EXPECT_GE(st.windows, 1u);
+}
+
+TEST(ParallelDispatcherTest, CrossShardSendDefersToWindowEdge) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = Duration::from_us(50);
+  ParallelDispatcher d(sim, nullptr, cfg);
+  std::vector<std::string> log;
+  d.at(0, TimePoint::from_us(100), [&] {
+    // Cross-shard: must respect the lookahead (>= window bound).
+    d.at(1, TimePoint::from_us(200), [&] {
+      log.push_back("shard1@" + std::to_string(d.shard_now().us()));
+    });
+  });
+  d.run_for(1_ms);
+  EXPECT_EQ(log, (std::vector<std::string>{"shard1@200"}));
+  EXPECT_EQ(d.stats().deferred_events, 1u);
+  EXPECT_EQ(d.stats().sharded_events, 2u);
+}
+
+TEST(ParallelDispatcherTest, LookaheadViolationThrowsAtCommit) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = Duration::from_us(100);
+  ParallelDispatcher d(sim, nullptr, cfg);
+  d.at(0, TimePoint::from_us(100), [&] {
+    // 1us ahead on ANOTHER shard: inside the active window — a conservative-
+    // lookahead violation the commit step must refuse.
+    d.at(1, TimePoint::from_us(101), [] {});
+  });
+  EXPECT_THROW(d.run_for(1_ms), std::logic_error);
+}
+
+TEST(ParallelDispatcherTest, BarrierSendFromLaneDefers) {
+  sim::Simulator sim;
+  ParallelDispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = Duration::from_us(50);
+  ParallelDispatcher d(sim, nullptr, cfg);
+  std::vector<std::string> order;
+  d.at(1, TimePoint::from_us(100), [&] {
+    d.at_barrier(TimePoint::from_us(500), [&] { order.push_back("barrier"); });
+  });
+  d.at(1, TimePoint::from_us(500), [&] { order.push_back("lane"); });
+  d.run_for(1_ms);
+  // The deferred barrier event still beats the equal-timestamp lane event.
+  EXPECT_EQ(order, (std::vector<std::string>{"barrier", "lane"}));
+  EXPECT_EQ(d.stats().deferred_events, 1u);
+}
+
+// --- ParallelDispatcher: bitwise determinism across thread counts -----------
+
+/// One shard's record: every event appends (shard, lane time, rng draw).
+/// Concatenated per shard (not globally), the record is exactly comparable
+/// across runs regardless of worker interleaving.
+struct ShardLog {
+  std::vector<std::uint64_t> entries;
+};
+
+/// Random event web: each shard runs a self-rescheduling chain with its own
+/// Rng stream; every few hops it pings a neighbor shard (cross-shard defer)
+/// or the barrier queue. Returns the per-shard logs plus the barrier log.
+std::vector<ShardLog> run_web(int shards, WorkerPool* pool, std::uint64_t seed,
+                              std::uint64_t* barrier_hash) {
+  sim::Simulator sim(seed);
+  ParallelDispatcher::Config cfg;
+  cfg.shards = shards;
+  cfg.lookahead = Duration::from_us(40);
+  ParallelDispatcher d(sim, pool, cfg);
+  std::vector<ShardLog> logs(static_cast<std::size_t>(shards));
+  std::vector<Rng> rngs;
+  for (int s = 0; s < shards; ++s) rngs.push_back(Rng(seed).split(static_cast<std::uint64_t>(s)));
+  std::uint64_t bh = 0;
+
+  // `chain` hops self-reschedule until the time horizon; pinged peer hops are
+  // one-shot, so the event population stays bounded.
+  std::function<void(int, bool)> hop = [&](int s, bool chain) {
+    auto& rng = rngs[static_cast<std::size_t>(s)];
+    const auto draw = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    auto& log = logs[static_cast<std::size_t>(s)];
+    log.entries.push_back(static_cast<std::uint64_t>(d.shard_now().us()));
+    log.entries.push_back(draw);
+    if (draw % 5 == 0) {
+      const int peer = (s + 1) % shards;
+      d.at(peer, d.shard_now() + cfg.lookahead + Duration::from_us(1 + draw % 30),
+           [&, peer] { hop(peer, false); });
+    } else if (draw % 11 == 0) {
+      d.at_barrier(d.shard_now() + Duration::from_us(60),
+                   [&, s] { bh = bh * 1315423911u + static_cast<std::uint64_t>(s); });
+    }
+    if (chain && d.shard_now() < TimePoint::from_us(30000)) {
+      d.after(s, Duration::from_us(5 + draw % 25), [&, s] { hop(s, true); });
+    }
+  };
+  for (int s = 0; s < shards; ++s) {
+    d.at(s, TimePoint::from_us(10 + s), [&, s] { hop(s, true); });
+  }
+  d.run_for(40_ms);
+  EXPECT_TRUE(d.lanes_idle());
+  EXPECT_GT(d.stats().sharded_events, 1000u);
+  EXPECT_GT(d.stats().deferred_events, 10u);
+  *barrier_hash = bh;
+  return logs;
+}
+
+TEST(ParallelDispatcherTest, EventWebBitwiseIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    std::uint64_t h_serial = 0;
+    const auto serial = run_web(4, nullptr, seed, &h_serial);
+    for (const int threads : {2, 4, 8}) {
+      WorkerPool pool(threads);
+      std::uint64_t h_par = 0;
+      const auto par = run_web(4, &pool, seed, &h_par);
+      ASSERT_EQ(serial.size(), par.size());
+      for (std::size_t s = 0; s < serial.size(); ++s) {
+        EXPECT_EQ(serial[s].entries, par[s].entries)
+            << "seed " << seed << " threads " << threads << " shard " << s;
+      }
+      EXPECT_EQ(h_serial, h_par) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// --- Phased medium fan-out: pool-attached Medium vs serial Medium -----------
+
+/// Per-radio observable record — every reception outcome, bit-exact.
+struct RxLog {
+  std::vector<std::uint64_t> entries;
+};
+
+struct RadioWorld {
+  explicit RadioWorld(std::uint64_t seed) : sim(seed) {}
+
+  sim::Simulator sim;
+  std::unique_ptr<phy::Medium> medium;
+  std::unique_ptr<WorkerPool> pool;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<RxLog> logs;
+
+  void build(const std::vector<phy::Position>& sites, int threads) {
+    phy::PathLossModel pl;
+    pl.exponent = 3.0;
+    phy::MediumTuning tuning;
+    tuning.spatial_index = true;
+    // Small explicit cells: the shard planner stripes by cell column, and the
+    // default derived cell (interference radius / 3) would swallow the whole
+    // field into a single unsplittable column.
+    tuning.cell_size_m = 10.0;
+    medium = std::make_unique<phy::Medium>(sim, pl, tuning);
+    if (threads > 1) {
+      pool = std::make_unique<WorkerPool>(threads);
+      medium->set_worker_pool(pool.get());
+    }
+    logs.resize(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      medium->add_node("n" + std::to_string(i), sites[i]);
+      phy::Radio::Config rc;
+      rc.tech = phy::Technology::WiFi;
+      rc.band = phy::wifi_channel(6);
+      auto radio = std::make_unique<phy::Radio>(
+          *medium, static_cast<phy::NodeId>(i), rc);
+      radio->set_rx_callback([this, i](const phy::RxResult& rx) {
+        auto& log = logs[i].entries;
+        log.push_back(static_cast<std::uint64_t>(rx.frame.src));
+        log.push_back(rx.success ? 1u : 0u);
+        log.push_back(bits(rx.rssi_dbm));
+        log.push_back(bits(rx.min_sinr_db));
+      });
+      radios.push_back(std::move(radio));
+    }
+  }
+
+  ~RadioWorld() {
+    if (medium) medium->set_worker_pool(nullptr);
+  }
+};
+
+/// Drives one world through a deterministic traffic-and-teleport script.
+/// `teleport` hops nodes across the whole field (crossing shard stripes)
+/// while transmissions are in flight.
+void drive(RadioWorld& w, const std::vector<phy::Position>& sites,
+           std::uint64_t seed, bool teleport) {
+  Rng rng(seed * 131 + 5);
+  const auto n = static_cast<std::int64_t>(sites.size());
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.55) {
+      const auto src = static_cast<phy::NodeId>(rng.uniform_int(0, n - 1));
+      const auto dur = Duration::from_us(rng.uniform_int(60, 900));
+      w.sim.after(Duration::from_us(rng.uniform_int(1, 40)), [&w, src, dur] {
+        if (!w.radios[src]->transmitting()) {
+          phy::Frame f;
+          f.tech = phy::Technology::WiFi;
+          f.src = src;
+          w.radios[src]->transmit(f, 14.0, dur);
+        }
+      });
+    } else if (teleport && roll < 0.75) {
+      // Teleport: jump to (a jittered copy of) any site in the field —
+      // routinely crossing the shard stripes plan_shards would draw.
+      const auto m = static_cast<phy::NodeId>(rng.uniform_int(0, n - 1));
+      phy::Position pos = sites[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+      pos.x += rng.normal(0.0, 3.0);
+      pos.y += rng.normal(0.0, 3.0);
+      w.sim.after(Duration::from_us(rng.uniform_int(1, 40)),
+                  [&w, m, pos] { w.medium->set_position(m, pos); });
+    }
+    w.sim.run_for(Duration::from_us(rng.uniform_int(30, 400)));
+  }
+  w.sim.run_for(5_ms);  // drain in-flight transmissions
+}
+
+void expect_worlds_equal(const RadioWorld& serial, const RadioWorld& par,
+                         const std::string& label) {
+  ASSERT_EQ(serial.radios.size(), par.radios.size());
+  std::uint64_t receptions = 0;
+  for (std::size_t i = 0; i < serial.radios.size(); ++i) {
+    EXPECT_EQ(serial.radios[i]->frames_sent(), par.radios[i]->frames_sent())
+        << label << " node " << i;
+    EXPECT_EQ(serial.radios[i]->frames_received(), par.radios[i]->frames_received())
+        << label << " node " << i;
+    EXPECT_EQ(serial.radios[i]->frames_corrupted(), par.radios[i]->frames_corrupted())
+        << label << " node " << i;
+    EXPECT_EQ(serial.logs[i].entries, par.logs[i].entries) << label << " node " << i;
+    EXPECT_EQ(bits(serial.radios[i]->energy_dbm()), bits(par.radios[i]->energy_dbm()))
+        << label << " node " << i;
+    receptions += serial.radios[i]->frames_received();
+  }
+  EXPECT_GT(receptions, 50u) << label << ": script produced too little traffic";
+  EXPECT_EQ(serial.medium->airtime(phy::Technology::WiFi).us(),
+            par.medium->airtime(phy::Technology::WiFi).us());
+}
+
+std::vector<phy::Position> grid_sites(std::size_t n, double area_m,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<phy::Position> sites;
+  sites.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sites.push_back({rng.uniform() * area_m, rng.uniform() * area_m});
+  }
+  return sites;
+}
+
+TEST(PhasedFanoutTest, PoolAttachedMediumBitwiseEqualsSerial) {
+  for (const std::uint64_t seed : {3ull, 17ull}) {
+    const auto sites = grid_sites(40, 120.0, seed);
+    RadioWorld serial(seed);
+    serial.build(sites, 1);
+    drive(serial, sites, seed, /*teleport=*/false);
+    for (const int threads : {2, 8}) {
+      RadioWorld par(seed);
+      par.build(sites, threads);
+      drive(par, sites, seed, /*teleport=*/false);
+      expect_worlds_equal(serial, par,
+                          "seed " + std::to_string(seed) + " threads " +
+                              std::to_string(threads));
+    }
+  }
+}
+
+TEST(PhasedFanoutTest, ShardBoundaryTeleportStressStaysBitwise) {
+  // Nodes teleport across the field (and so across any shard stripes) while
+  // frames are in flight; the phased fan-out must not notice. The shard plan
+  // is recomputed each hop to pin that the planner itself is deterministic
+  // and keeps classifying the coupled field as barrier-bound.
+  const std::uint64_t seed = 29;
+  const auto sites = grid_sites(48, 150.0, seed);
+  RadioWorld serial(seed);
+  serial.build(sites, 1);
+  drive(serial, sites, seed, /*teleport=*/true);
+  RadioWorld par(seed);
+  par.build(sites, 8);
+  drive(par, sites, seed, /*teleport=*/true);
+  expect_worlds_equal(serial, par, "teleport stress");
+
+  const auto plan_a = phy::plan_shards(*serial.medium, 8, Duration::from_us(10));
+  const auto plan_b = phy::plan_shards(*par.medium, 8, Duration::from_us(10));
+  EXPECT_EQ(plan_a.node_shard, plan_b.node_shard);
+  EXPECT_EQ(plan_a.cross_shard_pairs, plan_b.cross_shard_pairs);
+  EXPECT_EQ(plan_a.lookahead.us(), plan_b.lookahead.us());
+  // A 150m field with 48 Wi-Fi radios is one coupled cell: the plan must
+  // classify every medium event as barrier-class.
+  EXPECT_TRUE(plan_a.medium_coupled_barrier);
+}
+
+TEST(ShardPlanTest, StripesBalanceAndRespectColumns) {
+  sim::Simulator sim(1);
+  phy::PathLossModel pl;
+  phy::MediumTuning tuning;
+  tuning.cell_size_m = 10.0;
+  phy::Medium medium(sim, pl, tuning);
+  // 80 nodes across a 400m strip: 4 stripes of ~20.
+  for (int i = 0; i < 80; ++i) {
+    medium.add_node("n", {static_cast<double>(i * 5), 0.0});
+  }
+  const auto plan = phy::plan_shards(medium, 4, Duration::from_us(10));
+  EXPECT_EQ(plan.shards, 4);
+  ASSERT_EQ(plan.node_shard.size(), 80u);
+  std::vector<int> counts(4, 0);
+  for (const int s : plan.node_shard) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++counts[static_cast<std::size_t>(s)];
+  }
+  for (const int c : counts) EXPECT_GE(c, 10);  // roughly balanced
+  // Nodes in the same 10m cell column never split across shards.
+  for (int i = 0; i + 1 < 80; ++i) {
+    const auto col_a = static_cast<int>(medium.position(static_cast<phy::NodeId>(i)).x / 10.0);
+    const auto col_b =
+        static_cast<int>(medium.position(static_cast<phy::NodeId>(i + 1)).x / 10.0);
+    if (col_a == col_b) {
+      EXPECT_EQ(plan.node_shard[static_cast<std::size_t>(i)],
+                plan.node_shard[static_cast<std::size_t>(i + 1)]);
+    }
+  }
+  EXPECT_EQ(phy::plan_shards(medium, 1, 1_us).node_shard,
+            std::vector<int>(80, 0));
+}
+
+}  // namespace
+}  // namespace bicord

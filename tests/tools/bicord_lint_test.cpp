@@ -482,6 +482,65 @@ TEST_F(BicordLintTest, GrantHistoryIncludeAndReadAccessAreQuiet) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST_F(BicordLintTest, ThreadOutsidePoolFires) {
+  const auto p = write("src/mac/worker.cpp",
+                       "#include <thread>\n"
+                       "void spin() { std::thread t([] {}); t.join(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[thread-outside-pool]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, AsyncAndJthreadOutsidePoolFire) {
+  const auto p = write("src/coex/fan.cpp",
+                       "#include <future>\n"
+                       "#include <thread>\n"
+                       "void go() {\n"
+                       "  auto f = std::async([] { return 1; });\n"
+                       "  std::jthread t([] {});\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[thread-outside-pool]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("2 new finding"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, ThreadInsidePoolHomesIsQuiet) {
+  // The two sanctioned homes: the trial pool and the intra-sim worker pool.
+  write("src/runner/trial_pool.cpp",
+        "#include <thread>\n"
+        "void pool() { std::thread t([] {}); t.join(); }\n");
+  write("src/sim/parallel_dispatch.cpp",
+        "#include <thread>\n"
+        "void pool() { std::thread t([] {}); t.join(); }\n");
+  const Result r = run((root_ / "src").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ThreadOutsidePoolIsWaivable) {
+  const auto p = write("src/sim/parallel_dispatch.hpp",
+                       "#pragma once\n"
+                       "#include <thread>\n"
+                       "#include <vector>\n"
+                       "struct Pool {\n"
+                       "  // bicord-lint: allow(thread-outside-pool)\n"
+                       "  std::vector<std::thread> workers_;\n"
+                       "};\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ThreadOutsideSrcIsQuiet) {
+  // tools/ and tests/ spawn helper threads freely (e.g. test harnesses).
+  write("tools/loadgen.cpp",
+        "#include <thread>\n"
+        "void go() { std::thread t([] {}); t.join(); }\n");
+  const Result r = run((root_ / "tools").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST_F(BicordLintTest, RulesDoNotApplyOutsideSrc) {
   // Determinism rules scope to src/: tools/ and tests/ may read wall clocks.
   write("tools/cli.cpp",

@@ -41,6 +41,12 @@
 //                            GrantHistory — grants are issued inside the
 //                            coordination engine so the election layer and
 //                            invariant checker see every one
+//     thread-outside-pool    (src/ outside src/runner/ and
+//                            src/sim/parallel_dispatch.cpp) naming
+//                            std::thread / std::jthread / std::async — every
+//                            thread comes from runner::TrialPool or
+//                            sim::WorkerPool so core budgets and the
+//                            bitwise-determinism gates hold
 //
 // Baseline ratchet: --baseline FILE suppresses the findings fingerprinted in
 // FILE; anything new fails (exit 2). --write-baseline refuses to grow the
@@ -77,7 +83,7 @@ const std::vector<std::string> kAllRules = {
     "banned-rand",        "wall-clock",           "unordered-iteration",
     "delayed-ref-capture", "slab-callback-invoke", "pragma-once",
     "using-namespace-header", "float-equality",   "scenario-config-literal",
-    "grant-issue-outside-engine",
+    "grant-issue-outside-engine", "thread-outside-pool",
 };
 
 std::string trim(const std::string& s) {
@@ -239,6 +245,14 @@ class Linter {
     if (core && norm.find("src/core/") == std::string::npos) {
       check_grant_issue(norm, v);
     }
+    // Threads live in exactly two places: the trial pool (src/runner/) and
+    // the intra-sim worker pool (src/sim/parallel_dispatch.cpp). Anywhere
+    // else a raw thread bypasses both the core budget and the determinism
+    // contract.
+    const bool pool_home =
+        norm.find("src/runner/") != std::string::npos ||
+        norm.find("src/sim/parallel_dispatch.cpp") != std::string::npos;
+    if (core && !pool_home) check_thread_outside_pool(norm, v);
   }
 
   [[nodiscard]] const std::vector<Finding>& findings() const { return findings_; }
@@ -422,6 +436,26 @@ class Linter {
         report(path, v, i, "slab-callback-invoke",
                "callable invoked out of indexed container storage (PR-3 "
                "use-after-free shape; move to a local first): " +
+                   trim(v.raw[i]));
+      }
+    }
+  }
+
+  void check_thread_outside_pool(const std::string& path, const FileView& v) {
+    // Every thread in src/ must come from runner::TrialPool (across-trial
+    // fan-out, budgeted by --jobs/BICORD_JOBS) or sim::WorkerPool (intra-sim
+    // shard fan-out, budgeted by sim.threads). A raw std::thread/std::async
+    // escapes both budgets and the bitwise-determinism gates built around
+    // those pools.
+    static const std::regex re(R"(\bstd\s*::\s*(thread|jthread|async)\b)");
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+      const std::string& c = v.code[i];
+      if (c.find("#include") != std::string::npos) continue;
+      if (std::regex_search(c, re)) {
+        report(path, v, i, "thread-outside-pool",
+               "raw thread primitive outside runner::TrialPool / "
+               "sim::WorkerPool (threads are budgeted and determinism-gated "
+               "only through the pools): " +
                    trim(v.raw[i]));
       }
     }
