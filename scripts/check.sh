@@ -4,7 +4,7 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|chaos|bench|examples|dense|failover|parallel]
+# Usage:  scripts/check.sh [fast|lint|lint-fast|chaos|bench|examples|dense|failover|parallel]
 #   default — plain + lint (clang-tidy + bicord_lint) + dense smoke +
 #             parallel smoke + failover smoke + TSAN + ASan/UBSan, i.e.
 #             warnings -> static gates -> tests -> sanitizers
@@ -12,6 +12,10 @@
 #   lint    — static gates only: clang-tidy (skipped with a notice when the
 #             tool is absent) and tools/bicord_lint, both against ratcheted
 #             baselines (see scripts/lint.sh and DESIGN.md Sec. 10)
+#   lint-fast — inner-loop static gate: bicord_lint on CHANGED files only
+#             (git diff vs HEAD + staged + untracked; BICORD_FORMAT_BASE
+#             widens the range). Same exit-code contract as lint (0 clean,
+#             2 new findings, 3 ratchet violation); clang-tidy is skipped
 #   dense   — dense-scenario smoke: the medium equivalence/stress suites,
 #             then bicordsim on the dense + dense1k presets twice each —
 #             spatial index on vs off — asserting byte-identical output
@@ -50,6 +54,11 @@ fi
 if [ "$MODE" = "lint" ]; then
   echo "== static gates: clang-tidy + bicord_lint =="
   exec scripts/lint.sh all
+fi
+
+if [ "$MODE" = "lint-fast" ]; then
+  echo "== static gate (inner loop): bicord_lint, changed files only =="
+  exec scripts/lint.sh fast
 fi
 
 if [ "$MODE" = "examples" ]; then

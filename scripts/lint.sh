@@ -16,14 +16,24 @@
 # the determinism/lifetime rules gate every environment. Set
 # BICORD_REQUIRE_CLANG_TIDY=1 (CI) to turn a missing clang-tidy into an error.
 #
-# Usage: scripts/lint.sh [all|tidy|bicord|format-check|refresh-baseline]
+# Usage: scripts/lint.sh [all|tidy|bicord|fast|format-check|refresh-baseline]
 #   all              (default) tidy + bicord
 #   tidy             clang-tidy layer only
 #   bicord           bicord_lint layer only
+#   fast             bicord_lint on CHANGED files only (vs HEAD, plus staged +
+#                    untracked; BICORD_FORMAT_BASE widens the range) — the
+#                    inner-loop mode behind `scripts/check.sh lint-fast`.
+#                    Same exit-code contract as the full run; layering still
+#                    sees the whole include graph (chains are resolved
+#                    lazily), only the scan set shrinks.
 #   format-check     clang-format --dry-run on CHANGED files only (vs HEAD,
 #                    plus staged + untracked; never a mass reformat)
-#   refresh-baseline rewrite both baselines from current findings; refuses
-#                    to grow either one (the ratchet only goes down)
+#   refresh-baseline [--rule NAME]
+#                    rewrite both baselines from current findings; refuses
+#                    to grow either one (the ratchet only goes down). With
+#                    --rule NAME only that bicord_lint rule's baseline slice
+#                    is rewritten (clang-tidy refresh is skipped): refreshing
+#                    one rule can't quietly absorb regressions in another.
 #
 # Exit codes: 0 clean/skipped, 1 environment or usage error, 2 new findings,
 #             3 ratchet violation.
@@ -35,6 +45,7 @@ MODE="${1:-all}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TIDY_BASELINE=scripts/clang_tidy_baseline.txt
 BICORD_BASELINE=scripts/bicord_lint_baseline.txt
+LAYERING=scripts/layering.txt
 MIN_LLVM_MAJOR=14
 # Directories scanned by both layers. bicord_lint scopes its determinism and
 # lifetime rules to src/ internally; hygiene rules apply everywhere.
@@ -178,15 +189,58 @@ build_bicord_lint() {
   fi
 }
 
-run_bicord() {  # run_bicord [refresh]
+run_bicord() {  # run_bicord [refresh [rule]]
   build_bicord_lint
-  echo "== layer 2: bicord_lint (determinism / lifetime / hygiene) =="
+  echo "== layer 2: bicord_lint (determinism / lifetime / layering / hygiene) =="
   if [ "${1:-}" = "refresh" ]; then
+    local scope=()
+    [ -n "${2:-}" ] && scope=(--rule "$2")
     ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" --write-baseline \
-      "${LINT_PATHS[@]}"
+      "${scope[@]}" --layering "$LAYERING" --src-root src "${LINT_PATHS[@]}"
   else
-    ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" "${LINT_PATHS[@]}"
+    ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" \
+      --layering "$LAYERING" --src-root src "${LINT_PATHS[@]}"
   fi
+}
+
+changed_cpp_files() {
+  # Working tree + index vs HEAD, plus untracked; BICORD_FORMAT_BASE widens
+  # the range for CI (same selection as format-check).
+  (git diff --name-only HEAD --
+   git diff --name-only --cached
+   git ls-files --others --exclude-standard
+   if [ -n "${BICORD_FORMAT_BASE:-}" ]; then
+     git diff --name-only "${BICORD_FORMAT_BASE}...HEAD"
+   fi) \
+    | sort -u | grep -E '\.(cpp|hpp|h)$' \
+    | while IFS= read -r f; do [ -f "$f" ] && echo "$f"; done || true
+}
+
+run_bicord_fast() {
+  build_bicord_lint
+  local files=()
+  while IFS= read -r f; do files+=("$f"); done < <(changed_cpp_files)
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "lint-fast: no changed C++ files"
+    return 0
+  fi
+  echo "== lint-fast: bicord_lint on ${#files[@]} changed file(s) =="
+  # --json gives the machine-readable finding list; surface the per-rule
+  # counts, then re-print the human rendering only when something fired.
+  # (No xargs: it would replace the linter's 2/3 exit contract with 123.)
+  local json rc=0
+  json="$(./build/tools/bicord_lint --baseline "$BICORD_BASELINE" \
+            --layering "$LAYERING" --src-root src --json "${files[@]}")" \
+    || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "$json" | grep -oE '"rule": "[a-z-]+"' | sort | uniq -c | sort -rn \
+      | sed 's/"rule": //; s/"//g; s/^/  /'
+    ./build/tools/bicord_lint --baseline "$BICORD_BASELINE" \
+      --layering "$LAYERING" --src-root src "${files[@]}" || rc=$?
+  else
+    echo "lint-fast: clean"
+  fi
+  return "$rc"
 }
 
 run_format_check() {
@@ -221,13 +275,29 @@ case "$MODE" in
     ;;
   tidy) run_tidy ;;
   bicord) run_bicord ;;
+  fast) run_bicord_fast ;;
   format-check) run_format_check ;;
   refresh-baseline)
-    run_tidy refresh
-    run_bicord refresh
+    RULE=""
+    if [ "${2:-}" = "--rule" ]; then
+      RULE="${3:-}"
+      if [ -z "$RULE" ]; then
+        echo "usage: scripts/lint.sh refresh-baseline [--rule NAME]" >&2
+        exit 1
+      fi
+    elif [ -n "${2:-}" ]; then
+      echo "usage: scripts/lint.sh refresh-baseline [--rule NAME]" >&2
+      exit 1
+    fi
+    if [ -n "$RULE" ]; then
+      echo "-- --rule ${RULE}: bicord_lint slice only (clang-tidy refresh skipped)"
+    else
+      run_tidy refresh
+    fi
+    run_bicord refresh "$RULE"
     ;;
   *)
-    echo "usage: scripts/lint.sh [all|tidy|bicord|format-check|refresh-baseline]" >&2
+    echo "usage: scripts/lint.sh [all|tidy|bicord|fast|format-check|refresh-baseline [--rule NAME]]" >&2
     exit 1
     ;;
 esac

@@ -21,7 +21,7 @@
 #include "sim/simulator.hpp"
 #include "csi/csi_detector.hpp"
 #include "csi/csi_model.hpp"
-#include "wifi/wifi_mac.hpp"
+#include "wifi/wifi_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 

@@ -30,7 +30,7 @@
 #include "core/zigbee_agent.hpp"
 #include "detect/classifier.hpp"
 #include "detect/rssi_sampler.hpp"
-#include "zigbee/energy.hpp"
+#include "zigbee/energy.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 

@@ -32,7 +32,7 @@
 #include "core/whitespace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
-#include "zigbee/zigbee_mac.hpp"
+#include "zigbee/zigbee_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 

@@ -14,8 +14,8 @@
 #include "core/zigbee_agent.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
-#include "wifi/wifi_mac.hpp"
-#include "zigbee/zigbee_phy.hpp"
+#include "wifi/wifi_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
+#include "zigbee/zigbee_phy.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 

@@ -12,7 +12,7 @@
 
 #include "util/stats.hpp"
 #include "util/time.hpp"
-#include "zigbee/zigbee_mac.hpp"
+#include "zigbee/zigbee_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 

@@ -219,6 +219,7 @@ void Radio::on_tx_start_absorb(const ActiveTransmission& tx) {
   // Early-outs mirror on_tx_start exactly (no draw, no tracking, no poke).
   if (tx.frame.src != node_ && !tx.fault_dropped && medium_.audible(tx, node_)) {
     const double fading_db = config_.fading_sigma_db > 0.0
+                                 // bicord-lint: allow(rng-in-parallel) — rng_ is this radio's own split stream; draw order is per-listener, not cross-worker.
                                  ? rng_.normal(0.0, config_.fading_sigma_db)
                                  : 0.0;
     ongoing_.push_back(make_ongoing(tx, fading_db));

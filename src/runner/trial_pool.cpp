@@ -10,6 +10,7 @@ namespace bicord::runner {
 
 int resolve_jobs(int requested) {
   if (requested >= 1) return requested;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at pool construction, before workers exist.
   if (const char* env = std::getenv("BICORD_JOBS")) {
     if (const auto v = parse_positive_int(env)) return *v;
   }

@@ -46,6 +46,7 @@ std::optional<LogLevel> parse_log_level(const std::string& text) {
 }
 
 void refresh_log_level_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — init-time env read, before any pool spawns threads.
   const char* env = std::getenv("BICORD_LOG_LEVEL");
   if (env == nullptr) return;
   if (const auto level = parse_log_level(env)) {

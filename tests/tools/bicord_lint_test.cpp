@@ -550,4 +550,537 @@ TEST_F(BicordLintTest, RulesDoNotApplyOutsideSrc) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+// --- stripper regressions: raw strings and line continuations ---------------
+
+TEST_F(BicordLintTest, RawStringBodyIsOpaque) {
+  // Quotes, comment markers and unbalanced parens inside R"(...)" used to
+  // desynchronize the comment/string state machine; the whole literal is one
+  // opaque token now.
+  const auto p = write("src/rs1.cpp",
+                       "const char* doc = R\"(std::rand() // \" ( /* )\";\n"
+                       "int live = 1;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, CodeAfterRawStringStillScanned) {
+  // The desync bug's worst case: a raw string containing a quote blanked the
+  // *rest of the line*, hiding the banned call after it.
+  const auto p = write("src/rs2.cpp",
+                       "long t() { const char* s = R\"(quote \" // marker)\"; "
+                       "return time(nullptr); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, MultiLineRawStringBlanked) {
+  const auto p = write("src/rs3.cpp",
+                       "const char* s = R\"(\n"
+                       "std::rand()\n"
+                       "time(nullptr)\n"
+                       ")\";\n"
+                       "int live = 1;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, CustomDelimiterRawStringHandled) {
+  // With a custom delimiter, a bare )" inside the body does NOT terminate
+  // the literal; only )x" does. The banned call after it must still fire.
+  const auto p = write("src/rs4.cpp",
+                       "int f() { const char* s = R\"x(body with )\" inside)x\"; "
+                       "return std::rand(); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[banned-rand]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 new finding"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, IdentifierEndingInRIsNotARawString) {
+  // `str"..."`-style: the R must not be glued to a preceding identifier.
+  const auto p = write("src/rs5.cpp",
+                       "#define STR(x) #x\n"
+                       "const char* s = STR\"not raw\";\n"
+                       "int live = 1;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, LineContinuationCommentConsumesNextLine) {
+  // A // comment ending in \ swallows the next physical line; scanning that
+  // line as code manufactured phantom findings.
+  const auto p = write("src/lc1.cpp",
+                       "// note: do not call \\\n"
+                       "time(nullptr) here\n"
+                       "int live = 1;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, LineContinuationChainsAndThenEnds) {
+  // Continuations chain while each line ends in \; the first line without
+  // one ends the comment, and real code after that is scanned again.
+  const auto p = write("src/lc2.cpp",
+                       "// chain \\\n"
+                       "still comment \\\n"
+                       "last comment line\n"
+                       "long t() { return time(nullptr); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 new finding"), std::string::npos) << r.output;
+}
+
+// --- parallel-phase rules: rng-in-parallel ----------------------------------
+
+TEST_F(BicordLintTest, RngDrawInParallelForFires) {
+  const auto p = write("src/pr1.cpp",
+                       "void jitter(Pool& pool, util::Rng& rng) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    const double v = rng.uniform(0.0, 1.0);\n"
+                       "    sink(i, v);\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[rng-in-parallel]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("parallel_for"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RngDrawOutsideRegionIsQuiet) {
+  const auto p = write("src/pr2.cpp",
+                       "void jitter(Pool& pool, util::Rng& rng) {\n"
+                       "  const double v = rng.uniform(0.0, 1.0);\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) { sink(i, v); });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, RngDrawInAbsorbOverrideFires) {
+  const auto p = write("src/pr3.cpp",
+                       "void Radio::on_tx_start_absorb(const Tx& tx) {\n"
+                       "  const double fading = rng_.normal(0.0, sigma_);\n"
+                       "  track(tx, fading);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[rng-in-parallel]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("absorb-phase override"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, RngAccessorChainInRegionFires) {
+  const auto p = write("src/pr4.cpp",
+                       "void go(Pool& pool, Sim& sim) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    sink(i, sim.rng().bernoulli(0.5));\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[rng-in-parallel]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RngInParallelIsWaivable) {
+  // The sanctioned shape: a listener-local split stream, waived in place
+  // (src/phy/radio.cpp carries exactly this annotation).
+  const auto p = write("src/pr5.cpp",
+                       "void Radio::on_tx_start_absorb(const Tx& tx) {\n"
+                       "  // bicord-lint: allow(rng-in-parallel) — own split stream\n"
+                       "  const double fading = rng_.normal(0.0, sigma_);\n"
+                       "  track(tx, fading);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- parallel-phase rules: parallel-shared-mutation -------------------------
+
+TEST_F(BicordLintTest, CatchAllPushBackInParallelForFires) {
+  const auto p = write("src/pm1.cpp",
+                       "void gather(Pool& pool, std::vector<int>& out) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    out.push_back(static_cast<int>(i));\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[parallel-shared-mutation]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("`out`"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, ShardedIndexedWriteIsQuiet) {
+  // Writing through the region's own index parameter is the sanctioned
+  // pattern (each worker owns its slot).
+  const auto p = write("src/pm2.cpp",
+                       "void gather(Pool& pool, std::vector<int>& out) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    out[i] = static_cast<int>(i);\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, RegionLocalMutationIsQuiet) {
+  const auto p = write("src/pm3.cpp",
+                       "void sum(Pool& pool, std::vector<int>& out) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    int local = 0;\n"
+                       "    local += static_cast<int>(i);\n"
+                       "    out[i] = local;\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ExplicitRefCaptureAccumulationFires) {
+  const auto p = write("src/pm4.cpp",
+                       "void sum(Pool& pool, double& total) {\n"
+                       "  pool.parallel_for(4, [&total](std::size_t i) {\n"
+                       "    total += static_cast<double>(i);\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[parallel-shared-mutation]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("`total`"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, DispatcherLaneCallbackMutationFires) {
+  const auto p = write("src/pm5.cpp",
+                       "void plan(ParallelDispatcher& dispatcher,\n"
+                       "          std::vector<int>& hits) {\n"
+                       "  dispatcher.after(shard, delay, [&hits] {\n"
+                       "    hits.push_back(1);\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[parallel-shared-mutation]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("lane callback"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, BarrierClassCallbackIsSerialAndQuiet) {
+  // at_barrier callbacks run serially on the dispatch thread — mutation
+  // there is the *point* (merging shard results).
+  const auto p = write("src/pm6.cpp",
+                       "void merge(ParallelDispatcher& dispatcher,\n"
+                       "           std::vector<int>& hits) {\n"
+                       "  dispatcher.at_barrier(when, [&hits] {\n"
+                       "    hits.push_back(1);\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, MutationOutsideRegionIsQuiet) {
+  const auto p = write("src/pm7.cpp",
+                       "void gather(Pool& pool, std::vector<int>& out) {\n"
+                       "  out.push_back(0);\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) { sink(i); });\n"
+                       "  out.push_back(1);\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, ParallelRulesSkipThePoolHomes) {
+  // The pool/dispatcher implementations orchestrate the workers; their own
+  // internal mutation is the machinery itself, mirroring thread-outside-pool.
+  write("src/sim/parallel_dispatch.cpp",
+        "void Pool::run(std::vector<int>& out) {\n"
+        "  parallel_for(4, [&](std::size_t i) { out.push_back(1); });\n"
+        "}\n");
+  const Result r = run((root_ / "src" / "sim").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- unordered-accumulation -------------------------------------------------
+
+TEST_F(BicordLintTest, UnorderedFloatAccumulationFires) {
+  const auto p = write("src/ua1.cpp",
+                       "#include <unordered_map>\n"
+                       "double total(const std::unordered_map<int, double>& m) {\n"
+                       "  std::unordered_map<int, double> copy = m;\n"
+                       "  double sum = 0.0;\n"
+                       "  for (const auto& kv : copy) sum += kv.second;\n"
+                       "  return sum;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iteration]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[unordered-accumulation]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, OrderedMapAccumulationIsQuiet) {
+  const auto p = write("src/ua2.cpp",
+                       "#include <map>\n"
+                       "double total(const std::map<int, double>& m) {\n"
+                       "  double sum = 0.0;\n"
+                       "  for (const auto& kv : m) sum += kv.second;\n"
+                       "  return sum;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, IntegerAccumulationOnlyTripsIteration) {
+  // Integer addition commutes: the unordered loop still flags iteration
+  // order, but not the accumulation refinement.
+  const auto p = write("src/ua3.cpp",
+                       "#include <unordered_map>\n"
+                       "int total(const std::unordered_map<int, int>& m) {\n"
+                       "  std::unordered_map<int, int> copy = m;\n"
+                       "  int sum = 0;\n"
+                       "  for (const auto& kv : copy) sum += kv.second;\n"
+                       "  return sum;\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iteration]"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("[unordered-accumulation]"), std::string::npos)
+      << r.output;
+}
+
+// --- layering ---------------------------------------------------------------
+
+class BicordLintLayeringTest : public BicordLintTest {
+ protected:
+  fs::path layering(const std::string& content) {
+    return write("layering.txt", content);
+  }
+
+  Result run_layered(const fs::path& dag) {
+    return run("--layering " + dag.string() + " --src-root " +
+               (root_ / "src").string() + " " + (root_ / "src").string());
+  }
+};
+
+TEST_F(BicordLintLayeringTest, DirectViolationFires) {
+  const auto dag = layering("a: util\nb: util\nutil:\n");
+  write("src/a/x.hpp", "#pragma once\n#include \"b/y.hpp\"\n");
+  write("src/b/y.hpp", "#pragma once\n");
+  const Result r = run_layered(dag);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("may not depend on `b`"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintLayeringTest, AllowedIncludeIsQuiet) {
+  const auto dag = layering("a: util\nutil:\n");
+  write("src/a/x.hpp", "#pragma once\n#include \"util/u.hpp\"\n");
+  write("src/util/u.hpp", "#pragma once\n");
+  const Result r = run_layered(dag);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintLayeringTest, WaivedIncludeIsQuiet) {
+  // The grandfathered-include shape: allow(layering) at the include site.
+  const auto dag = layering("a: util\nb: util\nutil:\n");
+  write("src/a/x.hpp",
+        "#pragma once\n"
+        "#include \"b/y.hpp\"  // bicord-lint: allow(layering) — legacy\n");
+  write("src/b/y.hpp", "#pragma once\n");
+  const Result r = run_layered(dag);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintLayeringTest, TransitiveChainIsReportedWithFullPath) {
+  // Non-transitively-closed DAG: a->b allowed, b->c allowed, a->c NOT.
+  // Every hop is individually legal, so only the chain walk catches the
+  // escape — and the message must show the whole path.
+  const auto dag = layering("a: b\nb: c\nc:\n");
+  write("src/a/x.hpp", "#pragma once\n#include \"b/y.hpp\"\n");
+  write("src/b/y.hpp", "#pragma once\n#include \"c/z.hpp\"\n");
+  write("src/c/z.hpp", "#pragma once\n");
+  const Result r = run_layered(dag);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("b/y.hpp -> "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("c/z.hpp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("may not depend on `c`"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintLayeringTest, MissingLayeringFileIsUsageError) {
+  write("src/a/x.hpp", "#pragma once\n");
+  const Result r = run("--layering " + (root_ / "no_such.txt").string() + " " +
+                       (root_ / "src").string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST_F(BicordLintLayeringTest, UnlistedModuleWarnsAndIsUnconstrained) {
+  const auto dag = layering("b: util\nutil:\n");
+  write("src/a/x.hpp", "#pragma once\n#include \"b/y.hpp\"\n");
+  write("src/b/y.hpp", "#pragma once\n");
+  const Result r = run_layered(dag);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no entry in the layering file"), std::string::npos)
+      << r.output;
+}
+
+// --- waiver edge cases ------------------------------------------------------
+
+TEST_F(BicordLintTest, AllowInsideParallelRegionHonored) {
+  const auto p = write("src/we1.cpp",
+                       "void jitter(Pool& pool, util::Rng& rng) {\n"
+                       "  pool.parallel_for(4, [&](std::size_t i) {\n"
+                       "    sink(i, rng.uniform(0.0, 1.0));  "
+                       "// bicord-lint: allow(rng-in-parallel)\n"
+                       "  });\n"
+                       "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, StackedMultiRuleWaiverHonored) {
+  // One annotation naming several rules waives each of them on the next line.
+  const auto p = write(
+      "src/we2.cpp",
+      "void mix(Pool& pool, util::Rng& rng, std::vector<double>& out) {\n"
+      "  pool.parallel_for(4, [&](std::size_t i) {\n"
+      "    // bicord-lint: allow(rng-in-parallel, parallel-shared-mutation)\n"
+      "    out.push_back(rng.uniform(0.0, 1.0));\n"
+      "  });\n"
+      "}\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(BicordLintTest, UnknownRuleInAllowWarnsOnCleanFile) {
+  const auto p = write("src/we3.cpp",
+                       "// bicord-lint: allow(no-such-rule)\n"
+                       "int live = 1;\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("unknown rule 'no-such-rule'"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, UnknownRuleInAllowDoesNotWaive) {
+  // A typo'd rule name must not silently pass the finding it meant to waive.
+  const auto p = write("src/we4.cpp",
+                       "// bicord-lint: allow(wallclock)\n"
+                       "long t() { return time(nullptr); }\n");
+  const Result r = run_on(p);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("unknown rule 'wallclock'"), std::string::npos)
+      << r.output;
+}
+
+// --- JSON output and rule-scoped baselines ----------------------------------
+
+TEST_F(BicordLintTest, JsonModeEmitsFindings) {
+  const auto p = write("src/js1.cpp", "int roll() { return std::rand() % 6; }\n");
+  const Result r = run("--json " + p.string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("\"version\": 2"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"rule\": \"banned-rand\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"baselined\": false"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(BicordLintTest, JsonModeCleanFileExitsZero) {
+  const auto p = write("src/js2.cpp", "int live = 1;\n");
+  const Result r = run("--json " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"new\": 0"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, FingerprintsAreRuleTagged) {
+  const auto p = write("src/ft1.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(baseline);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("banned-rand:"), std::string::npos) << ss.str();
+}
+
+TEST_F(BicordLintTest, RuleScopedRefreshOnlyTouchesThatRulesSlice) {
+  const auto p = write("src/rr1.cpp",
+                       "int roll() { return std::rand() % 6; }\n"
+                       "long now() { return time(nullptr); }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Fix the rand; the wall-clock stays. A banned-rand-scoped refresh shrinks
+  // only that slice, and the wall-clock entry keeps suppressing.
+  write("src/rr1.cpp",
+        "int roll() { return 4; }\n"
+        "long now() { return time(nullptr); }\n");
+  r = run("--baseline " + baseline.string() +
+          " --write-baseline --rule banned-rand " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(baseline);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str().find("banned-rand:"), std::string::npos) << ss.str();
+  EXPECT_NE(ss.str().find("wall-clock:"), std::string::npos) << ss.str();
+}
+
+TEST_F(BicordLintTest, RuleScopedRefreshCannotAbsorbOtherRulesRegressions) {
+  const auto p = write("src/rr2.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Introduce a NEW wall-clock regression, then refresh the banned-rand
+  // slice: the refresh succeeds (its slice didn't grow) but must NOT absorb
+  // the wall-clock finding — check mode still fails on it.
+  write("src/rr2.cpp",
+        "int roll() { return std::rand() % 6; }\n"
+        "long now() { return time(nullptr); }\n");
+  r = run("--baseline " + baseline.string() +
+          " --write-baseline --rule banned-rand " + p.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run("--baseline " + baseline.string() + " " + p.string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[wall-clock]"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RuleScopedRefreshRefusesScopedGrowth) {
+  const auto p = write("src/rr3.cpp", "int roll() { return std::rand() % 6; }\n");
+  const fs::path baseline = root_ / "baseline.txt";
+  Result r = run("--baseline " + baseline.string() + " --write-baseline " +
+                 p.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  write("src/rr3.cpp",
+        "int roll() { return std::rand() % 6; }\n"
+        "int toss() { return std::rand() & 1; }\n");
+  r = run("--baseline " + baseline.string() +
+          " --write-baseline --rule banned-rand " + p.string());
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("ratchet"), std::string::npos) << r.output;
+}
+
+TEST_F(BicordLintTest, RuleFlagWithoutWriteBaselineIsUsageError) {
+  const auto p = write("src/rr4.cpp", "int live = 1;\n");
+  Result r = run("--rule banned-rand " + p.string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  r = run("--baseline " + (root_ / "b.txt").string() +
+          " --write-baseline --rule no-such-rule " + p.string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown rule"), std::string::npos) << r.output;
+}
+
 }  // namespace
