@@ -198,6 +198,13 @@ BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, dense1k_t8, "dense1k", -1, tru
 // events-per-second counter.
 BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, city, "city", -1, true, 1)
     ->Unit(benchmark::kMillisecond);
+// The third/fourth technologies: LTE-U's periodic wideband bursts dominate
+// the event mix (duty cycling, no per-packet MAC), while TSCH adds a lockstep
+// radio retune every hop period on top of the normal link traffic.
+BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, lteu, "lteu", -1, true, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullScenarioSimulatedSecond, tsch, "tsch", -1, true, 1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,10 +4,10 @@
 # under ASan+UBSan. Each sanitizer gets its own build directory so the
 # builds never contaminate each other.
 #
-# Usage:  scripts/check.sh [fast|lint|lint-fast|chaos|bench|examples|dense|failover|parallel]
+# Usage:  scripts/check.sh [fast|lint|lint-fast|chaos|bench|examples|dense|failover|parallel|techs]
 #   default — plain + lint (clang-tidy + bicord_lint) + dense smoke +
-#             parallel smoke + failover smoke + TSAN + ASan/UBSan, i.e.
-#             warnings -> static gates -> tests -> sanitizers
+#             parallel smoke + techs smoke + failover smoke + TSAN +
+#             ASan/UBSan, i.e. warnings -> static gates -> tests -> sanitizers
 #   fast    — plain build + tests only
 #   lint    — static gates only: clang-tidy (skipped with a notice when the
 #             tool is absent) and tools/bicord_lint, both against ratcheted
@@ -33,6 +33,11 @@
 #             absorb/react split), then bicordsim on dense1k with
 #             --sim-threads 1 vs 8 asserting byte-identical stdout (the
 #             bitwise-determinism contract of DESIGN.md Sec. 14); part of the
+#             default full gate
+#   techs   — third/fourth-technology smoke: the LTE-U + TSCH suite under
+#             ASan/UBSan, then bicordsim on the lteu and tsch presets at
+#             --sim-threads 1 vs 8 asserting byte-identical stdout (the
+#             TechnologyTraits seam proof of DESIGN.md Sec. 15); part of the
 #             default full gate
 #   bench   — perf smoke: one fast bench_micro pass asserting the
 #             machine-independent invariants (hot path allocation-free);
@@ -151,6 +156,50 @@ if [ "$MODE" = "parallel" ]; then
   exit 0
 fi
 
+# Techs smoke: the LTE-U and TSCH technologies — the two instantiations
+# that prove the TechnologyTraits seam carries a whole technology without
+# engine surgery. The ASan leg runs their unit/scenario suite; the bicordsim
+# leg pins both presets byte-identical at sim.threads 1 vs 8 (TSCH retunes
+# radios mid-run, so frequency agility is the shard-plan risk to watch).
+techs_smoke_asan() {
+  ./build-asan/tests/techs_tests
+}
+
+techs_smoke_sim() {
+  local preset out_serial out_par
+  for preset in lteu tsch; do
+    out_serial="build/techs_smoke_${preset}_t1.txt"
+    out_par="build/techs_smoke_${preset}_t8.txt"
+    echo "-- $preset: sim.threads 1 vs 8"
+    ./build/tools/bicordsim --scenario "$preset" --seconds 3 \
+      --sim-threads 1 > "$out_serial"
+    ./build/tools/bicordsim --scenario "$preset" --seconds 3 \
+      --sim-threads 8 > "$out_par" 2> /dev/null
+    diff "$out_serial" "$out_par" || {
+      echo "FAIL: $preset output differs between sim.threads 1 and 8" >&2
+      return 1
+    }
+  done
+  echo "OK: lteu + tsch presets byte-identical at sim.threads 1 and 8"
+}
+
+if [ "$MODE" = "techs" ]; then
+  echo "== techs smoke: ASan + UBSan, LTE-U + TSCH suite =="
+  cmake -B build-asan -S . -DBICORD_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$JOBS" --target techs_tests
+  techs_smoke_asan
+
+  echo
+  echo "== techs smoke: bicordsim lteu/tsch sim.threads 1 vs 8 =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target bicordsim
+  techs_smoke_sim
+
+  echo
+  echo "OK: techs smoke green (ASan/UBSan + bitwise 1-vs-8)"
+  exit 0
+fi
+
 # Failover smoke: the multi-grantor election under memory and race
 # sanitizers. The ASan leg runs the whole failover family (election unit
 # tests live in core_tests, the synthetic invariant traces and the 16-seed
@@ -240,6 +289,10 @@ echo "== parallel smoke: bicordsim dense1k sim.threads 1 vs 8 =="
 parallel_smoke_sim
 
 echo
+echo "== techs smoke: bicordsim lteu/tsch sim.threads 1 vs 8 =="
+techs_smoke_sim
+
+echo
 echo "== ThreadSanitizer: runner tests + parallel dispatch + failover soak =="
 cmake -B build-tsan -S . -DBICORD_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" --target runner_tests fault_tests sim_tests
@@ -258,4 +311,4 @@ echo "== failover smoke: bicordsim failover preset =="
 failover_smoke_sim
 
 echo
-echo "OK: plain, lint, dense smoke, parallel smoke, TSAN (runner+parallel+failover), ASan/UBSan, failover all green"
+echo "OK: plain, lint, dense smoke, parallel smoke, techs smoke, TSAN (runner+parallel+failover), ASan/UBSan, failover all green"

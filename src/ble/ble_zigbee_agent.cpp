@@ -1,12 +1,14 @@
 #include "ble/ble_zigbee_agent.hpp"
 
+#include "zigbee/bicord_port.hpp"
+
 namespace bicord::ble {
 
 BleAwareZigbeeAgent::BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
                                          Config config)
-    : ZigbeeAgentBase(mac, receiver),
+    : ZigbeeAgentBase(zigbee::requester_port(mac), receiver),
       config_(config),
-      engine_(mac, core::RequesterEngine::Config{config.signaling}) {
+      engine_(*mac_, core::RequesterEngine::Config{config.signaling}) {
   max_attempts_ = 30;
 }
 
@@ -15,7 +17,7 @@ void BleAwareZigbeeAgent::kick() {
   pump_head(config_.data_power_dbm);
 }
 
-void BleAwareZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+void BleAwareZigbeeAgent::on_head_outcome(const core::DataOutcome& outcome) {
   const bool failed = !outcome.delivered;
   // Claim the signaling state *before* the base accounting runs its kick():
   // otherwise the kick would launch the next data attempt and the control
@@ -39,7 +41,7 @@ void BleAwareZigbeeAgent::signal_train(int remaining) {
     kick();
     return;
   }
-  if (mac_.radio().transmitting()) {
+  if (mac_->radio_transmitting()) {
     // A stray transmission (late MAC retry) still holds the radio; retry
     // the train shortly.
     sim_.after(Duration::from_ms(1), [this, remaining] { signal_train(remaining); });

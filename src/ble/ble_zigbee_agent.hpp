@@ -15,6 +15,7 @@
 #include "core/coordination_engine.hpp"
 #include "core/protocol_params.hpp"
 #include "core/zigbee_agent.hpp"
+#include "zigbee/zigbee_mac.hpp"
 
 namespace bicord::ble {
 
@@ -28,6 +29,8 @@ class BleAwareZigbeeAgent final : public core::ZigbeeAgentBase {
     int control_packets = 2;
   };
 
+  /// Keeps the concrete-MAC convenience signature (ble may name zigbee);
+  /// wraps `mac` in a requester port internally.
   BleAwareZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
 
   [[nodiscard]] std::uint64_t control_packets_sent() const {
@@ -39,7 +42,7 @@ class BleAwareZigbeeAgent final : public core::ZigbeeAgentBase {
 
  protected:
   void kick() override;
-  void on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) override;
+  void on_head_outcome(const core::DataOutcome& outcome) override;
 
  private:
   void signal_train(int remaining);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "coex/placement.hpp"
+#include "wifi/bicord_port.hpp"
+#include "zigbee/bicord_port.hpp"
 
 namespace bicord::coex {
 
@@ -47,6 +49,8 @@ const char* to_string(Coordination c) {
     case Coordination::BiCord: return "BiCord";
     case Coordination::Ecc: return "ECC";
     case Coordination::Csma: return "CSMA";
+    case Coordination::LteU: return "LTE-U";
+    case Coordination::Tsch: return "TSCH";
   }
   return "?";
 }
@@ -207,24 +211,39 @@ std::unique_ptr<core::ZigbeeAgentBase> Scenario::make_zigbee_agent(
     zigbee::ZigbeeMac& mac, phy::NodeId receiver, double data_power_dbm,
     double signaling_power_dbm, zigbee::EnergyMeter* meter) {
   switch (config_.coordination) {
-    case Coordination::BiCord: {
+    case Coordination::BiCord:
+    case Coordination::LteU: {
+      // The LTE-U requester is the unmodified BiCord agent: with no CTI
+      // classifier attached it probes the channel optimistically and falls
+      // back to signaling — exactly the behaviour an eNB interferer needs.
       core::BiCordZigbeeAgent::Config za;
       za.signaling = config_.signaling;
       za.data_power_dbm = data_power_dbm;
       za.default_signaling_power_dbm = signaling_power_dbm;
-      auto agent = std::make_unique<core::BiCordZigbeeAgent>(mac, receiver, za);
+      auto agent = std::make_unique<core::BiCordZigbeeAgent>(
+          zigbee::requester_port(mac), receiver, za);
       agent->set_energy_meter(meter);
       return agent;
+    }
+    case Coordination::Tsch: {
+      zigbee::TschRequester::Config za;
+      za.signaling = config_.signaling;
+      za.data_power_dbm = data_power_dbm;
+      za.signaling_power_dbm = signaling_power_dbm;
+      return std::make_unique<zigbee::TschRequester>(zigbee::requester_port(mac),
+                                                     receiver, za);
     }
     case Coordination::Ecc: {
       core::EccZigbeeAgent::Config za;
       za.data_power_dbm = data_power_dbm;
-      return std::make_unique<core::EccZigbeeAgent>(mac, receiver, za);
+      return std::make_unique<core::EccZigbeeAgent>(zigbee::requester_port(mac),
+                                                    receiver, za);
     }
     case Coordination::Csma:
       break;
   }
-  return std::make_unique<core::CsmaZigbeeAgent>(mac, receiver, data_power_dbm);
+  return std::make_unique<core::CsmaZigbeeAgent>(zigbee::requester_port(mac),
+                                                 receiver, data_power_dbm);
 }
 
 void Scenario::build_coordination() {
@@ -237,7 +256,8 @@ void Scenario::build_coordination() {
       wa.allocator = config_.allocator;
       wa.csi = config_.csi;
       wa.detector = config_.detector;
-      bicord_wifi_ = std::make_unique<core::BiCordWifiAgent>(*wifi_receiver_mac_, wa);
+      bicord_wifi_ = std::make_unique<core::BiCordWifiAgent>(
+          wifi::grantor_port(*wifi_receiver_mac_), wa);
       if (!config_.wifi_grants_requests) {
         bicord_wifi_->set_policy([] { return false; });
       } else if (config_.wifi_traffic == WifiTrafficKind::Priority) {
@@ -252,8 +272,47 @@ void Scenario::build_coordination() {
     case Coordination::Ecc: {
       auto ecc_cfg = config_.ecc;
       ecc_cfg.zigbee_channel = 24;
-      ecc_wifi_ = std::make_unique<core::EccWifiAgent>(*wifi_sender_mac_, ecc_cfg);
+      ecc_wifi_ = std::make_unique<core::EccWifiAgent>(
+          wifi::grantor_port(*wifi_sender_mac_), ecc_cfg);
       ecc_wifi_->start();
+      break;
+    }
+    case Coordination::LteU: {
+      // The eNB sits mid-room: inside the testbed but not on top of either
+      // link. Only this branch adds the node, so historical presets keep
+      // their NodeIds byte for byte.
+      lteu_node_ = medium_->add_node("lteu-enb", phy::Position{2.5, 2.5});
+      lteu_device_ =
+          std::make_unique<interferers::LteUDevice>(*medium_, lteu_node_, config_.lteu);
+      interferers::LteUGrantor::Config gc;
+      gc.allocator = config_.allocator;
+      lteu_grantor_ = std::make_unique<interferers::LteUGrantor>(
+          *medium_, lteu_node_, *lteu_device_, gc);
+      lteu_device_->start();
+      break;
+    }
+    case Coordination::Tsch: {
+      // Same grantor stack as BiCord — only the traits pointer changes, which
+      // flips the engine onto the clock-bounded lease path (a hopping
+      // requester cannot be assumed to overhear the grant-end resume).
+      core::BiCordWifiAgent::Config wa;
+      wa.allocator = config_.allocator;
+      wa.csi = config_.csi;
+      wa.detector = config_.detector;
+      wa.traits = &core::kTschTraits;
+      wa.grant_margin = core::kTschTraits.grant_margin;
+      wa.watchdog_slack = core::kTschTraits.watchdog_slack;
+      bicord_wifi_ = std::make_unique<core::BiCordWifiAgent>(
+          wifi::grantor_port(*wifi_receiver_mac_), wa);
+      if (!config_.wifi_grants_requests) {
+        bicord_wifi_->set_policy([] { return false; });
+      }
+      zigbee::TschHopSchedule::Config hc;
+      hc.hop_period = config_.tsch_hop_period;
+      tsch_schedule_ = std::make_unique<zigbee::TschHopSchedule>(*sim_, hc);
+      tsch_schedule_->add_radio(zigbee_sender_mac_->radio());
+      tsch_schedule_->add_radio(zigbee_receiver_mac_->radio());
+      tsch_schedule_->start();
       break;
     }
     case Coordination::Csma:
@@ -306,7 +365,7 @@ void Scenario::build_grantors(const core::BiCordWifiAgent::Config& wa,
 
     ExtraGrantor g;
     g.mac = std::make_unique<wifi::WifiMac>(*medium_, node, testbed_wifi_config());
-    g.agent = std::make_unique<core::BiCordWifiAgent>(*g.mac, wa);
+    g.agent = std::make_unique<core::BiCordWifiAgent>(wifi::grantor_port(*g.mac), wa);
     if (!config_.wifi_grants_requests) {
       g.agent->set_policy([] { return false; });
     } else if (config_.wifi_traffic == WifiTrafficKind::Priority) {
@@ -419,8 +478,8 @@ void Scenario::build_dense() {
     ep.receiver = std::make_unique<zigbee::ZigbeeMac>(*medium_, rx, zc);
     // Field links are plain CSMA regardless of the testbed's coordination
     // mode: they are background traffic, not BiCord participants.
-    ep.agent = std::make_unique<core::CsmaZigbeeAgent>(*ep.sender, rx,
-                                                       f.zigbee_tx_power_dbm);
+    ep.agent = std::make_unique<core::CsmaZigbeeAgent>(
+        zigbee::requester_port(*ep.sender), rx, f.zigbee_tx_power_dbm);
     zigbee::BurstSource::Config bc;
     bc.packets_per_burst = 2 + static_cast<int>(i % 5);
     bc.payload_bytes = 30 + 10 * static_cast<std::uint32_t>(i % 6);
@@ -567,6 +626,10 @@ std::uint64_t Scenario::dense_zigbee_delivered() const {
 
 core::BiCordZigbeeAgent* Scenario::bicord_zigbee() {
   return dynamic_cast<core::BiCordZigbeeAgent*>(zigbee_agent_.get());
+}
+
+zigbee::TschRequester* Scenario::tsch_requester() {
+  return dynamic_cast<zigbee::TschRequester*>(zigbee_agent_.get());
 }
 
 core::BiCordWifiAgent* Scenario::grantor_agent(std::size_t member) {

@@ -17,6 +17,7 @@
 #include "core/ecc.hpp"
 #include "fault/fault_injector.hpp"
 #include "interferers/bluetooth.hpp"
+#include "interferers/lteu.hpp"
 #include "phy/medium.hpp"
 #include "phy/shard_map.hpp"
 #include "sim/parallel_dispatch.hpp"
@@ -27,11 +28,12 @@
 #include "zigbee/duty_cycle.hpp"
 #include "zigbee/energy.hpp"
 #include "zigbee/traffic.hpp"
+#include "zigbee/tsch.hpp"
 #include "zigbee/zigbee_mac.hpp"
 
 namespace bicord::coex {
 
-enum class Coordination { BiCord, Ecc, Csma };
+enum class Coordination { BiCord, Ecc, Csma, LteU, Tsch };
 enum class ZigbeeLocation { A, B, C, D };
 enum class WifiTrafficKind { Cbr, Saturated, Priority };
 
@@ -160,6 +162,13 @@ struct ScenarioConfig {
   /// battery-operation mode the paper's energy analysis assumes.
   bool zigbee_duty_cycle = false;
 
+  // --- third/fourth technologies ---------------------------------------------
+  /// LTE-U eNB parameters (Coordination::LteU only): CSAT period, duty
+  /// cycle, transmit power. The eNB replaces the Wi-Fi device as grantor.
+  interferers::LteUDevice::Config lteu;
+  /// TSCH slotframe hop period (Coordination::Tsch only).
+  Duration tsch_hop_period = Duration::from_ms(10);
+
   // --- fault injection -------------------------------------------------------
   /// Adversarial-channel faults applied during the run. Part of the config
   /// value so ExperimentRunner trials replay the same plan per seed. Empty
@@ -206,6 +215,14 @@ class Scenario {
   [[nodiscard]] core::EccWifiAgent* ecc_wifi() { return ecc_wifi_.get(); }
   /// Non-null when `zigbee_duty_cycle` is enabled.
   [[nodiscard]] zigbee::DutyCycler* duty_cycler() { return duty_cycler_.get(); }
+  /// Non-null only under Coordination::LteU: the duty-cycled eNB and its
+  /// undecodable-request grantor.
+  [[nodiscard]] interferers::LteUDevice* lteu_device() { return lteu_device_.get(); }
+  [[nodiscard]] interferers::LteUGrantor* lteu_grantor() { return lteu_grantor_.get(); }
+  /// Non-null only under Coordination::Tsch: the shared slotframe clock and
+  /// the hopping requester (which is also zigbee_agent()).
+  [[nodiscard]] zigbee::TschHopSchedule* tsch_schedule() { return tsch_schedule_.get(); }
+  [[nodiscard]] zigbee::TschRequester* tsch_requester();
   /// Intra-simulation parallelism (non-null when sim_threads >= 2).
   [[nodiscard]] sim::ParallelDispatcher* dispatcher() { return dispatcher_.get(); }
   [[nodiscard]] const phy::ShardPlan* shard_plan() const {
@@ -317,6 +334,10 @@ class Scenario {
   std::unique_ptr<zigbee::BurstSource> burst_source_;
   std::unique_ptr<zigbee::EnergyMeter> energy_meter_;
   std::unique_ptr<zigbee::DutyCycler> duty_cycler_;
+  phy::NodeId lteu_node_ = 0;
+  std::unique_ptr<interferers::LteUDevice> lteu_device_;
+  std::unique_ptr<interferers::LteUGrantor> lteu_grantor_;
+  std::unique_ptr<zigbee::TschHopSchedule> tsch_schedule_;
   std::unique_ptr<sim::PeriodicTask> device_mover_;
   std::vector<ZigbeeEndpoint> extras_;
   std::vector<ExtraGrantor> extra_grantors_;

@@ -90,6 +90,8 @@ bool parse_coordination(const std::string& s, Coordination* out) {
   if (v == "bicord") *out = Coordination::BiCord;
   else if (v == "ecc") *out = Coordination::Ecc;
   else if (v == "csma") *out = Coordination::Csma;
+  else if (v == "lteu") *out = Coordination::LteU;
+  else if (v == "tsch") *out = Coordination::Tsch;
   else return false;
   return true;
 }
@@ -225,6 +227,8 @@ constexpr const char* kKnownKeys[] = {
     "ble.links",     "ble.coordinate",
     "ble.connection_interval", "ble.payload",
     "ble.tx_power",  "ble.zigbee_channel",
+    "lteu.duty",     "lteu.period",
+    "lteu.power",    "tsch.hop_period",
 };
 
 bool known_key(const std::string& key) {
@@ -522,6 +526,21 @@ bool apply_entry(const ScenarioSpec::Entry& e, Lowering* out, std::string* error
     if (!parse_i64(value, &i) || i < 11 || i > 26)
       return bad_value("an 802.15.4 channel (11-26)");
     out->ble.zigbee_channel = static_cast<int>(i);
+  } else if (key == "lteu.duty") {
+    if (!parse_f64(value, &f) || f <= 0.0 || f > 1.0)
+      return bad_value("a duty fraction in (0, 1]");
+    out->cfg.lteu.duty = f;
+  } else if (key == "lteu.period") {
+    if (!parse_duration(value, &d) || d <= Duration::zero())
+      return bad_value("a positive duration (us/ms/s suffix)");
+    out->cfg.lteu.period = d;
+  } else if (key == "lteu.power") {
+    if (!parse_f64(value, &f)) return bad_value("a power in dBm");
+    out->cfg.lteu.tx_power_dbm = f;
+  } else if (key == "tsch.hop_period") {
+    if (!parse_duration(value, &d) || d <= Duration::zero())
+      return bad_value("a positive duration (us/ms/s suffix)");
+    out->cfg.tsch_hop_period = d;
   } else {
     return fail("unknown key");  // parse() rejects these; set() can still reach here
   }
@@ -744,6 +763,32 @@ constexpr PresetDef kPresets[] = {
      "burst.packets = 5\n"
      "burst.payload = 50\n"
      "burst.interval = 150ms\n"},
+    // Third technology: a duty-cycled LTE-U eNB replaces Wi-Fi as the
+    // interferer/grantor. Wi-Fi stays light CBR so the eNB's ON bursts are
+    // the dominant interference the lease has to carve white space out of.
+    {"lteu", "LTE-U eNB as grantor: duty-cycled carrier, energy-envelope requests",
+     "seed = 5050\n"
+     "coordination = lteu\n"
+     "location = A\n"
+     "wifi.traffic = cbr\n"
+     "wifi.cbr_interval = 40ms\n"
+     "wifi.cbr_payload = 200\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "lteu.duty = 0.5\n"
+     "lteu.period = 20ms\n"},
+    // Fourth technology: the requester hops a TSCH slotframe while the
+    // grantor (unchanged BiCord Wi-Fi agent) runs the clock-bounded lease
+    // path selected by kTschTraits.
+    {"tsch", "802.15.4e TSCH requester: channel hopping under a leased grant",
+     "seed = 5151\n"
+     "coordination = tsch\n"
+     "location = A\n"
+     "burst.packets = 5\n"
+     "burst.payload = 50\n"
+     "burst.interval = 200ms\n"
+     "tsch.hop_period = 10ms\n"},
 };
 
 }  // namespace

@@ -1,15 +1,17 @@
 #include "core/bicord_wifi.hpp"
 
+#include <utility>
+
 namespace bicord::core {
 
-BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
-    : mac_(mac),
+BiCordWifiAgent::BiCordWifiAgent(std::unique_ptr<GrantorMac> mac, Config config)
+    : mac_(std::move(mac)),
       config_(config),
-      engine_(mac.simulator(), kWifiTraits, config.allocator,
+      engine_(mac_->simulator(), *config.traits, config.allocator,
               config.grant_history_capacity),
-      csi_(mac.simulator(), config.csi),
+      csi_(mac_->simulator(), config.csi),
       detector_(config.detector) {
-  mac_.set_rx_hook([this](const phy::RxResult& rx) {
+  mac_->set_rx_hook([this](const phy::RxResult& rx) {
     if (offline_) return;  // coordination process dead; radio still decodes
     // Every decodable Wi-Fi frame contributes a CSI reading (the Intel 5300
     // extractor reports CSI for corrupt frames too, as long as the preamble
@@ -18,19 +20,21 @@ BiCordWifiAgent::BiCordWifiAgent(wifi::WifiMac& mac, Config config)
     // Shadow channel: a CTS from a co-located grantor tells a secondary how
     // long the band is protected without any extra signaling.
     if (election_ != nullptr && rx.success && rx.frame.kind == phy::FrameKind::Cts &&
-        rx.frame.src != mac_.node()) {
+        rx.frame.src != mac_->node()) {
       election_->on_grant_shadowed(member_, rx.end, rx.frame.nav);
     }
   });
   csi_.set_sample_callback([this](const csi::CsiSample& s) { detector_.add_sample(s); });
   detector_.set_detection_callback([this](TimePoint t) { on_detection(t); });
-  mac_.set_pause_end_callback([this](TimePoint t) { engine_.on_resume(t); });
+  if (!config_.traits->lease_based) {
+    mac_->set_resume_callback([this](TimePoint t) { engine_.on_resume(t); });
+  }
 }
 
 void BiCordWifiAgent::join_election(GrantorElection& election, double metric_dbm) {
   election_ = &election;
   member_ = election.add_member(
-      mac_.node(), metric_dbm, [this](TimePoint t) { on_detection(t); },
+      mac_->node(), metric_dbm, [this](TimePoint t) { on_detection(t); },
       [this] { return !offline_; });
   engine_.set_election(&election, member_);
 }
@@ -40,16 +44,22 @@ void BiCordWifiAgent::on_detection(TimePoint t) {
   const auto grant = engine_.on_request(t);
   if (!grant.has_value()) return;  // absorbed into the running grant, or refused
 
+  const Duration nav = *grant + config_.grant_margin;
+  if (config_.traits->lease_based) {
+    // Clock-bounded lease: a frequency-agile requester cannot be assumed to
+    // observe the protection end, so the resume notification is ignored and
+    // the lease timer alone closes the round (no watchdog needed).
+    engine_.begin_lease(t, nav);
+    mac_->protect(nav);
+    engine_.arm_lease_expiry();
+    return;
+  }
   engine_.begin_grant(t);
-  wifi::WifiMac::SendRequest cts;
-  cts.dst = phy::kBroadcastNode;
-  cts.kind = phy::FrameKind::Cts;
-  cts.nav = *grant + config_.grant_margin;
-  mac_.enqueue_front(cts);
+  mac_->protect(nav);
   // The pause-end notification normally clears the grant when the NAV
   // elapses; if it never arrives (lost CTS, swallowed resume interrupt) the
   // watchdog guarantees the grant cannot stay outstanding forever.
-  engine_.arm_watchdog(t + cts.nav + config_.watchdog_slack);
+  engine_.arm_watchdog(t + nav + config_.watchdog_slack);
 }
 
 }  // namespace bicord::core

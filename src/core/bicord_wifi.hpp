@@ -11,17 +11,25 @@
 // NAV silences every Wi-Fi transmitter in range (the MAC self-pauses for the
 // same period). After resuming, 20 ms without a further detection marks the
 // end of the ZigBee burst and feeds the allocator's estimator.
+//
+// The grant-ending path follows the configured TechnologyTraits: flag-based
+// grants (kWifiTraits) wait for the MAC's resume notification with the
+// watchdog as backstop; lease-based traits (kTschTraits — a channel-hopping
+// requester cannot be assumed to see the protection end) run the clock-
+// bounded lease path instead, so the grant closes on the lease timer no
+// matter what the requester's hop schedule does meanwhile.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "core/coordination_engine.hpp"
+#include "core/ports.hpp"
 #include "core/technology_traits.hpp"
 #include "core/whitespace.hpp"
 #include "sim/simulator.hpp"
 #include "csi/csi_detector.hpp"
 #include "csi/csi_model.hpp"
-#include "wifi/wifi_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 
@@ -31,11 +39,15 @@ class BiCordWifiAgent {
     AllocatorParams allocator;
     csi::CsiModelParams csi;
     csi::DetectorParams detector;
+    /// Grant-path selection (flag/watchdog vs clock-bounded lease) and log
+    /// tag. Must outlive the agent (the k*Traits globals do).
+    const TechnologyTraits* traits = &kWifiTraits;
     /// Extra reservation to cover the CTS airtime + turnaround.
     Duration grant_margin = kWifiTraits.grant_margin;
     /// Stale-grant watchdog: if the pause-end notification has not arrived
     /// this long after the granted NAV should have elapsed, the agent assumes
     /// the grant was lost (corrupted CTS, wedged MAC) and force-clears it.
+    /// Flag-based traits only; lease-based grants expire on their own clock.
     Duration watchdog_slack = kWifiTraits.watchdog_slack;
     /// Most recent grants retained by grant_history() (all-time stats are
     /// kept regardless).
@@ -52,7 +64,8 @@ class BiCordWifiAgent {
   /// Fault hook: perturb a relative timer delay (clock jitter).
   using TimerJitter = CoordinationEngine::TimerJitter;
 
-  BiCordWifiAgent(wifi::WifiMac& mac, Config config);
+  /// Takes ownership of the grantor port (see wifi::grantor_port).
+  BiCordWifiAgent(std::unique_ptr<GrantorMac> mac, Config config);
 
   BiCordWifiAgent(const BiCordWifiAgent&) = delete;
   BiCordWifiAgent& operator=(const BiCordWifiAgent&) = delete;
@@ -117,7 +130,7 @@ class BiCordWifiAgent {
  private:
   void on_detection(TimePoint t);
 
-  wifi::WifiMac& mac_;
+  std::unique_ptr<GrantorMac> mac_;
   Config config_;
   CoordinationEngine engine_;
   csi::CsiStream csi_;

@@ -14,12 +14,12 @@ RequesterEngine::Config engine_config(const BiCordZigbeeAgent::Config& config) {
 }
 }  // namespace
 
-BiCordZigbeeAgent::BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
-                                     Config config)
-    : ZigbeeAgentBase(mac, receiver),
+BiCordZigbeeAgent::BiCordZigbeeAgent(std::unique_ptr<RequesterMac> mac,
+                                     phy::NodeId receiver, Config config)
+    : ZigbeeAgentBase(std::move(mac), receiver),
       config_(config),
-      engine_(mac, engine_config(config)),
-      sampler_(mac.medium(), mac.node(), mac.radio().band()) {
+      engine_(*mac_, engine_config(config)),
+      sampler_(mac_->medium(), mac_->node(), mac_->band()) {
   max_attempts_ = 50;  // reliability first: BiCord keeps requesting channel
   engine_.set_pre_send([this] {
     if (meter_ != nullptr) meter_->set_tx_power_dbm(signaling_power_dbm_);
@@ -71,7 +71,7 @@ void BiCordZigbeeAgent::acquire() {
   if (!config_.use_cti_detection || classifier_ == nullptr || !classifier_->trained()) {
     // Detection disabled: optimistically try the channel once; failures fall
     // back to signaling via on_head_outcome.
-    if (!mac_.channel_busy()) {
+    if (!mac_->channel_busy()) {
       state_ = State::Draining;
       pump_head(config_.data_power_dbm);
     } else {
@@ -154,7 +154,7 @@ void BiCordZigbeeAgent::signal_step() {
 
 void BiCordZigbeeAgent::gap_poll(int polls, int idle_streak, int busy_streak) {
   if (state_ != State::Signaling || pumping()) return;
-  if (mac_.channel_busy()) {
+  if (mac_->channel_busy()) {
     idle_streak = 0;
     ++busy_streak;
   } else {
@@ -182,7 +182,7 @@ void BiCordZigbeeAgent::gap_poll(int polls, int idle_streak, int busy_streak) {
   });
 }
 
-void BiCordZigbeeAgent::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+void BiCordZigbeeAgent::on_head_outcome(const DataOutcome& outcome) {
   if (state_ == State::CsmaFallback) {
     // Plain CSMA during the fallback window: a delivery is not a grant, so
     // only the base accounting (and its kick) applies.

@@ -23,14 +23,15 @@
 // machine and the Wi-Fi-specific CTI detection / identification steps.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/coordination_engine.hpp"
+#include "core/ports.hpp"
 #include "core/protocol_params.hpp"
 #include "core/zigbee_agent.hpp"
 #include "detect/classifier.hpp"
 #include "detect/rssi_sampler.hpp"
-#include "zigbee/energy.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 
@@ -69,7 +70,9 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   /// Fault hook: perturb a relative timer delay (clock jitter).
   using TimerJitter = RequesterEngine::TimerJitter;
 
-  BiCordZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
+  /// Takes ownership of the requester port (see zigbee::requester_port).
+  BiCordZigbeeAgent(std::unique_ptr<RequesterMac> mac, phy::NodeId receiver,
+                    Config config);
 
   /// Optional trained CTI pipeline (scenario-owned; may outlive runs).
   void set_classifier(const detect::InterferenceClassifier* classifier) {
@@ -79,7 +82,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
     identifier_ = identifier;
   }
   void set_power_map(detect::PowerMap map) { power_map_ = std::move(map); }
-  void set_energy_meter(zigbee::EnergyMeter* meter) { meter_ = meter; }
+  void set_energy_meter(EnergyProbe* meter) { meter_ = meter; }
   void set_timer_jitter(TimerJitter jitter) {
     engine_.set_timer_jitter(std::move(jitter));
   }
@@ -103,7 +106,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
 
  protected:
   void kick() override;
-  void on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) override;
+  void on_head_outcome(const DataOutcome& outcome) override;
 
  private:
   void acquire();
@@ -124,7 +127,7 @@ class BiCordZigbeeAgent final : public ZigbeeAgentBase {
   const detect::DeviceIdentifier* identifier_ = nullptr;
   detect::PowerMap power_map_;
   detect::RssiSampler sampler_;
-  zigbee::EnergyMeter* meter_ = nullptr;
+  EnergyProbe* meter_ = nullptr;
 
   double signaling_power_dbm_ = 0.0;
   TimePoint csma_deadline_;  ///< end of the current CSMA fallback window

@@ -148,7 +148,7 @@ void CoordinationEngine::end_of_burst_check(TimePoint resume_time) {
   });
 }
 
-RequesterEngine::RequesterEngine(zigbee::ZigbeeMac& mac, Config config)
+RequesterEngine::RequesterEngine(RequesterMac& mac, Config config)
     : mac_(mac),
       sim_(mac.medium().simulator()),
       config_(config),
@@ -191,15 +191,10 @@ bool RequesterEngine::round_exhausted() const {
 void RequesterEngine::send_control(double power_dbm, std::function<void()> done) {
   ++controls_this_round_;
   ++control_packets_;
-  mac_.radio().wake();  // duty-cycled radios sleep between bursts
+  mac_.wake_radio();  // duty-cycled radios sleep between bursts
   if (pre_send_) pre_send_();
-
-  zigbee::ZigbeeMac::SendRequest control;
-  control.dst = phy::kBroadcastNode;
-  control.payload_bytes = config_.signaling.control_payload_bytes;
-  control.kind = phy::FrameKind::Control;
-  control.power_dbm_override = power_dbm;
-  mac_.send_raw(control, std::move(done));
+  mac_.send_control(config_.signaling.control_payload_bytes, power_dbm,
+                    std::move(done));
 }
 
 RequesterEngine::IgnoredOutcome RequesterEngine::round_ignored() {

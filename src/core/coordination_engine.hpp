@@ -27,12 +27,12 @@
 
 #include "core/grant_history.hpp"
 #include "core/grantor_election.hpp"
+#include "core/ports.hpp"
 #include "core/protocol_params.hpp"
 #include "core/technology_traits.hpp"
 #include "core/whitespace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
-#include "zigbee/zigbee_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 
@@ -176,7 +176,9 @@ class RequesterEngine {
   /// Fault hook: perturb a relative timer delay (clock jitter).
   using TimerJitter = std::function<Duration(Duration)>;
 
-  RequesterEngine(zigbee::ZigbeeMac& mac, Config config);
+  /// `mac` is the requester-side port; the owning agent keeps it alive for
+  /// the engine's whole lifetime.
+  RequesterEngine(RequesterMac& mac, Config config);
   ~RequesterEngine();
 
   RequesterEngine(const RequesterEngine&) = delete;
@@ -221,7 +223,7 @@ class RequesterEngine {
  private:
   [[nodiscard]] Duration jittered(Duration d);
 
-  zigbee::ZigbeeMac& mac_;
+  RequesterMac& mac_;
   sim::Simulator& sim_;
   Config config_;
   Rng rng_;  ///< jitter draws only; split off a dedicated stream

@@ -1,29 +1,27 @@
 #include "core/ecc.hpp"
 
+#include <utility>
+
 #include "phy/spectrum.hpp"
 
 namespace bicord::core {
 
-EccWifiAgent::EccWifiAgent(wifi::WifiMac& mac, Config config)
-    : mac_(mac),
-      sim_(mac.simulator()),
+EccWifiAgent::EccWifiAgent(std::unique_ptr<GrantorMac> mac, Config config)
+    : mac_(std::move(mac)),
+      sim_(mac_->simulator()),
       config_(config),
-      task_(mac.simulator(), config.period, [this] { tick(); }) {}
+      task_(mac_->simulator(), config.period, [this] { tick(); }) {}
 
 void EccWifiAgent::start() { task_.start(); }
 
 void EccWifiAgent::stop() { task_.stop(); }
 
 void EccWifiAgent::tick() {
-  if (mac_.paused()) return;  // previous reservation still running
+  if (mac_->reservation_active()) return;  // previous reservation still running
 
   // Reserve the medium for the notification plus the blind white space.
   const Duration lead = Duration::from_us(1500);
-  wifi::WifiMac::SendRequest cts;
-  cts.dst = phy::kBroadcastNode;
-  cts.kind = phy::FrameKind::Cts;
-  cts.nav = lead + config_.emulation_airtime + config_.whitespace;
-  mac_.enqueue_front(cts);
+  mac_->protect(lead + config_.emulation_airtime + config_.whitespace);
   ++notifications_;
 
   // Emit the emulated ZigBee notification once the CTS has (very likely)
@@ -34,21 +32,21 @@ void EccWifiAgent::tick() {
     phy::Frame notify;
     notify.tech = phy::Technology::ZigBee;
     notify.kind = phy::FrameKind::Notify;
-    notify.src = mac_.node();
+    notify.src = mac_->node();
     notify.dst = phy::kBroadcastNode;
     notify.bytes = 30;
     notify.nav = config_.whitespace;
-    mac_.medium().begin_tx(notify, phy::zigbee_channel(config_.zigbee_channel),
-                           config_.emulation_power_dbm, config_.emulation_airtime);
+    mac_->medium().begin_tx(notify, phy::zigbee_channel(config_.zigbee_channel),
+                            config_.emulation_power_dbm, config_.emulation_airtime);
   });
 }
 
-EccZigbeeAgent::EccZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
-                               Config config)
-    : ZigbeeAgentBase(mac, receiver),
+EccZigbeeAgent::EccZigbeeAgent(std::unique_ptr<RequesterMac> mac,
+                               phy::NodeId receiver, Config config)
+    : ZigbeeAgentBase(std::move(mac), receiver),
       config_(config),
-      rng_(mac.simulator().rng().split()) {
-  mac_.set_rx_hook([this](const phy::RxResult& rx) {
+      rng_(mac_->simulator().rng().split()) {
+  mac_->set_rx_hook([this](const phy::RxResult& rx) {
     if (!rx.success || rx.frame.kind != phy::FrameKind::Notify) return;
     if (!rng_.bernoulli(config_.ctc_fidelity)) return;  // emulation glitch
     ++heard_;
@@ -62,18 +60,16 @@ void EccZigbeeAgent::kick() {
   if (queue_empty() || pumping()) return;
   // Only transmit when the rest of the advertised white space still fits
   // one packet exchange; otherwise wait for the next notification.
-  const Duration budget = mac_.config().timings.data_airtime(head()->payload_bytes) +
-                          mac_.config().timings.turnaround +
-                          mac_.config().timings.ack_airtime() +
+  const Duration budget = mac_->data_exchange_airtime(head()->payload_bytes) +
                           config_.packet_budget_slack;
   if (sim_.now() + budget <= window_until_) {
     pump_head(config_.data_power_dbm);
   }
 }
 
-CsmaZigbeeAgent::CsmaZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver,
-                                 double data_power_dbm)
-    : ZigbeeAgentBase(mac, receiver), data_power_dbm_(data_power_dbm) {}
+CsmaZigbeeAgent::CsmaZigbeeAgent(std::unique_ptr<RequesterMac> mac,
+                                 phy::NodeId receiver, double data_power_dbm)
+    : ZigbeeAgentBase(std::move(mac), receiver), data_power_dbm_(data_power_dbm) {}
 
 void CsmaZigbeeAgent::kick() { pump_head(data_power_dbm_); }
 

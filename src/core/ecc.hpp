@@ -10,12 +10,13 @@
 // unneeded reservations — exactly the inefficiency BiCord removes.
 
 #include <cstdint>
+#include <memory>
 
+#include "core/ports.hpp"
 #include "core/zigbee_agent.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
-#include "wifi/wifi_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
-#include "zigbee/zigbee_phy.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
+#include "util/rng.hpp"
 
 namespace bicord::core {
 
@@ -33,7 +34,8 @@ class EccWifiAgent {
     Duration emulation_airtime = Duration::from_us(1200);
   };
 
-  EccWifiAgent(wifi::WifiMac& mac, Config config);
+  /// Takes ownership of the grantor port (see wifi::grantor_port).
+  EccWifiAgent(std::unique_ptr<GrantorMac> mac, Config config);
 
   void start();
   void stop();
@@ -43,7 +45,7 @@ class EccWifiAgent {
  private:
   void tick();
 
-  wifi::WifiMac& mac_;
+  std::unique_ptr<GrantorMac> mac_;
   sim::Simulator& sim_;
   Config config_;
   sim::PeriodicTask task_;
@@ -62,7 +64,8 @@ class EccZigbeeAgent final : public ZigbeeAgentBase {
     Duration packet_budget_slack = Duration::from_ms(2);
   };
 
-  EccZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, Config config);
+  EccZigbeeAgent(std::unique_ptr<RequesterMac> mac, phy::NodeId receiver,
+                 Config config);
 
   [[nodiscard]] std::uint64_t notifications_heard() const { return heard_; }
   [[nodiscard]] TimePoint window_until() const { return window_until_; }
@@ -81,7 +84,8 @@ class EccZigbeeAgent final : public ZigbeeAgentBase {
 /// "gauging channel availability is not enough" baseline.
 class CsmaZigbeeAgent final : public ZigbeeAgentBase {
  public:
-  CsmaZigbeeAgent(zigbee::ZigbeeMac& mac, phy::NodeId receiver, double data_power_dbm);
+  CsmaZigbeeAgent(std::unique_ptr<RequesterMac> mac, phy::NodeId receiver,
+                  double data_power_dbm);
 
  protected:
   void kick() override;

@@ -1,0 +1,122 @@
+#pragma once
+// The TechnologyTraits seam, made structural (paper Sec. V, VII-D).
+//
+// The coordination engines and the shared agent machinery never name a
+// concrete MAC. Everything they need from a radio stack fits two narrow
+// interfaces owned by this layer:
+//
+//   * RequesterMac — what a requester-side agent consumes: raw control
+//     emission (no CCA, deliberately overlapping the interferer), data
+//     pumping with per-packet outcomes, channel energy reads, and the
+//     identity/clock plumbing the engines derive their RNG streams from.
+//   * GrantorMac — what a grantor-side agent consumes: a protection
+//     primitive (reserve the band for a NAV), the reservation state, the
+//     resume notification, and the raw receive tap the detection chains
+//     feed on.
+//
+// wifi/, zigbee/, and ble/ supply the adapters (wifi::grantor_port,
+// zigbee::requester_port); core/ owns the interfaces so the dependency
+// points strictly downward — the `layering` lint rule enforces that core
+// has no wifi/zigbee/ble include, direct or transitive, with an empty
+// baseline.
+//
+// Determinism contract: adapters must forward calls 1:1 without scheduling
+// events or drawing RNG of their own — the golden determinism suite pins
+// scenario output bitwise across this seam.
+
+#include <cstdint>
+#include <functional>
+
+#include "phy/frame.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "phy/spectrum.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace bicord::core {
+
+/// Result of one completed data-packet attempt (the adapter filters MAC
+/// callbacks down to data frames before translating).
+struct DataOutcome {
+  bool delivered = false;   ///< ACKed by the receiver
+  TimePoint completed;      ///< time the MAC attempt finished
+};
+
+/// Sentinel: "use the MAC's configured default transmit power".
+inline constexpr double kNoPowerOverride = -1000.0;
+
+/// Requester-side MAC surface. One agent owns one port; callbacks are
+/// single-slot (set once, before first use).
+class RequesterMac {
+ public:
+  virtual ~RequesterMac() = default;
+
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+  [[nodiscard]] virtual phy::Medium& medium() = 0;
+  [[nodiscard]] virtual phy::NodeId node() const = 0;
+  /// Band the data radio is currently tuned to.
+  [[nodiscard]] virtual phy::Band band() const = 0;
+
+  /// Wakes the duty-cycled radio (no-op when already awake). Kept separate
+  /// from the send calls so the wake -> pre-send -> send event order of the
+  /// pre-seam agents is preserved exactly.
+  virtual void wake_radio() = 0;
+  /// True while the radio itself is mid-transmission (raw sends would throw).
+  [[nodiscard]] virtual bool radio_transmitting() const = 0;
+  /// One CCA energy read at the current instant.
+  [[nodiscard]] virtual bool channel_busy() = 0;
+
+  /// Delivery outcomes for data packets sent via send_data() (MAC retries
+  /// folded into one outcome per attempt).
+  virtual void set_data_outcome_callback(std::function<void(const DataOutcome&)> cb) = 0;
+  /// Queues one data packet through the normal (CSMA) MAC path.
+  virtual void send_data(phy::NodeId dst, std::uint32_t payload_bytes,
+                         double power_dbm_override) = 0;
+  /// Emits one raw broadcast control packet — no CCA, no ACK — at
+  /// `power_dbm`; `done` runs when the transmission completes.
+  virtual void send_control(std::uint32_t payload_bytes, double power_dbm,
+                            std::function<void()> done) = 0;
+  /// Airtime of one full data exchange (data frame + turnaround + ACK) for
+  /// `payload_bytes` of payload — the fits-in-window budget, slack excluded.
+  [[nodiscard]] virtual Duration data_exchange_airtime(std::uint32_t payload_bytes) const = 0;
+  /// Raw receive tap: every frame the radio locked onto (CTC notification
+  /// listeners live here).
+  virtual void set_rx_hook(std::function<void(const phy::RxResult&)> hook) = 0;
+};
+
+/// Grantor-side MAC surface.
+class GrantorMac {
+ public:
+  virtual ~GrantorMac() = default;
+
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+  [[nodiscard]] virtual phy::Medium& medium() = 0;
+  [[nodiscard]] virtual phy::NodeId node() const = 0;
+
+  /// Reserves the band for `nav` ahead of any queued traffic (Wi-Fi: a CTS
+  /// whose NAV silences every transmitter in range, the MAC self-pauses).
+  virtual void protect(Duration nav) = 0;
+  /// True while a protection issued via protect() is queued or running.
+  [[nodiscard]] virtual bool reservation_active() const = 0;
+  /// Fires when the reservation ends (Wi-Fi: the pause-end notification) —
+  /// the flag-based grant path's resume signal.
+  virtual void set_resume_callback(std::function<void(TimePoint)> cb) = 0;
+  /// Raw receive tap: every frame the radio locked onto, corrupt frames
+  /// included (the CSI chain wants those too).
+  virtual void set_rx_hook(std::function<void(const phy::RxResult&)> hook) = 0;
+};
+
+/// Energy-accounting surface a requester agent reports into (the CC2420
+/// meter in zigbee/ implements this).
+class EnergyProbe {
+ public:
+  virtual ~EnergyProbe() = default;
+
+  /// The PA setting used for subsequent transmissions.
+  virtual void set_tx_power_dbm(double dbm) = 0;
+  /// Credits extra receive-mode time not visible through radio states.
+  virtual void add_listen(Duration d) = 0;
+};
+
+}  // namespace bicord::core

@@ -44,4 +44,20 @@ inline constexpr TechnologyTraits kWifiTraits{
 inline constexpr TechnologyTraits kBleTraits{
     "ble", "bicord.ble", Duration::from_ms(2), Duration::zero(), true};
 
+/// LTE-U eNB grantor: grants are duty-cycle suppressions. The eNB cannot
+/// tell the requester when the suppression ends (it has no decodable
+/// downlink to a ZigBee node), so the grant is a clock-bounded lease; the
+/// margin covers the worst-case remainder of an ON burst already on the air
+/// when the grant is issued.
+inline constexpr TechnologyTraits kLteUTraits{
+    "lteu", "bicord.lteu", Duration::from_ms(2), Duration::zero(), true};
+
+/// 802.15.4e TSCH requester under a Wi-Fi grantor: the requester hops
+/// channels on its own slotframe clock and cannot be assumed to observe the
+/// protection end on whatever channel it has retuned to, so the grantor
+/// runs the clock-bounded lease path. The margin covers CTS airtime plus a
+/// hop-boundary retune.
+inline constexpr TechnologyTraits kTschTraits{
+    "tsch", "bicord.tsch", Duration::from_ms(1), Duration::zero(), true};
+
 }  // namespace bicord::core

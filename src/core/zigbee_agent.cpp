@@ -1,11 +1,13 @@
 #include "core/zigbee_agent.hpp"
 
+#include <utility>
+
 namespace bicord::core {
 
-ZigbeeAgentBase::ZigbeeAgentBase(zigbee::ZigbeeMac& mac, phy::NodeId receiver)
-    : mac_(mac), sim_(mac.simulator()), receiver_(receiver) {
-  mac_.set_sent_callback([this](const zigbee::ZigbeeMac::SendOutcome& outcome) {
-    if (outcome.frame.kind != phy::FrameKind::Data) return;
+ZigbeeAgentBase::ZigbeeAgentBase(std::unique_ptr<RequesterMac> mac,
+                                 phy::NodeId receiver)
+    : mac_(std::move(mac)), sim_(mac_->simulator()), receiver_(receiver) {
+  mac_->set_data_outcome_callback([this](const DataOutcome& outcome) {
     pumping_ = false;
     on_head_outcome(outcome);
   });
@@ -22,17 +24,12 @@ void ZigbeeAgentBase::submit_burst(int count, std::uint32_t payload_bytes) {
 
 void ZigbeeAgentBase::pump_head(double power_dbm_override) {
   if (pumping_ || queue_.empty()) return;
-  mac_.radio().wake();  // no-op unless a duty cycler put the radio to sleep
+  mac_->wake_radio();  // no-op unless a duty cycler put the radio to sleep
   pumping_ = true;
-  zigbee::ZigbeeMac::SendRequest req;
-  req.dst = receiver_;
-  req.payload_bytes = queue_.front().payload_bytes;
-  req.kind = phy::FrameKind::Data;
-  req.power_dbm_override = power_dbm_override;
-  mac_.enqueue(req);
+  mac_->send_data(receiver_, queue_.front().payload_bytes, power_dbm_override);
 }
 
-void ZigbeeAgentBase::on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome) {
+void ZigbeeAgentBase::on_head_outcome(const DataOutcome& outcome) {
   if (queue_.empty()) return;  // defensive: stray outcome
   Pending& head = queue_.front();
   if (outcome.delivered) {

@@ -1,22 +1,26 @@
 #pragma once
-// Common machinery for ZigBee-side coordination agents.
+// Common machinery for requester-side coordination agents.
 //
 // Every scheme evaluated in the paper (BiCord, ECC, plain CSMA) drives the
 // same sender workload: bursts of data packets arrive, are queued, and must
-// reach the ZigBee receiver reliably (every packet ACKed). The base class
-// owns the queue, per-packet delay/throughput accounting, and the MAC
-// pumping loop; subclasses decide *when* the channel may be used.
+// reach the receiver reliably (every packet ACKed). The base class owns the
+// queue, per-packet delay/throughput accounting, and the MAC pumping loop;
+// subclasses decide *when* the channel may be used. The MAC itself is only
+// reachable through the core::RequesterMac port — the base never names a
+// concrete radio stack.
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
+#include "core/ports.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
-#include "zigbee/zigbee_mac.hpp"  // bicord-lint: allow(layering) — legacy pre-TechnologyTraits include, grandfathered (ISSUE 9); new techs go through the traits seam.
 
 namespace bicord::core {
 
-/// Delivery statistics for a ZigBee sender under a coordination scheme.
+/// Delivery statistics for a requester-side sender under a coordination
+/// scheme.
 struct ZigbeeLinkStats {
   Samples delay_ms;             ///< burst arrival -> ACK, per packet
   std::uint64_t generated = 0;
@@ -32,7 +36,8 @@ struct ZigbeeLinkStats {
 
 class ZigbeeAgentBase {
  public:
-  ZigbeeAgentBase(zigbee::ZigbeeMac& mac, phy::NodeId receiver);
+  /// Takes ownership of the requester port (see zigbee::requester_port).
+  ZigbeeAgentBase(std::unique_ptr<RequesterMac> mac, phy::NodeId receiver);
   virtual ~ZigbeeAgentBase() = default;
 
   ZigbeeAgentBase(const ZigbeeAgentBase&) = delete;
@@ -44,7 +49,7 @@ class ZigbeeAgentBase {
 
   [[nodiscard]] const ZigbeeLinkStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
-  [[nodiscard]] zigbee::ZigbeeMac& mac() { return mac_; }
+  [[nodiscard]] RequesterMac& port() { return *mac_; }
 
  protected:
   struct Pending {
@@ -59,7 +64,7 @@ class ZigbeeAgentBase {
 
   /// Sends the head-of-queue packet through the MAC; exactly one in flight.
   /// Safe to call when idle — no-ops if empty or already pumping.
-  void pump_head(double power_dbm_override = zigbee::ZigbeeMac::kNoOverride);
+  void pump_head(double power_dbm_override = kNoPowerOverride);
   [[nodiscard]] bool pumping() const { return pumping_; }
   [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
   [[nodiscard]] const Pending* head() const { return queue_.empty() ? nullptr : &queue_.front(); }
@@ -68,9 +73,9 @@ class ZigbeeAgentBase {
   /// Called on every completed MAC attempt for the head packet. Default:
   /// success -> account + pop + kick; failure -> bump attempts (drop after
   /// `max_attempts_`) + kick.
-  virtual void on_head_outcome(const zigbee::ZigbeeMac::SendOutcome& outcome);
+  virtual void on_head_outcome(const DataOutcome& outcome);
 
-  zigbee::ZigbeeMac& mac_;
+  std::unique_ptr<RequesterMac> mac_;
   sim::Simulator& sim_;
   phy::NodeId receiver_;
   ZigbeeLinkStats stats_;

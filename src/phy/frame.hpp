@@ -6,13 +6,15 @@
 // frame *existence* and energy, never on payload bits — exactly the premise
 // of BiCord's one-bit signaling.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/time.hpp"
 
 namespace bicord::phy {
 
-enum class Technology : std::uint8_t { WiFi, ZigBee, Bluetooth, Microwave };
+enum class Technology : std::uint8_t { WiFi, ZigBee, Bluetooth, Microwave, LteU };
+inline constexpr std::size_t kTechnologyCount = 5;
 
 [[nodiscard]] constexpr const char* to_string(Technology t) {
   switch (t) {
@@ -20,6 +22,7 @@ enum class Technology : std::uint8_t { WiFi, ZigBee, Bluetooth, Microwave };
     case Technology::ZigBee: return "ZigBee";
     case Technology::Bluetooth: return "Bluetooth";
     case Technology::Microwave: return "Microwave";
+    case Technology::LteU: return "LTE-U";
   }
   return "?";
 }

@@ -416,7 +416,7 @@ class Medium {
   TxInterceptor* interceptor_ = nullptr;
   /// Airtime accumulators are dense (small enum / dense node ids): begin_tx
   /// bumps two of them per transmission, so no hashing on that path.
-  std::array<Duration, 4> airtime_{};   ///< indexed by Technology
+  std::array<Duration, kTechnologyCount> airtime_{};  ///< indexed by Technology
   std::vector<Duration> node_airtime_;  ///< indexed by NodeId
   mutable std::vector<LossCacheEntry> loss_cache_;
   mutable std::vector<std::pair<Band, double>> noise_mw_memo_;

@@ -88,6 +88,13 @@ class Radio final : public MediumListener {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] Band band() const { return config_.band; }
   void set_band(Band band);
+  /// Frequency-agility variant of set_band for hopping radios (TSCH slot
+  /// boundaries): legal in any state. An in-progress reception is lost —
+  /// the slot-boundary truncation a real hopping receiver suffers (counted
+  /// in receptions_truncated()). An in-progress transmission keeps its
+  /// original band on the medium (the carrier is already on the air); only
+  /// the receive front end moves.
+  void retune(Band band);
 
   void set_rx_callback(RxCallback cb) { rx_cb_ = std::move(cb); }
   void set_state_callback(StateCallback cb) { state_cb_ = std::move(cb); }
@@ -135,6 +142,10 @@ class Radio final : public MediumListener {
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  /// Receptions cut short by a retune() while locked onto a frame.
+  [[nodiscard]] std::uint64_t receptions_truncated() const {
+    return receptions_truncated_;
+  }
 
  private:
   /// One foreign transmission currently on the air, with its received power
@@ -170,6 +181,9 @@ class Radio final : public MediumListener {
   };
 
   void enter(RadioState next);
+  /// Shared tail of set_band/retune: swap the band and recompute every
+  /// tracked entry (and the noise floor) against it.
+  void apply_band(Band band);
   /// Builds the tracked-power entry for `tx` against the radio's current
   /// band, applying `fading_db` and the narrowband discount. Shared by
   /// on_tx_start and the set_band recompute.
@@ -207,6 +221,7 @@ class Radio final : public MediumListener {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t receptions_truncated_ = 0;
 };
 
 }  // namespace bicord::phy

@@ -73,6 +73,7 @@ char glyph_for(Technology tech, FrameKind kind) {
     }
   }
   if (tech == Technology::Bluetooth) return 'B';
+  if (tech == Technology::LteU) return 'L';
   return 'M';  // microwave / other noise
 }
 

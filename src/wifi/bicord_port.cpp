@@ -1,0 +1,45 @@
+#include "wifi/bicord_port.hpp"
+
+#include <utility>
+
+namespace bicord::wifi {
+
+namespace {
+
+class GrantorPort final : public core::GrantorMac {
+ public:
+  explicit GrantorPort(WifiMac& mac) : mac_(mac) {}
+
+  sim::Simulator& simulator() override { return mac_.simulator(); }
+  phy::Medium& medium() override { return mac_.medium(); }
+  phy::NodeId node() const override { return mac_.node(); }
+
+  void protect(Duration nav) override {
+    WifiMac::SendRequest cts;
+    cts.dst = phy::kBroadcastNode;
+    cts.kind = phy::FrameKind::Cts;
+    cts.nav = nav;
+    mac_.enqueue_front(cts);
+  }
+
+  bool reservation_active() const override { return mac_.paused(); }
+
+  void set_resume_callback(std::function<void(TimePoint)> cb) override {
+    mac_.set_pause_end_callback(std::move(cb));
+  }
+
+  void set_rx_hook(std::function<void(const phy::RxResult&)> hook) override {
+    mac_.set_rx_hook(std::move(hook));
+  }
+
+ private:
+  WifiMac& mac_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::GrantorMac> grantor_port(WifiMac& mac) {
+  return std::make_unique<GrantorPort>(mac);
+}
+
+}  // namespace bicord::wifi

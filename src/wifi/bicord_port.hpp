@@ -1,0 +1,21 @@
+#pragma once
+// wifi-side adapter for the core::GrantorMac seam.
+//
+// A thin, stateless forwarding shim: every virtual maps 1:1 onto one WifiMac
+// call (protect() = a front-queued broadcast CTS whose NAV self-pauses the
+// MAC), so the adapter neither schedules events nor draws RNG — the golden
+// determinism suite pins scenario output bitwise across it.
+
+#include <memory>
+
+#include "core/ports.hpp"
+#include "wifi/wifi_mac.hpp"
+
+namespace bicord::wifi {
+
+/// Wraps `mac` as the grantor-side port consumed by core's agents. The MAC
+/// must outlive the returned port (the agents own the port, the scenario
+/// owns the MAC).
+[[nodiscard]] std::unique_ptr<core::GrantorMac> grantor_port(WifiMac& mac);
+
+}  // namespace bicord::wifi

@@ -1,0 +1,75 @@
+#include "zigbee/bicord_port.hpp"
+
+#include <utility>
+
+namespace bicord::zigbee {
+
+// The port-level sentinel must stay interchangeable with the MAC's: agents
+// pass core::kNoPowerOverride straight through send_data().
+static_assert(core::kNoPowerOverride == ZigbeeMac::kNoOverride);
+
+namespace {
+
+class RequesterPort final : public core::RequesterMac {
+ public:
+  explicit RequesterPort(ZigbeeMac& mac) : mac_(mac) {}
+
+  sim::Simulator& simulator() override { return mac_.simulator(); }
+  phy::Medium& medium() override { return mac_.medium(); }
+  phy::NodeId node() const override { return mac_.node(); }
+  phy::Band band() const override { return mac_.radio().band(); }
+
+  void wake_radio() override { mac_.radio().wake(); }
+  bool radio_transmitting() const override { return mac_.radio().transmitting(); }
+  bool channel_busy() override { return mac_.channel_busy(); }
+
+  void set_data_outcome_callback(
+      std::function<void(const core::DataOutcome&)> cb) override {
+    mac_.set_sent_callback(
+        [cb = std::move(cb)](const ZigbeeMac::SendOutcome& outcome) {
+          if (outcome.frame.kind != phy::FrameKind::Data) return;
+          cb(core::DataOutcome{outcome.delivered, outcome.completed});
+        });
+  }
+
+  void send_data(phy::NodeId dst, std::uint32_t payload_bytes,
+                 double power_dbm_override) override {
+    ZigbeeMac::SendRequest req;
+    req.dst = dst;
+    req.payload_bytes = payload_bytes;
+    req.kind = phy::FrameKind::Data;
+    req.power_dbm_override = power_dbm_override;
+    mac_.enqueue(req);
+  }
+
+  void send_control(std::uint32_t payload_bytes, double power_dbm,
+                    std::function<void()> done) override {
+    ZigbeeMac::SendRequest control;
+    control.dst = phy::kBroadcastNode;
+    control.payload_bytes = payload_bytes;
+    control.kind = phy::FrameKind::Control;
+    control.power_dbm_override = power_dbm;
+    mac_.send_raw(control, std::move(done));
+  }
+
+  Duration data_exchange_airtime(std::uint32_t payload_bytes) const override {
+    const auto& timings = mac_.config().timings;
+    return timings.data_airtime(payload_bytes) + timings.turnaround +
+           timings.ack_airtime();
+  }
+
+  void set_rx_hook(std::function<void(const phy::RxResult&)> hook) override {
+    mac_.set_rx_hook(std::move(hook));
+  }
+
+ private:
+  ZigbeeMac& mac_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::RequesterMac> requester_port(ZigbeeMac& mac) {
+  return std::make_unique<RequesterPort>(mac);
+}
+
+}  // namespace bicord::zigbee

@@ -1,0 +1,23 @@
+#pragma once
+// zigbee-side adapter for the core::RequesterMac seam.
+//
+// A thin forwarding shim: every virtual maps 1:1 onto one ZigbeeMac call.
+// The only logic it owns is the sent-callback filter (the port reports data
+// frames only — control packets complete through their send_control `done`
+// continuation), which is exactly the filter the pre-seam agent base
+// installed itself. No events scheduled, no RNG drawn — the golden
+// determinism suite pins scenario output bitwise across it.
+
+#include <memory>
+
+#include "core/ports.hpp"
+#include "zigbee/zigbee_mac.hpp"
+
+namespace bicord::zigbee {
+
+/// Wraps `mac` as the requester-side port consumed by core's agents. The MAC
+/// must outlive the returned port (the agents own the port, the scenario
+/// owns the MAC).
+[[nodiscard]] std::unique_ptr<core::RequesterMac> requester_port(ZigbeeMac& mac);
+
+}  // namespace bicord::zigbee

@@ -7,13 +7,16 @@
 
 #include <cstdint>
 
+#include "core/ports.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
 
 namespace bicord::zigbee {
 
-class EnergyMeter {
+/// Implements core::EnergyProbe so requester agents can report PA changes
+/// and listen time without naming this concrete meter.
+class EnergyMeter : public core::EnergyProbe {
  public:
   struct Currents {
     double tx_0dbm_ma = 17.4;   ///< PA at 0 dBm
@@ -31,11 +34,11 @@ class EnergyMeter {
   void attach(phy::Radio& radio);
 
   /// The PA setting used for subsequent transmissions (interpolates current).
-  void set_tx_power_dbm(double dbm) { tx_power_dbm_ = dbm; }
+  void set_tx_power_dbm(double dbm) override { tx_power_dbm_ = dbm; }
 
   /// Credits extra receive-mode time not visible through radio states
   /// (e.g. RSSI sampling keeps the RF front-end in RX).
-  void add_listen(Duration d);
+  void add_listen(Duration d) override;
 
   /// Total energy consumed so far, in millijoules.
   [[nodiscard]] double total_mj() const;

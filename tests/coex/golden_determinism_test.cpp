@@ -72,6 +72,20 @@ std::string coex_line(const std::string& name, Scenario& s) {
         << "/" << s.dense_ble_count() << " dense_wifi_del=" << s.dense_wifi_delivered()
         << " dense_zb_del=" << s.dense_zigbee_delivered();
   }
+  // Technology blocks only for the matching coordination mode, so every
+  // historical line stays byte-identical.
+  if (auto* g = s.lteu_grantor()) {
+    out << " lteu=" << g->requests_detected() << "/" << g->suppressions_granted()
+        << "/" << g->requests_ignored()
+        << " enb=" << s.lteu_device()->bursts_sent() << "/"
+        << s.lteu_device()->cycles_suppressed()
+        << " lease_ws=" << g->allocator().estimate().us() << "us";
+  }
+  if (auto* r = s.tsch_requester()) {
+    out << " tsch_agent=" << r->control_packets_sent() << "/"
+        << r->signaling_rounds() << "/" << r->ignored_requests() << "/"
+        << r->give_ups() << " hops=" << s.tsch_schedule()->hops();
+  }
   // Election block only for multi-grantor scenarios, so every historical
   // single-grantor line above stays byte-identical.
   if (const auto* e = s.election()) {
@@ -163,6 +177,20 @@ std::string golden_blob() {
   // clock-skew draws and the mid-run primary kill/rejoin.
   out << run_coex("multigrantor", spec_for("multigrantor"), 500_ms, 2500_ms) << "\n";
   out << run_coex("failover", spec_for("failover"), 500_ms, 4500_ms) << "\n";
+
+  // Traits-counter pinning across the remaining paper presets: after the
+  // port-seam inversion every legacy preset's wifi/zigbee agent counters are
+  // pinned bitwise, proving kWifiTraits behaviour came through untouched.
+  for (const char* preset : {"motivation", "table1", "fig7", "fig8", "fig9",
+                             "fig11", "fig12", "fig13"}) {
+    out << run_coex(preset, spec_for(preset), 500_ms, 1500_ms) << "\n";
+  }
+
+  // Third and fourth technologies, appended last: the LTE-U lease loop
+  // (energy-envelope requests, duty-cycle suppression) and the TSCH hopping
+  // requester under the clock-bounded kTschTraits grant path.
+  out << run_coex("lteu", spec_for("lteu"), 500_ms, 2500_ms) << "\n";
+  out << run_coex("tsch", spec_for("tsch"), 500_ms, 2500_ms) << "\n";
   return out.str();
 }
 
@@ -312,6 +340,46 @@ TEST(GoldenDeterminismTest, SimThreadsComposeWithJobsBitwiseIdentical) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].stats.mean(), b[i].stats.mean()) << a[i].name;
     EXPECT_EQ(a[i].stats.stddev(), b[i].stats.stddev()) << a[i].name;
+  }
+}
+
+TEST(GoldenDeterminismTest, TschSimThreadsOneVsEightBitwiseIdentical) {
+  using namespace bicord::time_literals;
+  // Frequency agility under sharded dispatch: the lockstep hop retunes and
+  // the lease-based grant path must land on identical events either way.
+  EXPECT_EQ(threads_line("tsch", 1, "", 500_ms, 1500_ms),
+            threads_line("tsch", 8, "", 500_ms, 1500_ms));
+}
+
+TEST(GoldenDeterminismTest, LteuSimThreadsOneVsEightBitwiseIdentical) {
+  using namespace bicord::time_literals;
+  // The eNB's raw wideband begin_tx (no radio behind it) rides the phased
+  // medium fan-out the same way the dense BLE interferers do.
+  EXPECT_EQ(threads_line("lteu", 1, "", 500_ms, 1500_ms),
+            threads_line("lteu", 8, "", 500_ms, 1500_ms));
+}
+
+TEST(GoldenDeterminismTest, TschJobsOneVsEightBitwiseIdentical) {
+  using namespace bicord::time_literals;
+  auto make = [] {
+    ExperimentRunner runner(ScenarioSpec::preset("tsch")->must_config(),
+                            500_ms, 1_sec);
+    runner.add_metric("util", metric_total_utilization());
+    runner.add_metric("delay", metric_zigbee_mean_delay_ms());
+    runner.add_metric("delivery", metric_zigbee_delivery());
+    return runner;
+  };
+  auto seq = make();
+  seq.set_jobs(1);
+  const auto a = seq.run(4);
+  auto par = make();
+  par.set_jobs(8);
+  const auto b = par.run(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.mean(), b[i].stats.mean()) << a[i].name;
+    EXPECT_EQ(a[i].stats.stddev(), b[i].stats.stddev()) << a[i].name;
+    EXPECT_EQ(a[i].stats.count(), b[i].stats.count()) << a[i].name;
   }
 }
 

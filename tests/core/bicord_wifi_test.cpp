@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "phy/tracer.hpp"
+#include "wifi/bicord_port.hpp"
 #include "wifi/traffic.hpp"
+#include "wifi/wifi_mac.hpp"
 
 namespace bicord::core {
 namespace {
@@ -53,7 +55,7 @@ struct BiCordWifiFixture : ::testing::Test {
 };
 
 TEST_F(BiCordWifiFixture, DetectionGrantsCtsAndPausesWifi) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   phy::MediumTracer tracer(medium);
   sim.run_for(20_ms);
   inject_request(agent, sim.now());
@@ -83,7 +85,7 @@ TEST_F(BiCordWifiFixture, DetectionGrantsCtsAndPausesWifi) {
 }
 
 TEST_F(BiCordWifiFixture, PolicyDeniesGrants) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   agent.set_policy([] { return false; });
   sim.run_for(20_ms);
   inject_request(agent, sim.now());
@@ -95,7 +97,7 @@ TEST_F(BiCordWifiFixture, PolicyDeniesGrants) {
 }
 
 TEST_F(BiCordWifiFixture, DuplicateRequestsDuringGrantAreAbsorbed) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   sim.run_for(20_ms);
   inject_request(agent, sim.now());
   sim.run_for(10_ms);  // inside the white space / pending grant
@@ -106,7 +108,7 @@ TEST_F(BiCordWifiFixture, DuplicateRequestsDuringGrantAreAbsorbed) {
 }
 
 TEST_F(BiCordWifiFixture, BurstEndFeedsAllocator) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   sim.run_for(20_ms);
   inject_request(agent, sim.now());
   // One grant (30 ms) elapses with no further requests: after the 20 ms
@@ -117,7 +119,7 @@ TEST_F(BiCordWifiFixture, BurstEndFeedsAllocator) {
 }
 
 TEST_F(BiCordWifiFixture, SecondBurstGetsAdjustedGrant) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   sim.run_for(20_ms);
   inject_request(agent, sim.now());
   sim.run_for(100_ms);  // burst 1 over, adjusted
@@ -128,7 +130,7 @@ TEST_F(BiCordWifiFixture, SecondBurstGetsAdjustedGrant) {
 }
 
 TEST_F(BiCordWifiFixture, GrantObserverSeesEveryGrant) {
-  BiCordWifiAgent agent(*receiver, agent_config());
+  BiCordWifiAgent agent(wifi::grantor_port(*receiver), agent_config());
   int observed = 0;
   Duration last;
   agent.set_grant_observer([&](TimePoint, Duration g) {

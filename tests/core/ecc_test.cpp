@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "phy/tracer.hpp"
+#include "wifi/bicord_port.hpp"
 #include "wifi/traffic.hpp"
+#include "zigbee/bicord_port.hpp"
+#include "zigbee/zigbee_mac.hpp"
 
 namespace bicord::core {
 namespace {
@@ -41,7 +44,7 @@ TEST_F(EccFixture, NotificationsAreStrictlyPeriodic) {
   EccWifiAgent::Config cfg;
   cfg.period = 100_ms;
   cfg.whitespace = 20_ms;
-  EccWifiAgent agent(*sender, cfg);
+  EccWifiAgent agent(wifi::grantor_port(*sender), cfg);
   agent.start();
   sim.run_for(1_sec);
   EXPECT_EQ(agent.notifications_sent(), 10u);
@@ -54,7 +57,7 @@ TEST_F(EccFixture, EmulatedNotifyAppearsOnZigbeeChannel) {
   EccWifiAgent::Config cfg;
   cfg.period = 100_ms;
   cfg.whitespace = 25_ms;
-  EccWifiAgent agent(*sender, cfg);
+  EccWifiAgent agent(wifi::grantor_port(*sender), cfg);
   phy::MediumTracer tracer(medium);
   agent.start();
   sim.run_for(250_ms);
@@ -75,7 +78,7 @@ TEST_F(EccFixture, SenderPausesForTheWhitespace) {
   EccWifiAgent::Config cfg;
   cfg.period = 100_ms;
   cfg.whitespace = 30_ms;
-  EccWifiAgent agent(*sender, cfg);
+  EccWifiAgent agent(wifi::grantor_port(*sender), cfg);
   wifi::SaturatedSource traffic(*sender, f, 2000);
   traffic.start();
   phy::MediumTracer tracer(medium);
@@ -104,13 +107,13 @@ TEST_F(EccFixture, ZigbeeAgentTransmitsOnlyInWindows) {
   EccWifiAgent::Config cfg;
   cfg.period = 100_ms;
   cfg.whitespace = 30_ms;
-  EccWifiAgent wifi_agent(*sender, cfg);
+  EccWifiAgent wifi_agent(wifi::grantor_port(*sender), cfg);
   wifi::SaturatedSource traffic(*sender, f, 2000);
   traffic.start();
 
   EccZigbeeAgent::Config zcfg;
   zcfg.ctc_fidelity = 1.0;  // deterministic for the test
-  EccZigbeeAgent zb_agent(*zb_sender, zr, zcfg);
+  EccZigbeeAgent zb_agent(zigbee::requester_port(*zb_sender), zr, zcfg);
   wifi_agent.start();
 
   sim.run_for(120_ms);  // past the first notification
@@ -127,11 +130,11 @@ TEST_F(EccFixture, ZigbeeWaitsWhenWindowTooSmall) {
   EccWifiAgent::Config cfg;
   cfg.period = 100_ms;
   cfg.whitespace = 5_ms;  // too small for even one 50 B exchange + slack
-  EccWifiAgent wifi_agent(*sender, cfg);
+  EccWifiAgent wifi_agent(wifi::grantor_port(*sender), cfg);
   EccZigbeeAgent::Config zcfg;
   zcfg.ctc_fidelity = 1.0;
   zcfg.packet_budget_slack = 3_ms;
-  EccZigbeeAgent zb_agent(*zb_sender, zr, zcfg);
+  EccZigbeeAgent zb_agent(zigbee::requester_port(*zb_sender), zr, zcfg);
   wifi_agent.start();
   sim.run_for(150_ms);
   zb_agent.submit_burst(2, 50);
@@ -143,17 +146,17 @@ TEST_F(EccFixture, ZigbeeWaitsWhenWindowTooSmall) {
 
 TEST_F(EccFixture, FidelityZeroMeansDeaf) {
   EccWifiAgent::Config cfg;
-  EccWifiAgent wifi_agent(*sender, cfg);
+  EccWifiAgent wifi_agent(wifi::grantor_port(*sender), cfg);
   EccZigbeeAgent::Config zcfg;
   zcfg.ctc_fidelity = 0.0;
-  EccZigbeeAgent zb_agent(*zb_sender, zr, zcfg);
+  EccZigbeeAgent zb_agent(zigbee::requester_port(*zb_sender), zr, zcfg);
   wifi_agent.start();
   sim.run_for(500_ms);
   EXPECT_EQ(zb_agent.notifications_heard(), 0u);
 }
 
 TEST_F(EccFixture, CsmaAgentPumpsImmediately) {
-  CsmaZigbeeAgent agent(*zb_sender, zr, 0.0);
+  CsmaZigbeeAgent agent(zigbee::requester_port(*zb_sender), zr, 0.0);
   agent.submit_burst(4, 50);
   sim.run_for(100_ms);
   EXPECT_EQ(agent.stats().delivered, 4u);

@@ -105,7 +105,8 @@ int main(int argc, char** argv) {
                    "start from a ScenarioSpec: a preset name (--list-presets) or "
                    "@file with key=value lines; explicit flags override it");
   flags.add_bool("list-presets", false, "list the scenario presets and exit");
-  flags.add_string("scheme", "bicord", "coordination scheme: bicord | ecc | csma");
+  flags.add_string("scheme", "bicord",
+                   "coordination scheme: bicord | ecc | csma | lteu | tsch");
   flags.add_string("location", "A", "ZigBee sender location: A | B | C | D (Fig. 6)");
   flags.add_int("burst-packets", 5, "ZigBee packets per burst");
   flags.add_int("burst-payload", 50, "ZigBee payload bytes per packet");
@@ -358,12 +359,32 @@ int main(int argc, char** argv) {
   if (auto* agent = scenario.bicord_zigbee()) {
     table.add_row({"control packets sent",
                    AsciiTable::cell(static_cast<std::int64_t>(agent->control_packets_sent()))});
+  } else if (auto* req = scenario.tsch_requester()) {
+    table.add_row({"control packets sent",
+                   AsciiTable::cell(static_cast<std::int64_t>(req->control_packets_sent()))});
+  }
+  if (auto* wifi_agent = scenario.bicord_wifi()) {
     table.add_row({"white spaces granted",
                    AsciiTable::cell(static_cast<std::int64_t>(
-                       scenario.bicord_wifi()->whitespaces_granted()))});
+                       wifi_agent->whitespaces_granted()))});
     table.add_row({"converged white space",
-                   AsciiTable::cell(scenario.bicord_wifi()->allocator().estimate().ms(), 1) +
-                       " ms"});
+                   AsciiTable::cell(wifi_agent->allocator().estimate().ms(), 1) + " ms"});
+  } else if (auto* grantor = scenario.lteu_grantor()) {
+    table.add_row({"white spaces granted (eNB leases)",
+                   AsciiTable::cell(static_cast<std::int64_t>(
+                       grantor->suppressions_granted()))});
+    table.add_row({"converged white space",
+                   AsciiTable::cell(grantor->allocator().estimate().ms(), 1) + " ms"});
+    table.add_row({"eNB bursts / cycles suppressed",
+                   AsciiTable::cell(static_cast<std::int64_t>(
+                       scenario.lteu_device()->bursts_sent())) +
+                       " / " +
+                       AsciiTable::cell(static_cast<std::int64_t>(
+                           scenario.lteu_device()->cycles_suppressed()))});
+  }
+  if (auto* schedule = scenario.tsch_schedule()) {
+    table.add_row({"tsch hops",
+                   AsciiTable::cell(static_cast<std::int64_t>(schedule->hops()))});
   }
   if (const auto* injector = scenario.fault_injector()) {
     const auto& c = injector->counters();
